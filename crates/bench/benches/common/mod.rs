@@ -1,0 +1,35 @@
+//! Shared Criterion plumbing for the figure benches.
+//!
+//! Each bench target regenerates one table/figure of the paper: it prints
+//! the figure's rows once (so `cargo bench` output contains the
+//! reproduction), then times a representative simulation so Criterion has
+//! something meaningful to measure.
+
+use criterion::Criterion;
+use sttcache::DCacheOrganization;
+use sttcache_bench::run_benchmark;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+/// A Criterion instance tuned for whole-simulation benchmarks.
+#[allow(dead_code)] // each bench target compiles its own copy of this module
+pub fn criterion() -> Criterion {
+    Criterion::default().sample_size(10).configure_from_args()
+}
+
+/// Benchmarks one (organization, kernel, transformations) simulation.
+#[allow(dead_code)] // not every bench target fans out through this helper
+pub fn bench_sim(
+    c: &mut Criterion,
+    group: &str,
+    org: DCacheOrganization,
+    bench: PolyBench,
+    t: Transformations,
+) {
+    let label = format!("{}/{}/{}", group, bench.name(), t.label());
+    c.bench_function(&label, |b| {
+        b.iter(|| {
+            let r = run_benchmark(org, bench, ProblemSize::Mini, t);
+            criterion::black_box(r.cycles())
+        })
+    });
+}

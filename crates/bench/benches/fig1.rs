@@ -1,0 +1,26 @@
+//! Regenerates Fig. 1 (drop-in NVM penalty) and benchmarks two of its
+//! underlying simulations.
+
+mod common;
+
+use sttcache::DCacheOrganization;
+use sttcache_bench::figures;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() {
+    figures::print_fig1(ProblemSize::Mini);
+    let mut c = common::criterion();
+    for org in [
+        DCacheOrganization::SramBaseline,
+        DCacheOrganization::NvmDropIn,
+    ] {
+        common::bench_sim(
+            &mut c,
+            "fig1",
+            org,
+            PolyBench::Gemm,
+            Transformations::none(),
+        );
+    }
+    c.final_summary();
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 3 (drop-in vs VWB) and benchmarks the VWB simulation.
+
+mod common;
+
+use sttcache::DCacheOrganization;
+use sttcache_bench::figures;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() {
+    figures::print_fig3(ProblemSize::Mini);
+    let mut c = common::criterion();
+    common::bench_sim(
+        &mut c,
+        "fig3",
+        DCacheOrganization::nvm_vwb_default(),
+        PolyBench::Gemm,
+        Transformations::none(),
+    );
+    c.final_summary();
+}

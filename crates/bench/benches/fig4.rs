@@ -1,0 +1,20 @@
+//! Regenerates Fig. 4 (read vs write penalty contribution).
+
+mod common;
+
+use sttcache::DCacheOrganization;
+use sttcache_bench::figures;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() {
+    figures::print_fig4(ProblemSize::Mini);
+    let mut c = common::criterion();
+    common::bench_sim(
+        &mut c,
+        "fig4",
+        DCacheOrganization::nvm_vwb_default(),
+        PolyBench::Trmm,
+        Transformations::none(),
+    );
+    c.final_summary();
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 5 (VWB with and without code transformations).
+
+mod common;
+
+use sttcache::DCacheOrganization;
+use sttcache_bench::figures;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() {
+    figures::print_fig5(ProblemSize::Mini);
+    let mut c = common::criterion();
+    for t in [Transformations::none(), Transformations::all()] {
+        common::bench_sim(
+            &mut c,
+            "fig5",
+            DCacheOrganization::nvm_vwb_default(),
+            PolyBench::Atax,
+            t,
+        );
+    }
+    c.final_summary();
+}

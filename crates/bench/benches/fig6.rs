@@ -1,0 +1,26 @@
+//! Regenerates Fig. 6 (per-transformation contribution split).
+
+mod common;
+
+use sttcache::DCacheOrganization;
+use sttcache_bench::figures;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() {
+    figures::print_fig6(ProblemSize::Mini);
+    let mut c = common::criterion();
+    for t in [
+        Transformations::only_vectorize(),
+        Transformations::only_prefetch(),
+        Transformations::only_others(),
+    ] {
+        common::bench_sim(
+            &mut c,
+            "fig6",
+            DCacheOrganization::nvm_vwb_default(),
+            PolyBench::Gemm,
+            t,
+        );
+    }
+    c.final_summary();
+}

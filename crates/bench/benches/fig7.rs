@@ -1,0 +1,31 @@
+//! Regenerates Fig. 7 (VWB size sweep).
+
+mod common;
+
+use sttcache::{DCacheOrganization, VwbConfig};
+use sttcache_bench::figures;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() {
+    figures::print_fig7(ProblemSize::Mini);
+    let mut c = common::criterion();
+    for bits in [1024usize, 2048, 4096] {
+        let org = DCacheOrganization::NvmVwb(VwbConfig {
+            capacity_bits: bits,
+            ..VwbConfig::default()
+        });
+        let label = format!("fig7/vwb-{bits}bit");
+        c.bench_function(&label, |b| {
+            b.iter(|| {
+                let r = sttcache_bench::run_benchmark(
+                    org,
+                    PolyBench::Gemm,
+                    ProblemSize::Mini,
+                    Transformations::all(),
+                );
+                criterion::black_box(r.cycles())
+            })
+        });
+    }
+    c.final_summary();
+}

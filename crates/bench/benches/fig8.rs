@@ -1,0 +1,20 @@
+//! Regenerates Fig. 8 (proposal vs EMSHR vs L0).
+
+mod common;
+
+use sttcache::DCacheOrganization;
+use sttcache_bench::figures;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() {
+    figures::print_fig8(ProblemSize::Mini);
+    let mut c = common::criterion();
+    for org in [
+        DCacheOrganization::nvm_vwb_default(),
+        DCacheOrganization::nvm_emshr_default(),
+        DCacheOrganization::nvm_l0_default(),
+    ] {
+        common::bench_sim(&mut c, "fig8", org, PolyBench::Gemm, Transformations::all());
+    }
+    c.final_summary();
+}

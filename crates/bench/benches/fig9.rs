@@ -1,0 +1,19 @@
+//! Regenerates Fig. 9 (optimization gains on baseline vs proposal).
+
+mod common;
+
+use sttcache::DCacheOrganization;
+use sttcache_bench::figures;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() {
+    figures::print_fig9(ProblemSize::Mini);
+    let mut c = common::criterion();
+    for org in [
+        DCacheOrganization::SramBaseline,
+        DCacheOrganization::nvm_vwb_default(),
+    ] {
+        common::bench_sim(&mut c, "fig9", org, PolyBench::Bicg, Transformations::all());
+    }
+    c.final_summary();
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table I and benchmarks the technology-model evaluation.
+
+mod common;
+
+use sttcache_bench::figures;
+
+fn main() {
+    figures::print_table1();
+    let mut c = common::criterion();
+    c.bench_function("table1/array-model", |b| {
+        b.iter(|| criterion::black_box(sttcache_bench::table1()))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,55 @@
+//! Regenerates the paper's tables and figures as text.
+//!
+//! ```text
+//! figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|all] [--small] [--csv]
+//! ```
+//!
+//! Defaults to `all` at the mini problem size; `--small` runs the larger
+//! figure-generation size; `--csv` emits machine-readable output for the
+//! per-benchmark figures.
+
+use sttcache_bench::figures;
+use sttcache_workloads::ProblemSize;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size = if args.iter().any(|a| a == "--small") {
+        ProblemSize::Small
+    } else {
+        ProblemSize::Mini
+    };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    if args.iter().any(|a| a == "--csv") {
+        if figures::print_csv(what, size) {
+            return;
+        }
+        eprintln!("'{what}' has no CSV form (use a fig1-fig9 artifact)");
+        std::process::exit(2);
+    }
+
+    match what {
+        "table1" => figures::print_table1(),
+        "fig1" => figures::print_fig1(size),
+        "fig3" => figures::print_fig3(size),
+        "fig4" => figures::print_fig4(size),
+        "fig5" => figures::print_fig5(size),
+        "fig6" => figures::print_fig6(size),
+        "fig7" => figures::print_fig7(size),
+        "fig8" => figures::print_fig8(size),
+        "fig9" => figures::print_fig9(size),
+        "ext" => figures::print_extensions(size),
+        "all" => figures::print_all(size),
+        other => {
+            eprintln!("unknown figure '{other}'");
+            eprintln!(
+                "usage: figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|all] [--small]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

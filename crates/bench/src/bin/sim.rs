@@ -1,0 +1,168 @@
+//! `sim` — run one simulation with an arbitrary configuration and dump
+//! gem5-style statistics.
+//!
+//! ```text
+//! sim --bench gemm --org vwb --opts v+p+o [--size small] [--vwb-bits 4096]
+//!     [--icache nvm] [--baseline]
+//! ```
+//!
+//! * `--org`: `sram` | `nvm` | `vwb` | `l0` | `emshr`
+//! * `--opts`: `none` | `all` | any `+`-joined subset of `v`, `p`, `o`
+//! * `--baseline`: additionally run the SRAM platform on the same binary
+//!   and print the penalty.
+
+use sttcache::{
+    DCacheOrganization, DlOneTechnology, IcacheConfig, Platform, PlatformConfig, VwbConfig,
+};
+use sttcache_cpu::Engine;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+struct Options {
+    bench: PolyBench,
+    org: DCacheOrganization,
+    size: ProblemSize,
+    opts: Transformations,
+    icache: Option<IcacheConfig>,
+    baseline: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sim --bench <name> [--org sram|nvm|vwb|l0|emshr] [--size mini|small]\n\
+         \x20          [--opts none|all|v+p+o subset] [--vwb-bits N] [--icache sram|nvm]\n\
+         \x20          [--baseline]\n\
+         benchmarks: {}",
+        PolyBench::ALL.map(|b| b.name()).join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_bench(name: &str) -> Option<PolyBench> {
+    PolyBench::ALL.into_iter().find(|b| b.name() == name)
+}
+
+fn parse_opts(spec: &str) -> Option<Transformations> {
+    match spec {
+        "none" => Some(Transformations::none()),
+        "all" => Some(Transformations::all()),
+        other => {
+            let mut t = Transformations::none();
+            for part in other.split('+') {
+                match part {
+                    "v" => t.vectorize = true,
+                    "p" => t.prefetch = true,
+                    "o" => t.others = true,
+                    _ => return None,
+                }
+            }
+            Some(t)
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bench = None;
+    let mut org = "nvm".to_string();
+    let mut size = ProblemSize::Mini;
+    let mut opts = Transformations::none();
+    let mut vwb_bits = 2048usize;
+    let mut icache = None;
+    let mut baseline = false;
+
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => bench = parse_bench(&next(&mut i)),
+            "--org" => org = next(&mut i),
+            "--size" => {
+                size = match next(&mut i).as_str() {
+                    "mini" => ProblemSize::Mini,
+                    "small" => ProblemSize::Small,
+                    _ => usage(),
+                }
+            }
+            "--opts" => opts = parse_opts(&next(&mut i)).unwrap_or_else(|| usage()),
+            "--vwb-bits" => vwb_bits = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--icache" => {
+                let tech = match next(&mut i).as_str() {
+                    "sram" => DlOneTechnology::Sram,
+                    "nvm" => DlOneTechnology::SttMram,
+                    _ => usage(),
+                };
+                icache = Some(IcacheConfig {
+                    technology: tech,
+                    ..IcacheConfig::default()
+                });
+            }
+            "--baseline" => baseline = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let org = match org.as_str() {
+        "sram" => DCacheOrganization::SramBaseline,
+        "nvm" => DCacheOrganization::NvmDropIn,
+        "vwb" => DCacheOrganization::NvmVwb(VwbConfig {
+            capacity_bits: vwb_bits,
+            ..VwbConfig::default()
+        }),
+        "l0" => DCacheOrganization::nvm_l0_default(),
+        "emshr" => DCacheOrganization::nvm_emshr_default(),
+        _ => usage(),
+    };
+    Options {
+        bench: bench.unwrap_or_else(|| usage()),
+        org,
+        size,
+        opts,
+        icache,
+        baseline,
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    let mut cfg = PlatformConfig::new(o.org);
+    cfg.icache = o.icache;
+    let platform = match Platform::with_config(cfg.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(1);
+        }
+    };
+    let kernel = o.bench.kernel(o.size);
+    let result = platform.run(|e: &mut dyn Engine| kernel.run(e, o.opts));
+    println!(
+        "# sim: {} on {} ({:?}, opts {})",
+        o.bench.name(),
+        o.org.name(),
+        o.size,
+        o.opts
+    );
+    print!("{}", result.stats_text());
+
+    if o.baseline {
+        let mut base_cfg = PlatformConfig::new(DCacheOrganization::SramBaseline);
+        base_cfg.icache = o.icache;
+        let base_platform =
+            Platform::with_config(base_cfg).expect("canonical baseline configuration");
+        let kernel = o.bench.kernel(o.size);
+        let base = base_platform.run(|e: &mut dyn Engine| kernel.run(e, o.opts));
+        println!(
+            "{:<40} {:>16.2} # percent vs SRAM baseline on the same binary",
+            "penalty.vs_sram_pct",
+            sttcache::penalty_pct(base.cycles(), result.cycles())
+        );
+    }
+}

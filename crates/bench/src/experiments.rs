@@ -1,0 +1,518 @@
+//! The experiments behind every table and figure.
+
+use sttcache::{
+    average_penalty, penalty_pct, DCacheOrganization, PenaltyRow, Platform, PlatformConfig,
+    RunResult, VwbConfig,
+};
+use sttcache_cpu::Engine;
+use sttcache_mem::CacheConfig;
+use sttcache_tech::{table_one, TableOneRow};
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+/// One benchmark's run on one configuration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Full simulation result.
+    pub result: RunResult,
+}
+
+/// Runs one benchmark on one platform organization with the given
+/// transformations.
+///
+/// # Panics
+///
+/// Panics if the organization's configuration is invalid (the canonical
+/// configurations used by the figures never are).
+pub fn run_benchmark(
+    org: DCacheOrganization,
+    bench: PolyBench,
+    size: ProblemSize,
+    t: Transformations,
+) -> RunResult {
+    let platform = Platform::new(org).expect("canonical platform configuration is valid");
+    let kernel = bench.kernel(size);
+    platform.run(|e: &mut dyn Engine| kernel.run(e, t))
+}
+
+/// Baseline cycle counts: the SRAM platform running the *same binary*
+/// (same transformation set) as the measured configuration — the paper's
+/// figures always normalize against the SRAM D-cache executing the
+/// identical code.
+fn baseline_cycles(size: ProblemSize, t: Transformations) -> Vec<(PolyBench, u64)> {
+    PolyBench::ALL
+        .iter()
+        .map(|&b| {
+            let r = run_benchmark(DCacheOrganization::SramBaseline, b, size, t);
+            (b, r.cycles())
+        })
+        .collect()
+}
+
+/// A labelled multi-series penalty table (one series per configuration,
+/// one row per benchmark plus AVERAGE).
+#[derive(Debug, Clone)]
+pub struct SeriesTable {
+    /// Series (configuration) labels, in column order.
+    pub series: Vec<String>,
+    /// `(benchmark, penalties-per-series)` rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl SeriesTable {
+    /// Appends the AVERAGE row the paper's figures end with.
+    fn with_average(mut self) -> Self {
+        let cols = self.series.len();
+        let n = self.rows.len().max(1) as f64;
+        let avg: Vec<f64> = (0..cols)
+            .map(|c| self.rows.iter().map(|(_, v)| v[c]).sum::<f64>() / n)
+            .collect();
+        self.rows.push(("AVERAGE".to_string(), avg));
+        self
+    }
+
+    /// The AVERAGE value of a series (requires [`SeriesTable::rows`] to end
+    /// with the AVERAGE row, which every figure constructor guarantees).
+    pub fn average(&self, series_idx: usize) -> f64 {
+        self.rows.last().expect("table has an AVERAGE row").1[series_idx]
+    }
+
+    /// Appends the AVERAGE row (crate-internal; the figure and extension
+    /// constructors call this exactly once).
+    pub(crate) fn append_average(self) -> Self {
+        self.with_average()
+    }
+
+    /// Renders the table as CSV (`benchmark` column plus one column per
+    /// series; values in percent).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("benchmark");
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.replace(',', ";"));
+        }
+        out.push('\n');
+        for (name, cols) in &self.rows {
+            out.push_str(name);
+            for v in cols {
+                out.push_str(&format!(",{v:.3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Table I: the 64 KB SRAM vs STT-MRAM technology comparison.
+pub fn table1() -> [TableOneRow; 2] {
+    table_one()
+}
+
+/// Fig. 1: performance penalty of the drop-in STT-MRAM D-cache, per
+/// benchmark, relative to the SRAM baseline.
+pub fn fig1(size: ProblemSize) -> Vec<PenaltyRow> {
+    let base = baseline_cycles(size, Transformations::none());
+    let mut rows: Vec<PenaltyRow> = base
+        .iter()
+        .map(|&(b, cycles)| {
+            let r = run_benchmark(
+                DCacheOrganization::NvmDropIn,
+                b,
+                size,
+                Transformations::none(),
+            );
+            PenaltyRow::new(b.name(), penalty_pct(cycles, r.cycles()))
+        })
+        .collect();
+    let avg = average_penalty(&rows);
+    rows.push(PenaltyRow::new("AVERAGE", avg));
+    rows
+}
+
+/// Fig. 3: drop-in NVM vs NVM + VWB (both untransformed).
+pub fn fig3(size: ProblemSize) -> SeriesTable {
+    let base = baseline_cycles(size, Transformations::none());
+    let mut rows = Vec::new();
+    for &(b, cycles) in &base {
+        let drop_in = run_benchmark(
+            DCacheOrganization::NvmDropIn,
+            b,
+            size,
+            Transformations::none(),
+        );
+        let vwb = run_benchmark(
+            DCacheOrganization::nvm_vwb_default(),
+            b,
+            size,
+            Transformations::none(),
+        );
+        rows.push((
+            b.name().to_string(),
+            vec![
+                penalty_pct(cycles, drop_in.cycles()),
+                penalty_pct(cycles, vwb.cycles()),
+            ],
+        ));
+    }
+    SeriesTable {
+        series: vec!["Drop-in NVM D-Cache".into(), "NVM D-Cache with VWB".into()],
+        rows,
+    }
+    .with_average()
+}
+
+/// One benchmark's read/write penalty decomposition (Fig. 4).
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Relative read-latency contribution to the penalty, in percent.
+    pub read_pct: f64,
+    /// Relative write-latency contribution to the penalty, in percent.
+    pub write_pct: f64,
+}
+
+/// Fig. 4: relative contribution of read vs write access latency to the
+/// VWB organization's penalty.
+///
+/// Measured counterfactually, gem5-style: one platform with only the NVM
+/// *read* latency (writes at SRAM speed) and one with only the NVM *write*
+/// latency. Each counterfactual's penalty over the SRAM baseline is its
+/// latency class's contribution; shares are normalized to 100 %.
+pub fn fig4(size: ProblemSize) -> Vec<Fig4Row> {
+    // NVM DL1 geometry with one latency class reverted to SRAM speed.
+    let with_latencies = |read: u64, write: u64| -> Platform {
+        let dl1 = CacheConfig::builder()
+            .capacity_bytes(64 * 1024)
+            .associativity(2)
+            .line_bytes(64)
+            .banks(4)
+            .read_cycles(read)
+            .write_cycles(write)
+            .build()
+            .expect("counterfactual dl1 config is valid");
+        let mut cfg = PlatformConfig::new(DCacheOrganization::nvm_vwb_default());
+        cfg.dl1_override = Some(dl1);
+        Platform::with_config(cfg).expect("counterfactual platform is valid")
+    };
+    let read_only = with_latencies(4, 1);
+    let write_only = with_latencies(1, 2);
+
+    let mut rows = Vec::new();
+    let mut sum_read = 0.0;
+    let mut sum_write = 0.0;
+    for &b in &PolyBench::ALL {
+        let sram = run_benchmark(
+            DCacheOrganization::SramBaseline,
+            b,
+            size,
+            Transformations::none(),
+        );
+        let kernel_r = b.kernel(size);
+        let r = read_only.run(|e: &mut dyn Engine| kernel_r.run(e, Transformations::none()));
+        let kernel_w = b.kernel(size);
+        let w = write_only.run(|e: &mut dyn Engine| kernel_w.run(e, Transformations::none()));
+        let p_read = penalty_pct(sram.cycles(), r.cycles()).max(0.0);
+        let p_write = penalty_pct(sram.cycles(), w.cycles()).max(0.0);
+        let (read_pct, write_pct) = if p_read + p_write < 0.25 {
+            // Penalty too small to decompose by counterfactuals; fall back
+            // to the stall attribution of the read-latency run.
+            let re = r
+                .core
+                .read_stall_cycles
+                .saturating_sub(sram.core.read_stall_cycles);
+            let we = w
+                .core
+                .write_stall_cycles
+                .saturating_sub(sram.core.write_stall_cycles);
+            let tot = (re + we).max(1) as f64;
+            if re + we == 0 {
+                (100.0, 0.0)
+            } else {
+                (re as f64 / tot * 100.0, we as f64 / tot * 100.0)
+            }
+        } else {
+            let total = p_read + p_write;
+            (p_read / total * 100.0, p_write / total * 100.0)
+        };
+        sum_read += read_pct;
+        sum_write += write_pct;
+        rows.push(Fig4Row {
+            name: b.name().to_string(),
+            read_pct,
+            write_pct,
+        });
+    }
+    let n = PolyBench::ALL.len() as f64;
+    rows.push(Fig4Row {
+        name: "AVERAGE".into(),
+        read_pct: sum_read / n,
+        write_pct: sum_write / n,
+    });
+    rows
+}
+
+/// Fig. 5: drop-in NVM, VWB without transformations, VWB with all
+/// transformations.
+pub fn fig5(size: ProblemSize) -> SeriesTable {
+    let base = baseline_cycles(size, Transformations::none());
+    let base_opt = baseline_cycles(size, Transformations::all());
+    let mut rows = Vec::new();
+    for (&(b, cycles), &(_, cycles_opt)) in base.iter().zip(&base_opt) {
+        let drop_in = run_benchmark(
+            DCacheOrganization::NvmDropIn,
+            b,
+            size,
+            Transformations::none(),
+        );
+        let plain = run_benchmark(
+            DCacheOrganization::nvm_vwb_default(),
+            b,
+            size,
+            Transformations::none(),
+        );
+        let opt = run_benchmark(
+            DCacheOrganization::nvm_vwb_default(),
+            b,
+            size,
+            Transformations::all(),
+        );
+        rows.push((
+            b.name().to_string(),
+            vec![
+                penalty_pct(cycles, drop_in.cycles()),
+                penalty_pct(cycles, plain.cycles()),
+                penalty_pct(cycles_opt, opt.cycles()),
+            ],
+        ));
+    }
+    SeriesTable {
+        series: vec![
+            "Drop-in NVM".into(),
+            "No Optimization".into(),
+            "With Optimization".into(),
+        ],
+        rows,
+    }
+    .with_average()
+}
+
+/// One benchmark's per-transformation contribution split (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Share of the penalty reduction due to vectorization, in percent.
+    pub vectorization_pct: f64,
+    /// Share due to prefetching, in percent.
+    pub prefetching_pct: f64,
+    /// Share due to the "others" intrinsics, in percent.
+    pub others_pct: f64,
+}
+
+/// Fig. 6: contribution of each transformation family to the penalty
+/// reduction on the VWB organization.
+///
+/// Each family's contribution is the penalty reduction it achieves alone;
+/// shares are normalized to 100 % as in the paper's stacked bars.
+pub fn fig6(size: ProblemSize) -> Vec<Fig6Row> {
+    let org = DCacheOrganization::nvm_vwb_default();
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 3];
+    for &b in &PolyBench::ALL {
+        let sram = run_benchmark(
+            DCacheOrganization::SramBaseline,
+            b,
+            size,
+            Transformations::none(),
+        );
+        let unopt = run_benchmark(org, b, size, Transformations::none());
+        let p_base = penalty_pct(sram.cycles(), unopt.cycles());
+        // Leave-one-out: a family's contribution is how much the penalty
+        // worsens when it alone is removed from the full set (this credits
+        // interactions, e.g. alignment x vectorization, to "others").
+        let penalty_of = |t: Transformations| -> f64 {
+            let matched = run_benchmark(DCacheOrganization::SramBaseline, b, size, t);
+            let r = run_benchmark(org, b, size, t);
+            penalty_pct(matched.cycles(), r.cycles())
+        };
+        let p_full = penalty_of(Transformations::all());
+        let without = |f: fn(&mut Transformations)| -> f64 {
+            let mut t = Transformations::all();
+            f(&mut t);
+            (penalty_of(t) - p_full).max(0.0)
+        };
+        let mut v = without(|t| t.vectorize = false);
+        let mut p = without(|t| t.prefetch = false);
+        let mut o = without(|t| t.others = false);
+        let _ = p_base;
+        if v + p + o < 0.1 {
+            // Penalty already negligible; split by the gross cycles each
+            // family saves on the NVM platform itself.
+            let cycles_of = |t: Transformations| run_benchmark(org, b, size, t).cycles() as f64;
+            let all = cycles_of(Transformations::all());
+            let saved = |f: fn(&mut Transformations)| -> f64 {
+                let mut t = Transformations::all();
+                f(&mut t);
+                (cycles_of(t) - all).max(0.0)
+            };
+            v = saved(|t| t.vectorize = false);
+            p = saved(|t| t.prefetch = false);
+            o = saved(|t| t.others = false);
+        }
+        let total = (v + p + o).max(1e-9);
+        let row = Fig6Row {
+            name: b.name().to_string(),
+            vectorization_pct: v / total * 100.0,
+            prefetching_pct: p / total * 100.0,
+            others_pct: o / total * 100.0,
+        };
+        sums[0] += row.vectorization_pct;
+        sums[1] += row.prefetching_pct;
+        sums[2] += row.others_pct;
+        rows.push(row);
+    }
+    let n = PolyBench::ALL.len() as f64;
+    rows.push(Fig6Row {
+        name: "AVERAGE".into(),
+        vectorization_pct: sums[0] / n,
+        prefetching_pct: sums[1] / n,
+        others_pct: sums[2] / n,
+    });
+    rows
+}
+
+/// Fig. 7: penalty of the optimized VWB organization for 1, 2 and 4 Kbit
+/// buffers.
+pub fn fig7(size: ProblemSize) -> SeriesTable {
+    let base = baseline_cycles(size, Transformations::all());
+    let sizes = [1024usize, 2048, 4096];
+    let mut rows = Vec::new();
+    for &(b, cycles) in &base {
+        let mut cols = Vec::new();
+        for &bits in &sizes {
+            let org = DCacheOrganization::NvmVwb(VwbConfig {
+                capacity_bits: bits,
+                ..VwbConfig::default()
+            });
+            let r = run_benchmark(org, b, size, Transformations::all());
+            cols.push(penalty_pct(cycles, r.cycles()));
+        }
+        rows.push((b.name().to_string(), cols));
+    }
+    SeriesTable {
+        series: sizes
+            .iter()
+            .map(|s| format!("VWB = {} KBit", s / 1024))
+            .collect(),
+        rows,
+    }
+    .with_average()
+}
+
+/// Fig. 8: the optimized proposal vs the EMSHR and L0 baselines (all
+/// 2 Kbit, fully associative).
+pub fn fig8(size: ProblemSize) -> SeriesTable {
+    let base = baseline_cycles(size, Transformations::all());
+    let orgs = [
+        DCacheOrganization::nvm_vwb_default(),
+        DCacheOrganization::nvm_emshr_default(),
+        DCacheOrganization::nvm_l0_default(),
+    ];
+    let mut rows = Vec::new();
+    for &(b, cycles) in &base {
+        let cols: Vec<f64> = orgs
+            .iter()
+            .map(|&org| {
+                let r = run_benchmark(org, b, size, Transformations::all());
+                penalty_pct(cycles, r.cycles())
+            })
+            .collect();
+        rows.push((b.name().to_string(), cols));
+    }
+    SeriesTable {
+        series: vec!["Our Proposal".into(), "EMSHR".into(), "L0-Cache".into()],
+        rows,
+    }
+    .with_average()
+}
+
+/// One benchmark's optimization gains on both platforms (Fig. 9).
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Speed-up of the SRAM baseline from the code transformations, in
+    /// percent of its untransformed runtime.
+    pub baseline_gain_pct: f64,
+    /// Speed-up of the NVM + VWB proposal from the transformations.
+    pub proposal_gain_pct: f64,
+}
+
+/// Fig. 9: effect of the code transformations on the SRAM baseline vs on
+/// the proposal (performance *gain*, not penalty).
+pub fn fig9(size: ProblemSize) -> Vec<Fig9Row> {
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 2];
+    for &b in &PolyBench::ALL {
+        let gain = |org: DCacheOrganization| -> f64 {
+            let plain = run_benchmark(org, b, size, Transformations::none());
+            let opt = run_benchmark(org, b, size, Transformations::all());
+            (plain.cycles() as f64 - opt.cycles() as f64) / plain.cycles() as f64 * 100.0
+        };
+        let row = Fig9Row {
+            name: b.name().to_string(),
+            baseline_gain_pct: gain(DCacheOrganization::SramBaseline),
+            proposal_gain_pct: gain(DCacheOrganization::nvm_vwb_default()),
+        };
+        sums[0] += row.baseline_gain_pct;
+        sums[1] += row.proposal_gain_pct;
+        rows.push(row);
+    }
+    let n = PolyBench::ALL.len() as f64;
+    rows.push(Fig9Row {
+        name: "AVERAGE".into(),
+        baseline_gain_pct: sums[0] / n,
+        proposal_gain_pct: sums[1] / n,
+    });
+    rows
+}
+
+/// Re-exported contribution row alias used by the figures printer.
+pub type ContributionRow = Fig6Row;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_has_all_benchmarks_plus_average() {
+        let rows = fig1(ProblemSize::Mini);
+        assert_eq!(rows.len(), PolyBench::ALL.len() + 1);
+        assert_eq!(rows.last().unwrap().name, "AVERAGE");
+        // Every drop-in penalty is positive.
+        for r in &rows {
+            assert!(r.penalty_pct > 0.0, "{}: {}", r.name, r.penalty_pct);
+        }
+    }
+
+    #[test]
+    fn fig4_shares_sum_to_100() {
+        for row in fig4(ProblemSize::Mini) {
+            assert!(
+                (row.read_pct + row.write_pct - 100.0).abs() < 1e-6,
+                "{}",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_shares_sum_to_100() {
+        for row in fig6(ProblemSize::Mini) {
+            let sum = row.vectorization_pct + row.prefetching_pct + row.others_pct;
+            assert!((sum - 100.0).abs() < 1e-6, "{}: {sum}", row.name);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The L0-cache baseline.
+//!
+//! A small fully associative cache between the core and the NVM DL1, "a
+//! variation of the commonly used L0 cache" (paper §VI, citing the
+//! TMS320C64x DSP practice). Matched to the VWB for fairness: same 2 Kbit
+//! capacity, fully associative — but it "conform[s] to the interface of the
+//! regular size memory array": a fill streams the line through the narrow
+//! datapath-width port, so the entry only becomes usable
+//! [`L0Config::fill_cycles`] after the critical word, and it allocates on
+//! both read and write misses (classic L0 behaviour), costing an extra NVM
+//! read on store misses.
+
+use crate::buffer::FaBuffer;
+use crate::SttError;
+use sttcache_cpu::DataPort;
+use sttcache_mem::{Addr, Cache, Cycle, MemoryLevel};
+
+/// L0-cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L0Config {
+    /// Capacity in bits (2 Kbit to match the VWB).
+    pub capacity_bits: usize,
+    /// Hit latency in cycles.
+    pub hit_cycles: u64,
+    /// Extra cycles to stream a line through the narrow interface after
+    /// the critical word (512-bit line over the 64-bit datapath = 8 beats).
+    pub fill_cycles: u64,
+}
+
+impl Default for L0Config {
+    fn default() -> Self {
+        L0Config {
+            capacity_bits: 2048,
+            hit_cycles: 1,
+            fill_cycles: 8,
+        }
+    }
+}
+
+impl L0Config {
+    /// Number of line entries for a DL1 line of `line_bits`.
+    pub fn entries(&self, line_bits: usize) -> usize {
+        self.capacity_bits / line_bits
+    }
+}
+
+/// L0 statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct L0Stats {
+    /// Loads presented.
+    pub reads: u64,
+    /// Loads served by the L0.
+    pub read_hits: u64,
+    /// Stores presented.
+    pub writes: u64,
+    /// Stores absorbed by the L0.
+    pub write_hits: u64,
+    /// Lines filled from the DL1.
+    pub fills: u64,
+    /// Dirty evictions written back to the DL1.
+    pub dirty_evictions: u64,
+}
+
+/// The L0 front-end over an NVM DL1. Implements [`DataPort`].
+///
+/// # Example
+///
+/// ```
+/// use sttcache::baselines::{L0Config, L0FrontEnd};
+/// use sttcache::nvm_dl1_config;
+/// use sttcache_cpu::DataPort;
+/// use sttcache_mem::{Addr, Cache, MainMemory};
+///
+/// # fn main() -> Result<(), sttcache::SttError> {
+/// let dl1 = Cache::new(nvm_dl1_config()?, MainMemory::new(100));
+/// let mut l0 = L0FrontEnd::new(L0Config::default(), dl1)?;
+/// let t = l0.read(Addr(0), 0);
+/// // The line streams in for fill_cycles after the critical word, so an
+/// // immediate same-line access waits out the fill.
+/// assert_eq!(l0.read(Addr(8), t), t + 8 + 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct L0FrontEnd<N> {
+    config: L0Config,
+    buffer: FaBuffer,
+    dl1: Cache<N>,
+    stats: L0Stats,
+}
+
+impl<N: MemoryLevel> L0FrontEnd<N> {
+    /// Creates an L0 in front of `dl1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SttError::InvalidBuffer`] when the capacity holds no DL1
+    /// line or the hit latency is zero.
+    pub fn new(config: L0Config, dl1: Cache<N>) -> Result<Self, SttError> {
+        let line_bits = dl1.config().line_bytes() * 8;
+        if config.entries(line_bits) == 0 {
+            return Err(SttError::InvalidBuffer {
+                structure: "l0",
+                reason: format!(
+                    "capacity {} bits holds no {}-bit line",
+                    config.capacity_bits, line_bits
+                ),
+            });
+        }
+        if config.hit_cycles == 0 {
+            return Err(SttError::InvalidBuffer {
+                structure: "l0",
+                reason: "hit latency must be at least one cycle".into(),
+            });
+        }
+        Ok(L0FrontEnd {
+            buffer: FaBuffer::new(config.entries(line_bits)),
+            config,
+            dl1,
+            stats: L0Stats::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &L0Config {
+        &self.config
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &L0Stats {
+        &self.stats
+    }
+
+    /// The DL1 behind the L0.
+    pub fn dl1(&self) -> &Cache<N> {
+        &self.dl1
+    }
+
+    /// Mutable access to the DL1.
+    pub fn dl1_mut(&mut self) -> &mut Cache<N> {
+        &mut self.dl1
+    }
+
+    /// Resets the L0's and the hierarchy's statistics (contents kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = L0Stats::default();
+        self.dl1.reset_stats();
+    }
+
+    /// Whether the L0 holds the line containing `addr`.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.buffer
+            .find(addr.line(self.dl1.config().line_bytes()))
+            .is_some()
+    }
+
+    /// Fetches a line from the DL1 and installs it: the requester gets the
+    /// critical word when the DL1 read completes; the entry is usable once
+    /// the narrow-interface fill finishes.
+    fn fill(&mut self, addr: Addr, now: Cycle, dirty: bool) -> Cycle {
+        let line_bytes = self.dl1.config().line_bytes();
+        let line = addr.line(line_bytes);
+        let out = self.dl1.read(addr, now);
+        self.stats.fills += 1;
+        let ready = out.complete_at + self.config.fill_cycles;
+        // The narrow fill holds the bank just like the read did.
+        self.dl1
+            .occupy_bank(addr, out.complete_at, self.config.fill_cycles);
+        if let Some(evicted) = self.buffer.insert(line, ready, ready, dirty) {
+            if evicted.dirty {
+                self.stats.dirty_evictions += 1;
+                let base = evicted.line.base(line_bytes);
+                let _ = self.dl1.write(base, out.complete_at);
+            }
+        }
+        out.complete_at
+    }
+}
+
+impl<N: MemoryLevel> DataPort for L0FrontEnd<N> {
+    fn read(&mut self, addr: Addr, now: Cycle) -> Cycle {
+        self.stats.reads += 1;
+        let line = addr.line(self.dl1.config().line_bytes());
+        if let Some(idx) = self.buffer.find(line) {
+            self.stats.read_hits += 1;
+            let ready = self.buffer.entry(idx).ready_at.max(now);
+            self.buffer.touch(idx, ready, false);
+            return ready + self.config.hit_cycles;
+        }
+        self.fill(addr, now, false)
+    }
+
+    fn write(&mut self, addr: Addr, now: Cycle) -> Cycle {
+        self.stats.writes += 1;
+        let line = addr.line(self.dl1.config().line_bytes());
+        if let Some(idx) = self.buffer.find(line) {
+            self.stats.write_hits += 1;
+            let ready = self.buffer.entry(idx).ready_at.max(now);
+            self.buffer.touch(idx, ready, true);
+            return ready + self.config.hit_cycles;
+        }
+        // Write-allocate into the L0: fetch the line, then write it.
+        let word_at = self.fill(addr, now, true);
+        word_at + self.config.hit_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nvm_dl1_config;
+    use sttcache_mem::MainMemory;
+
+    fn l0() -> L0FrontEnd<MainMemory> {
+        let dl1 = Cache::new(nvm_dl1_config().unwrap(), MainMemory::new(100));
+        L0FrontEnd::new(L0Config::default(), dl1).unwrap()
+    }
+
+    #[test]
+    fn hit_after_fill_completes_is_fast() {
+        let mut fe = l0();
+        let t = fe.read(Addr(0), 0);
+        // Well past the fill: a same-line read is an L0 hit.
+        let t2 = fe.read(Addr(8), t + 20);
+        assert_eq!(t2, t + 21);
+        assert_eq!(fe.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn fill_streams_through_narrow_interface() {
+        let mut fe = l0();
+        let t = fe.read(Addr(0), 0);
+        // Immediately re-reading the same line waits for the 8-beat fill.
+        let t2 = fe.read(Addr(8), t);
+        assert_eq!(t2, t + 8 + 1);
+    }
+
+    #[test]
+    fn write_miss_allocates_and_costs_a_fetch() {
+        let mut fe = l0();
+        let t = fe.write(Addr(0), 0);
+        // Cold: DL1 miss to memory plus the L0 hit on top.
+        assert!(t > 100);
+        assert!(fe.contains(Addr(0)));
+        assert_eq!(fe.stats().write_hits, 0);
+        // A warm write is absorbed by the L0.
+        let t2 = fe.write(Addr(8), t + 20);
+        assert_eq!(t2, t + 21);
+        assert_eq!(fe.stats().write_hits, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_reaches_dl1() {
+        let mut fe = l0();
+        let mut t = fe.write(Addr(0), 0) + 20;
+        let before = fe.dl1().stats().writes;
+        for i in 1..=4u64 {
+            t = fe.read(Addr(i * 64), t) + 20;
+        }
+        assert_eq!(fe.stats().dirty_evictions, 1);
+        assert_eq!(fe.dl1().stats().writes, before + 1);
+    }
+
+    #[test]
+    fn capacity_matches_vwb_comparison() {
+        let fe = l0();
+        // 2 Kbit of 512-bit lines = 4 entries, same as the default VWB.
+        assert_eq!(fe.buffer.capacity(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let dl1 = Cache::new(nvm_dl1_config().unwrap(), MainMemory::new(100));
+        assert!(L0FrontEnd::new(
+            L0Config {
+                capacity_bits: 128,
+                ..L0Config::default()
+            },
+            dl1.clone()
+        )
+        .is_err());
+        assert!(L0FrontEnd::new(
+            L0Config {
+                hit_cycles: 0,
+                ..L0Config::default()
+            },
+            dl1
+        )
+        .is_err());
+    }
+}

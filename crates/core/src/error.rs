@@ -1,0 +1,81 @@
+//! Top-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by platform and front-end construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SttError {
+    /// A cache/hierarchy configuration was invalid.
+    Mem(sttcache_mem::MemError),
+    /// A technology configuration was invalid.
+    Tech(sttcache_tech::TechError),
+    /// A buffer configuration was invalid (VWB, L0, EMSHR).
+    InvalidBuffer {
+        /// Which structure was misconfigured.
+        structure: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SttError::Mem(e) => write!(f, "memory configuration: {e}"),
+            SttError::Tech(e) => write!(f, "technology configuration: {e}"),
+            SttError::InvalidBuffer { structure, reason } => {
+                write!(f, "{structure} configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SttError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SttError::Mem(e) => Some(e),
+            SttError::Tech(e) => Some(e),
+            SttError::InvalidBuffer { .. } => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<sttcache_mem::MemError> for SttError {
+    fn from(e: sttcache_mem::MemError) -> Self {
+        SttError::Mem(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<sttcache_tech::TechError> for SttError {
+    fn from(e: sttcache_tech::TechError) -> Self {
+        SttError::Tech(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e: SttError = sttcache_mem::MemError::InvalidCapacity(3).into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("memory configuration"));
+        let e: SttError = sttcache_tech::TechError::InvalidCapacity(3).into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn buffer_errors_are_described() {
+        let e = SttError::InvalidBuffer {
+            structure: "vwb",
+            reason: "zero entries".into(),
+        };
+        assert_eq!(e.to_string(), "vwb configuration: zero entries");
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! The unified data-port front-end.
+
+use crate::baselines::{EmshrFrontEnd, EmshrStats, L0FrontEnd, L0Stats};
+use crate::vwb::{VwbFrontEnd, VwbStats};
+use crate::Hierarchy;
+use sttcache_cpu::{DataPort, MemPort};
+use sttcache_mem::{Addr, Cache, CacheStats, Cycle, MainMemory, MemoryLevel};
+
+/// The L2-over-memory tail of the hierarchy that every front-end's DL1
+/// sits on.
+pub(crate) type Tail = Cache<MainMemory>;
+
+/// One of the four evaluated L1 D-cache organizations, unified behind a
+/// single [`DataPort`] so the [`crate::Platform`] can hold any of them in
+/// one core type.
+///
+/// * `Plain` — the core talks straight to the DL1 (the SRAM baseline and
+///   the drop-in NVM configuration of Fig. 1);
+/// * `Vwb` — the paper's proposal (Figs. 3–7, 9);
+/// * `L0` / `Emshr` — the Fig. 8 comparison baselines.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum FrontEnd {
+    /// Direct DL1 access.
+    Plain(MemPort<Hierarchy>),
+    /// The Very Wide Buffer organization.
+    Vwb(VwbFrontEnd<Tail>),
+    /// The L0-cache baseline.
+    L0(L0FrontEnd<Tail>),
+    /// The enhanced-MSHR baseline.
+    Emshr(EmshrFrontEnd<Tail>),
+}
+
+impl FrontEnd {
+    /// The DL1 statistics.
+    pub fn dl1_stats(&self) -> &CacheStats {
+        match self {
+            FrontEnd::Plain(p) => p.level().stats(),
+            FrontEnd::Vwb(v) => v.dl1().stats(),
+            FrontEnd::L0(l) => l.dl1().stats(),
+            FrontEnd::Emshr(e) => e.dl1().stats(),
+        }
+    }
+
+    /// The L2 statistics.
+    pub fn l2_stats(&self) -> &CacheStats {
+        match self {
+            FrontEnd::Plain(p) => p.level().next_level().stats(),
+            FrontEnd::Vwb(v) => v.dl1().next_level().stats(),
+            FrontEnd::L0(l) => l.dl1().next_level().stats(),
+            FrontEnd::Emshr(e) => e.dl1().next_level().stats(),
+        }
+    }
+
+    /// The main-memory statistics.
+    pub fn memory_stats(&self) -> &CacheStats {
+        match self {
+            FrontEnd::Plain(p) => p.level().next_level().next_level().stats(),
+            FrontEnd::Vwb(v) => v.dl1().next_level().next_level().stats(),
+            FrontEnd::L0(l) => l.dl1().next_level().next_level().stats(),
+            FrontEnd::Emshr(e) => e.dl1().next_level().next_level().stats(),
+        }
+    }
+
+    /// VWB statistics, when this front-end is the VWB organization.
+    pub fn vwb_stats(&self) -> Option<&VwbStats> {
+        match self {
+            FrontEnd::Vwb(v) => Some(v.stats()),
+            _ => None,
+        }
+    }
+
+    /// L0 statistics, when this front-end is the L0 baseline.
+    pub fn l0_stats(&self) -> Option<&L0Stats> {
+        match self {
+            FrontEnd::L0(l) => Some(l.stats()),
+            _ => None,
+        }
+    }
+
+    /// EMSHR statistics, when this front-end is the EMSHR baseline.
+    pub fn emshr_stats(&self) -> Option<&EmshrStats> {
+        match self {
+            FrontEnd::Emshr(e) => Some(e.stats()),
+            _ => None,
+        }
+    }
+
+    /// Resets all statistics in the front-end and the hierarchy below it;
+    /// cache and buffer *contents* are kept (warm-up support).
+    pub fn reset_stats(&mut self) {
+        match self {
+            FrontEnd::Plain(p) => p.level_mut().reset_stats(),
+            FrontEnd::Vwb(v) => v.reset_stats(),
+            FrontEnd::L0(l) => l.reset_stats(),
+            FrontEnd::Emshr(e) => e.reset_stats(),
+        }
+    }
+}
+
+impl DataPort for FrontEnd {
+    fn read(&mut self, addr: Addr, now: Cycle) -> Cycle {
+        match self {
+            FrontEnd::Plain(p) => p.read(addr, now),
+            FrontEnd::Vwb(v) => v.read(addr, now),
+            FrontEnd::L0(l) => l.read(addr, now),
+            FrontEnd::Emshr(e) => e.read(addr, now),
+        }
+    }
+
+    fn write(&mut self, addr: Addr, now: Cycle) -> Cycle {
+        match self {
+            FrontEnd::Plain(p) => p.write(addr, now),
+            FrontEnd::Vwb(v) => v.write(addr, now),
+            FrontEnd::L0(l) => l.write(addr, now),
+            FrontEnd::Emshr(e) => e.write(addr, now),
+        }
+    }
+
+    fn prefetch(&mut self, addr: Addr, now: Cycle) {
+        // An ARM `PLD` probes the L1 tags and fetches the line on a miss,
+        // without blocking the core. Only the VWB organization additionally
+        // *promotes* already-resident lines into its buffer — the paper's
+        // VWB-targeted prefetching.
+        match self {
+            FrontEnd::Plain(p) => {
+                if !p.level().contains(addr) {
+                    let _ = p.level_mut().read(addr, now);
+                }
+            }
+            FrontEnd::L0(l) => {
+                if !l.dl1().contains(addr) {
+                    let _ = l.dl1_mut().read(addr, now);
+                }
+            }
+            FrontEnd::Emshr(m) => {
+                if !m.dl1().contains(addr) {
+                    let _ = m.dl1_mut().read(addr, now);
+                }
+            }
+            FrontEnd::Vwb(v) => v.prefetch(addr, now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vwb::VwbConfig;
+    use crate::{l2_config, nvm_dl1_config};
+    use sttcache_mem::CacheConfig;
+
+    fn tail() -> Tail {
+        Cache::new(l2_config().unwrap(), MainMemory::new(100))
+    }
+
+    fn dl1(cfg: CacheConfig) -> Hierarchy {
+        Cache::new(cfg, tail())
+    }
+
+    #[test]
+    fn plain_front_end_reaches_all_levels() {
+        let mut fe = FrontEnd::Plain(MemPort::new(dl1(nvm_dl1_config().unwrap())));
+        fe.read(Addr(0), 0);
+        assert_eq!(fe.dl1_stats().reads, 1);
+        assert_eq!(fe.l2_stats().reads, 1);
+        assert_eq!(fe.memory_stats().reads, 1);
+        assert!(fe.vwb_stats().is_none());
+        assert!(fe.l0_stats().is_none());
+        assert!(fe.emshr_stats().is_none());
+    }
+
+    #[test]
+    fn vwb_front_end_reports_buffer_stats() {
+        let inner = Cache::new(nvm_dl1_config().unwrap(), tail());
+        let v = VwbFrontEnd::new(VwbConfig::default(), inner).unwrap();
+        let mut fe = FrontEnd::Vwb(v);
+        let t = fe.read(Addr(0), 0);
+        fe.read(Addr(8), t);
+        let stats = fe.vwb_stats().unwrap();
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.read_hits, 1);
+    }
+
+    #[test]
+    fn plain_prefetch_fetches_missing_lines_only() {
+        let mut fe = FrontEnd::Plain(MemPort::new(dl1(nvm_dl1_config().unwrap())));
+        fe.prefetch(Addr(0), 0);
+        assert_eq!(fe.dl1_stats().accesses(), 1);
+        // A hint for a resident line is dropped after the tag probe.
+        fe.prefetch(Addr(0), 500);
+        assert_eq!(fe.dl1_stats().accesses(), 1);
+    }
+
+    #[test]
+    fn vwb_prefetch_promotes() {
+        let inner = Cache::new(nvm_dl1_config().unwrap(), tail());
+        let v = VwbFrontEnd::new(VwbConfig::default(), inner).unwrap();
+        let mut fe = FrontEnd::Vwb(v);
+        fe.prefetch(Addr(0), 0);
+        assert_eq!(fe.vwb_stats().unwrap().prefetch_fills, 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! # sttcache — an STT-MRAM L1 data-cache exploration platform
+//!
+//! A from-scratch Rust reproduction of *"System level exploration of a
+//! STT-MRAM based Level 1 Data-Cache"* (Komalan, Tenllado, Gómez, Tirado,
+//! Catthoor — DATE 2015).
+//!
+//! The paper replaces the SRAM L1 D-cache of a 1 GHz ARM Cortex-A9-like
+//! core with an STT-MRAM array (4× read / 2× write latency, Table I) and
+//! shows that a small, fully associative, *wide-interfaced* buffer — the
+//! **Very Wide Buffer (VWB)** — plus code transformations (vectorization,
+//! prefetching, alignment/branch intrinsics) reduces the drop-in penalty
+//! from ≈54 % to ≈8 %.
+//!
+//! This crate provides:
+//!
+//! * [`VwbFrontEnd`] — the paper's §IV organization, with its exact load
+//!   and store policies, banked-promotion stalls and write-back handling;
+//! * [`baselines`] — the comparison structures of Fig. 8: a small fully
+//!   associative [`baselines::L0FrontEnd`] and the DATE'14 enhanced-MSHR
+//!   [`baselines::EmshrFrontEnd`];
+//! * [`Platform`] — the full evaluated system (64 KB DL1, 2 MB L2, main
+//!   memory, in-order core) with one-call runs and penalty computation;
+//! * energy/area/lifetime reporting via `sttcache-tech`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sttcache::{DCacheOrganization, Platform};
+//! use sttcache_cpu::Engine;
+//! use sttcache_mem::Addr;
+//!
+//! # fn main() -> Result<(), sttcache::SttError> {
+//! // A tiny workload: walk an array twice.
+//! let walk = |e: &mut dyn Engine| {
+//!     for pass in 0..2 {
+//!         for i in 0..256u64 {
+//!             e.load(Addr(i * 4), 4);
+//!             e.compute(1);
+//!         }
+//!         e.branch(pass == 0);
+//!     }
+//! };
+//!
+//! let sram = Platform::new(DCacheOrganization::SramBaseline)?.run(&walk);
+//! let nvm = Platform::new(DCacheOrganization::NvmDropIn)?.run(&walk);
+//! let vwb = Platform::new(DCacheOrganization::nvm_vwb_default())?.run(&walk);
+//!
+//! let drop_in = sttcache::penalty_pct(sram.cycles(), nvm.cycles());
+//! let with_vwb = sttcache::penalty_pct(sram.cycles(), vwb.cycles());
+//! assert!(with_vwb < drop_in);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod buffer;
+mod dl1;
+mod error;
+mod front_end;
+mod penalty;
+mod platform;
+mod report;
+mod vwb;
+
+pub use dl1::{
+    l2_config, nvm_dl1_config, nvm_il1_config, sram_dl1_config, sram_il1_config, DlOneTechnology,
+};
+pub use error::SttError;
+pub use front_end::FrontEnd;
+pub use penalty::{average_penalty, penalty_pct, PenaltyRow};
+pub use platform::{
+    DCacheOrganization, EnergyReport, IcacheConfig, Platform, PlatformConfig, RunResult,
+};
+pub use vwb::{VwbConfig, VwbFrontEnd, VwbStats};
+
+/// The concrete two-level hierarchy under every front-end:
+/// DL1 → unified L2 → main memory.
+pub type Hierarchy = sttcache_mem::Cache<sttcache_mem::Cache<sttcache_mem::MainMemory>>;

@@ -1,0 +1,319 @@
+//! gem5-style text statistics dump.
+//!
+//! [`RunResult::stats_text`] renders every counter of a run in a
+//! `stats.txt`-flavoured `key value # comment` format, so runs can be
+//! diffed, grepped and archived the way gem5 users do.
+
+use crate::platform::RunResult;
+use std::fmt::Write as _;
+
+impl RunResult {
+    /// Renders the run's statistics as gem5-style text.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sttcache::{DCacheOrganization, Platform};
+    /// use sttcache_mem::Addr;
+    ///
+    /// # fn main() -> Result<(), sttcache::SttError> {
+    /// let platform = Platform::new(DCacheOrganization::nvm_vwb_default())?;
+    /// let result = platform.run(|e| {
+    ///     e.load(Addr(0), 4);
+    ///     e.compute(3);
+    /// });
+    /// let text = result.stats_text();
+    /// assert!(text.contains("core.cycles"));
+    /// assert!(text.contains("vwb.read_hits"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn stats_text(&self) -> String {
+        let mut s = String::new();
+        let mut put = |key: &str, value: String, comment: &str| {
+            let _ = writeln!(s, "{key:<40} {value:>16} # {comment}");
+        };
+
+        put(
+            "config.organization",
+            self.organization.name().to_string(),
+            "L1 D-cache organization",
+        );
+        put(
+            "core.cycles",
+            self.core.cycles.to_string(),
+            "simulated cycles (1 GHz => ns)",
+        );
+        put(
+            "core.instructions",
+            self.core.instructions.to_string(),
+            "instructions retired",
+        );
+        put(
+            "core.ipc",
+            format!("{:.4}", self.core.ipc()),
+            "instructions per cycle",
+        );
+        put(
+            "core.loads",
+            self.core.loads.to_string(),
+            "load instructions",
+        );
+        put(
+            "core.stores",
+            self.core.stores.to_string(),
+            "store instructions",
+        );
+        put(
+            "core.prefetches",
+            self.core.prefetches.to_string(),
+            "software prefetch hints",
+        );
+        put(
+            "core.branches",
+            self.core.branches.to_string(),
+            "branch instructions",
+        );
+        put(
+            "core.mispredicts",
+            self.core.mispredicts.to_string(),
+            "mispredicted branches",
+        );
+        put(
+            "core.read_stall_cycles",
+            self.core.read_stall_cycles.to_string(),
+            "cycles stalled on load data",
+        );
+        put(
+            "core.write_stall_cycles",
+            self.core.write_stall_cycles.to_string(),
+            "cycles stalled on a full store buffer",
+        );
+        put(
+            "core.branch_stall_cycles",
+            self.core.branch_stall_cycles.to_string(),
+            "pipeline-refill cycles",
+        );
+        put(
+            "core.fetch_stall_cycles",
+            self.core.fetch_stall_cycles.to_string(),
+            "instruction-fetch stalls (explicit IL1 only)",
+        );
+
+        for (prefix, stats) in [
+            ("dl1", &self.dl1),
+            ("l2", &self.l2),
+            ("memory", &self.memory),
+        ] {
+            put(
+                &format!("{prefix}.reads"),
+                stats.reads.to_string(),
+                "read accesses",
+            );
+            put(
+                &format!("{prefix}.writes"),
+                stats.writes.to_string(),
+                "write accesses",
+            );
+            put(
+                &format!("{prefix}.read_hits"),
+                stats.read_hits.to_string(),
+                "read hits",
+            );
+            put(
+                &format!("{prefix}.write_hits"),
+                stats.write_hits.to_string(),
+                "write hits",
+            );
+            put(
+                &format!("{prefix}.miss_rate"),
+                format!("{:.4}", stats.miss_rate()),
+                "misses / accesses",
+            );
+            put(
+                &format!("{prefix}.fills"),
+                stats.fills.to_string(),
+                "lines filled from below",
+            );
+            put(
+                &format!("{prefix}.writebacks"),
+                stats.writebacks.to_string(),
+                "dirty evictions",
+            );
+            put(
+                &format!("{prefix}.bank_conflict_cycles"),
+                stats.bank_conflict_cycles.to_string(),
+                "cycles waiting on busy banks",
+            );
+        }
+
+        if let Some(il1) = &self.il1 {
+            put(
+                "il1.reads",
+                il1.reads.to_string(),
+                "instruction-line fetches",
+            );
+            put(
+                "il1.miss_rate",
+                format!("{:.4}", il1.miss_rate()),
+                "IL1 miss rate",
+            );
+        }
+        if let Some(vwb) = &self.vwb {
+            put(
+                "vwb.reads",
+                vwb.reads.to_string(),
+                "loads presented to the VWB",
+            );
+            put(
+                "vwb.read_hits",
+                vwb.read_hits.to_string(),
+                "loads served at buffer speed",
+            );
+            put(
+                "vwb.read_hit_rate",
+                format!("{:.4}", vwb.read_hit_rate()),
+                "decoupled fraction of reads",
+            );
+            put(
+                "vwb.writes",
+                vwb.writes.to_string(),
+                "stores presented to the VWB",
+            );
+            put(
+                "vwb.write_hits",
+                vwb.write_hits.to_string(),
+                "stores absorbed by the VWB",
+            );
+            put(
+                "vwb.promotions",
+                vwb.promotions.to_string(),
+                "lines promoted from the DL1",
+            );
+            put(
+                "vwb.dirty_evictions",
+                vwb.dirty_evictions.to_string(),
+                "dirty lines written back to the DL1",
+            );
+            put(
+                "vwb.prefetch_fills",
+                vwb.prefetch_fills.to_string(),
+                "hint-triggered promotions",
+            );
+        }
+        if let Some(l0) = &self.l0 {
+            put(
+                "l0.reads",
+                l0.reads.to_string(),
+                "loads presented to the L0",
+            );
+            put("l0.read_hits", l0.read_hits.to_string(), "L0 read hits");
+            put(
+                "l0.fills",
+                l0.fills.to_string(),
+                "lines filled from the DL1",
+            );
+        }
+        if let Some(em) = &self.emshr {
+            put(
+                "emshr.reads",
+                em.reads.to_string(),
+                "loads presented to the EMSHR",
+            );
+            put(
+                "emshr.read_hits",
+                em.read_hits.to_string(),
+                "retained-entry hits",
+            );
+            put(
+                "emshr.allocations",
+                em.allocations.to_string(),
+                "DL1 misses captured",
+            );
+        }
+
+        put(
+            "energy.dl1_dynamic_pj",
+            format!("{:.1}", self.energy.dl1_dynamic_pj),
+            "DL1 dynamic energy",
+        );
+        put(
+            "energy.l2_dynamic_pj",
+            format!("{:.1}", self.energy.l2_dynamic_pj),
+            "L2 dynamic energy",
+        );
+        put(
+            "energy.buffer_dynamic_pj",
+            format!("{:.1}", self.energy.buffer_dynamic_pj),
+            "front-end buffer dynamic energy",
+        );
+        put(
+            "energy.leakage_uj",
+            format!("{:.4}", self.energy.leakage_uj),
+            "DL1+L2 leakage over the run",
+        );
+        put(
+            "energy.total_uj",
+            format!("{:.4}", self.energy.total_uj()),
+            "total energy",
+        );
+        put(
+            "area.dl1_mm2",
+            format!("{:.5}", self.energy.dl1_area_mm2),
+            "DL1 array area",
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DCacheOrganization, Platform};
+    use sttcache_mem::Addr;
+
+    fn tiny_run(org: DCacheOrganization) -> String {
+        let platform = Platform::new(org).expect("canonical configuration");
+        platform
+            .run(|e| {
+                for i in 0..64u64 {
+                    e.load(Addr(i * 8), 4);
+                    e.compute(2);
+                }
+                e.store(Addr(0), 4);
+                e.branch(false);
+            })
+            .stats_text()
+    }
+
+    #[test]
+    fn plain_dump_has_hierarchy_sections() {
+        let text = tiny_run(DCacheOrganization::NvmDropIn);
+        for key in [
+            "core.cycles",
+            "core.ipc",
+            "dl1.reads",
+            "l2.reads",
+            "memory.reads",
+            "energy.total_uj",
+        ] {
+            assert!(text.contains(key), "missing {key}\n{text}");
+        }
+        assert!(!text.contains("vwb."));
+    }
+
+    #[test]
+    fn vwb_dump_has_buffer_section() {
+        let text = tiny_run(DCacheOrganization::nvm_vwb_default());
+        assert!(text.contains("vwb.read_hit_rate"));
+        assert!(text.contains("vwb.promotions"));
+    }
+
+    #[test]
+    fn every_line_has_a_comment() {
+        let text = tiny_run(DCacheOrganization::nvm_l0_default());
+        for line in text.lines() {
+            assert!(line.contains(" # "), "{line}");
+        }
+        assert!(text.contains("l0.read_hits"));
+    }
+}

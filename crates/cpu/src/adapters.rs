@@ -1,0 +1,218 @@
+//! Engine adapters.
+//!
+//! Utility [`Engine`] implementations for composing workloads with the
+//! timing machinery: a [`CountingEngine`] that only tallies events (for
+//! instruction-mix characterization without simulating) and a
+//! [`TeeEngine`] that fans every event out to two engines — e.g. recording
+//! a trace *while* simulating, in one pass.
+
+use crate::Engine;
+use sttcache_mem::Addr;
+
+/// Tallies the architectural event mix without any timing.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_cpu::{CountingEngine, Engine};
+/// use sttcache_mem::Addr;
+///
+/// let mut count = CountingEngine::new();
+/// count.load(Addr(0), 4);
+/// count.compute(7);
+/// count.branch(true);
+/// assert_eq!(count.loads, 1);
+/// assert_eq!(count.compute_ops, 7);
+/// assert_eq!(count.instructions(), 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CountingEngine {
+    /// Load events.
+    pub loads: u64,
+    /// Bytes loaded.
+    pub load_bytes: u64,
+    /// Store events.
+    pub stores: u64,
+    /// Bytes stored.
+    pub store_bytes: u64,
+    /// Prefetch hints.
+    pub prefetches: u64,
+    /// Single-cycle compute operations.
+    pub compute_ops: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+}
+
+impl CountingEngine {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total instructions (one per event, `compute_ops` for computes).
+    pub fn instructions(&self) -> u64 {
+        self.loads + self.stores + self.prefetches + self.compute_ops + self.branches
+    }
+
+    /// Fraction of instructions that are memory accesses.
+    pub fn memory_fraction(&self) -> f64 {
+        let i = self.instructions();
+        if i == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / i as f64
+        }
+    }
+}
+
+impl Engine for CountingEngine {
+    fn load(&mut self, _addr: Addr, bytes: usize) {
+        self.loads += 1;
+        self.load_bytes += bytes as u64;
+    }
+
+    fn store(&mut self, _addr: Addr, bytes: usize) {
+        self.stores += 1;
+        self.store_bytes += bytes as u64;
+    }
+
+    fn prefetch(&mut self, _addr: Addr) {
+        self.prefetches += 1;
+    }
+
+    fn compute(&mut self, ops: u64) {
+        self.compute_ops += ops;
+    }
+
+    fn branch(&mut self, taken: bool) {
+        self.branches += 1;
+        self.taken_branches += u64::from(taken);
+    }
+}
+
+/// Fans every event out to two engines in order.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_cpu::{CountingEngine, Engine, TeeEngine, TraceRecorder};
+/// use sttcache_mem::Addr;
+///
+/// // Count the mix AND record a trace in one pass over the workload.
+/// let mut tee = TeeEngine::new(CountingEngine::new(), TraceRecorder::new());
+/// tee.load(Addr(0), 4);
+/// tee.store(Addr(64), 4);
+/// let (count, recorder) = tee.into_inner();
+/// assert_eq!(count.loads, 1);
+/// assert_eq!(recorder.into_trace().summary(), (1, 1, 0, 0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TeeEngine<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: Engine, B: Engine> TeeEngine<A, B> {
+    /// Creates the tee.
+    pub fn new(first: A, second: B) -> Self {
+        TeeEngine { first, second }
+    }
+
+    /// The first engine.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second engine.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Unwraps both engines.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: Engine, B: Engine> Engine for TeeEngine<A, B> {
+    fn load(&mut self, addr: Addr, bytes: usize) {
+        self.first.load(addr, bytes);
+        self.second.load(addr, bytes);
+    }
+
+    fn store(&mut self, addr: Addr, bytes: usize) {
+        self.first.store(addr, bytes);
+        self.second.store(addr, bytes);
+    }
+
+    fn prefetch(&mut self, addr: Addr) {
+        self.first.prefetch(addr);
+        self.second.prefetch(addr);
+    }
+
+    fn compute(&mut self, ops: u64) {
+        self.first.compute(ops);
+        self.second.compute(ops);
+    }
+
+    fn branch(&mut self, taken: bool) {
+        self.first.branch(taken);
+        self.second.branch(taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecorder;
+
+    #[test]
+    fn counting_engine_tallies_everything() {
+        let mut c = CountingEngine::new();
+        c.load(Addr(0), 4);
+        c.load(Addr(8), 16);
+        c.store(Addr(0), 4);
+        c.prefetch(Addr(64));
+        c.compute(10);
+        c.branch(true);
+        c.branch(false);
+        assert_eq!(c.loads, 2);
+        assert_eq!(c.load_bytes, 20);
+        assert_eq!(c.stores, 1);
+        assert_eq!(c.prefetches, 1);
+        assert_eq!(c.compute_ops, 10);
+        assert_eq!(c.branches, 2);
+        assert_eq!(c.taken_branches, 1);
+        assert_eq!(c.instructions(), 16);
+        assert!((c.memory_fraction() - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_has_zero_memory_fraction() {
+        assert_eq!(CountingEngine::new().memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tee_delivers_to_both_in_full() {
+        let mut tee = TeeEngine::new(CountingEngine::new(), TraceRecorder::new());
+        tee.load(Addr(0), 4);
+        tee.compute(3);
+        tee.branch(true);
+        assert_eq!(tee.first().loads, 1);
+        let (count, rec) = tee.into_inner();
+        assert_eq!(count.instructions(), 5);
+        assert_eq!(rec.into_trace().len(), 3);
+    }
+
+    #[test]
+    fn tee_nests() {
+        let inner = TeeEngine::new(CountingEngine::new(), CountingEngine::new());
+        let mut outer = TeeEngine::new(CountingEngine::new(), inner);
+        outer.store(Addr(0), 8);
+        assert_eq!(outer.first().stores, 1);
+        assert_eq!(outer.second().first().stores, 1);
+        assert_eq!(outer.second().second().stores, 1);
+    }
+}

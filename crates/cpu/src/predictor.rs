@@ -1,0 +1,155 @@
+//! A 2-bit bimodal branch predictor.
+//!
+//! The workload kernels emit one `branch` event per loop back-edge and per
+//! data-dependent conditional. Loop branches train quickly; data-dependent
+//! conditionals are where the paper's "others" code transformations
+//! (branch-less conversion, branch-probability hints) recover cycles.
+
+/// Saturating 2-bit counter states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // the 2-bit counter names are canonical
+enum State {
+    StrongNotTaken,
+    WeakNotTaken,
+    WeakTaken,
+    StrongTaken,
+}
+
+impl State {
+    fn predicts_taken(self) -> bool {
+        matches!(self, State::WeakTaken | State::StrongTaken)
+    }
+
+    fn update(self, taken: bool) -> State {
+        use State::*;
+        match (self, taken) {
+            (StrongNotTaken, true) => WeakNotTaken,
+            (WeakNotTaken, true) => WeakTaken,
+            (WeakTaken, true) => StrongTaken,
+            (StrongTaken, true) => StrongTaken,
+            (StrongNotTaken, false) => StrongNotTaken,
+            (WeakNotTaken, false) => StrongNotTaken,
+            (WeakTaken, false) => WeakNotTaken,
+            (StrongTaken, false) => WeakTaken,
+        }
+    }
+}
+
+/// A single-entry 2-bit bimodal predictor.
+///
+/// The engine keeps one predictor per core; workload branch streams are
+/// strongly loop-dominated, so a single shared counter captures the
+/// behaviour that matters for the penalty studies (loop back-edges predict
+/// near-perfectly; alternating data-dependent branches mispredict often).
+///
+/// # Example
+///
+/// ```
+/// use sttcache_cpu::BranchPredictor;
+///
+/// let mut bp = BranchPredictor::new();
+/// // A loop back-edge stream trains to near-perfect prediction.
+/// for _ in 0..100 {
+///     bp.predict_and_update(true);
+/// }
+/// assert!(bp.accuracy() > 0.95);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchPredictor {
+    state: State,
+    branches: u64,
+    mispredicts: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor biased weakly taken (loop-friendly reset state).
+    pub fn new() -> Self {
+        BranchPredictor {
+            state: State::WeakTaken,
+            branches: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Records a branch outcome; returns `true` if it was mispredicted.
+    pub fn predict_and_update(&mut self, taken: bool) -> bool {
+        self.branches += 1;
+        let mispredict = self.state.predicts_taken() != taken;
+        if mispredict {
+            self.mispredicts += 1;
+        }
+        self.state = self.state.update(taken);
+        mispredict
+    }
+
+    /// Branches observed.
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Mispredicted branches.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Prediction accuracy (1.0 when no branches were seen).
+    pub fn accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        BranchPredictor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_pattern_predicts_well() {
+        let mut bp = BranchPredictor::new();
+        // 10 iterations of a 100-trip loop: taken x99, not-taken x1.
+        for _ in 0..10 {
+            for _ in 0..99 {
+                bp.predict_and_update(true);
+            }
+            bp.predict_and_update(false);
+        }
+        assert!(bp.accuracy() > 0.97, "{}", bp.accuracy());
+    }
+
+    #[test]
+    fn alternating_pattern_mispredicts_heavily() {
+        let mut bp = BranchPredictor::new();
+        for i in 0..1000 {
+            bp.predict_and_update(i % 2 == 0);
+        }
+        assert!(bp.accuracy() < 0.7, "{}", bp.accuracy());
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut bp = BranchPredictor::new();
+        for _ in 0..10 {
+            bp.predict_and_update(true);
+        }
+        // One not-taken after saturation: exactly one mispredict...
+        let before = bp.mispredicts();
+        bp.predict_and_update(false);
+        assert_eq!(bp.mispredicts(), before + 1);
+        // ...and hysteresis keeps predicting taken once.
+        assert!(!bp.predict_and_update(true));
+    }
+
+    #[test]
+    fn fresh_predictor_reports_full_accuracy() {
+        assert_eq!(BranchPredictor::new().accuracy(), 1.0);
+    }
+}

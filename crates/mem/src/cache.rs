@@ -1,0 +1,694 @@
+//! The timed set-associative cache.
+
+use crate::addr::{Addr, Cycle, LineAddr};
+use crate::banks::BankSchedule;
+use crate::config::{CacheConfig, WritePolicy};
+use crate::mshr::{MshrFile, MshrOutcome};
+use crate::set::{CacheSet, LookupResult};
+use crate::stats::CacheStats;
+use crate::write_buffer::WriteBuffer;
+use crate::MemoryLevel;
+
+/// Which level ultimately provided the data for an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// This cache level (a hit).
+    ThisLevel,
+    /// A lower level (this level missed).
+    Lower,
+    /// The main-memory backstop.
+    Memory,
+}
+
+/// Timing result of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Cycle at which the data is available (reads) or accepted (writes).
+    pub complete_at: Cycle,
+    /// Who served the access.
+    pub served_by: ServedBy,
+}
+
+/// A timed, banked, set-associative, write-back/write-allocate cache with
+/// MSHRs and an eviction write buffer.
+///
+/// Generic over its next level, so hierarchies compose by nesting:
+/// `Cache<Cache<MainMemory>>`. All policies follow the paper's platform
+/// (§VI): true LRU, write-back, write-allocate, line-interleaved banks.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_mem::{Addr, Cache, CacheConfig, MainMemory, MemoryLevel};
+///
+/// # fn main() -> Result<(), sttcache_mem::MemError> {
+/// let l2 = Cache::new(
+///     CacheConfig::builder()
+///         .capacity_bytes(2 * 1024 * 1024)
+///         .associativity(16)
+///         .read_cycles(12)
+///         .write_cycles(12)
+///         .build()?,
+///     MainMemory::new(100),
+/// );
+/// let mut dl1 = Cache::new(CacheConfig::builder().build()?, l2);
+/// dl1.read(Addr(0), 0);
+/// assert_eq!(dl1.next_level().stats().reads, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache<N> {
+    config: CacheConfig,
+    sets: Vec<CacheSet>,
+    banks: BankSchedule,
+    mshrs: MshrFile,
+    write_buffer: WriteBuffer,
+    next: N,
+    stats: CacheStats,
+    /// Array writes performed (drives the deterministic AWARE slow-write
+    /// cadence).
+    array_writes: u64,
+}
+
+impl<N: MemoryLevel> Cache<N> {
+    /// Creates a cache with the given configuration in front of `next`.
+    pub fn new(config: CacheConfig, next: N) -> Self {
+        Cache {
+            sets: (0..config.sets())
+                .map(|i| {
+                    CacheSet::with_policy(
+                        config.associativity(),
+                        config.replacement(),
+                        i as u64 + 1,
+                    )
+                })
+                .collect(),
+            banks: BankSchedule::new(config.banks()),
+            mshrs: MshrFile::new(config.mshr_entries()),
+            write_buffer: WriteBuffer::new(config.write_buffer_entries()),
+            config,
+            next,
+            stats: CacheStats::new(),
+            array_writes: 0,
+        }
+    }
+
+    /// The latency of the next array write, honouring the asymmetric
+    /// (AWARE) write model when configured.
+    fn next_write_cycles(&mut self) -> u64 {
+        self.array_writes += 1;
+        match self.config.asymmetric_write() {
+            Some(aw) if self.array_writes.is_multiple_of(aw.slow_period) => aw.slow_cycles,
+            _ => self.config.write_cycles(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The next level (for inspecting its statistics).
+    pub fn next_level(&self) -> &N {
+        &self.next
+    }
+
+    /// Mutable access to the next level.
+    pub fn next_level_mut(&mut self) -> &mut N {
+        &mut self.next
+    }
+
+    /// Whether the line containing `addr` is present (tag probe only; no
+    /// state change, no timing).
+    pub fn contains(&self, addr: Addr) -> bool {
+        let line = self.line_of(addr);
+        let set = &self.sets[line.set_index(self.config.sets())];
+        set.probe(line.tag(self.config.sets())).is_some()
+    }
+
+    /// Occupies the bank serving `addr` for `cycles` starting no earlier
+    /// than `from`, returning the actual start cycle.
+    ///
+    /// Used by wide-buffer front-ends to model line promotions that keep
+    /// the array busy after the critical word has been returned (paper
+    /// §IV: "the promotion may take as long as 4 cache cycles").
+    pub fn occupy_bank(&mut self, addr: Addr, from: Cycle, cycles: u64) -> Cycle {
+        let bank = self.line_of(addr).bank(self.config.banks());
+        self.banks.reserve(bank, from, cycles)
+    }
+
+    /// The cycle at which the bank serving `addr` becomes free.
+    pub fn bank_free_at(&self, addr: Addr) -> Cycle {
+        self.banks
+            .free_at(self.line_of(addr).bank(self.config.banks()))
+    }
+
+    /// Number of dirty lines currently held.
+    pub fn dirty_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter_valid().filter(|&(_, d)| d).count())
+            .sum()
+    }
+
+    /// Writes every dirty line back to the next level (power-gating /
+    /// checkpoint support: a volatile cache must drain before losing
+    /// power; a non-volatile one keeps its contents and skips this).
+    ///
+    /// Lines stay resident and become clean. Returns the number of lines
+    /// flushed and the cycle at which the last write-back has been
+    /// accepted below.
+    pub fn flush_dirty(&mut self, now: Cycle) -> (usize, Cycle) {
+        let sets_count = self.config.sets();
+        let line_bytes = self.config.line_bytes();
+        let mut flushed = 0;
+        let mut done = now;
+        for set_index in 0..sets_count {
+            let dirty: Vec<u64> = self.sets[set_index]
+                .iter_valid()
+                .filter(|&(_, d)| d)
+                .map(|(tag, _)| tag)
+                .collect();
+            for tag in dirty {
+                let line = LineAddr::from_parts(tag, set_index, sets_count);
+                // Read the line out of the array, then write it below.
+                let bank = line.bank(self.config.banks());
+                let start = self.banks.reserve(bank, done, self.config.read_cycles());
+                let out = self
+                    .next
+                    .write(line.base(line_bytes), start + self.config.read_cycles());
+                done = out.complete_at;
+                self.sets[set_index].clean(tag);
+                self.stats.writebacks += 1;
+                flushed += 1;
+            }
+        }
+        (flushed, done)
+    }
+
+    /// Invalidates the line containing `addr` if present, pushing it to the
+    /// write buffer when dirty. Returns whether a line was invalidated.
+    pub fn invalidate(&mut self, addr: Addr, now: Cycle) -> bool {
+        let line = self.line_of(addr);
+        let sets = self.config.sets();
+        let tag = line.tag(sets);
+        match self.sets[line.set_index(sets)].invalidate(tag) {
+            Some(dirty) => {
+                if dirty {
+                    self.push_writeback(line, now);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn line_of(&self, addr: Addr) -> LineAddr {
+        addr.line(self.config.line_bytes())
+    }
+
+    fn push_writeback(&mut self, line: LineAddr, now: Cycle) -> Cycle {
+        self.stats.writebacks += 1;
+        let base = line.base(self.config.line_bytes());
+        let proceed_at = {
+            // Drain time: one next-level write from the moment the buffer
+            // entry reaches the head. Use the next level's write timing.
+            let drain_done = self.next.write(base, now).complete_at;
+            let drain_cycles = drain_done.saturating_sub(now).max(1);
+            self.write_buffer.push(line, now, drain_cycles)
+        };
+        self.stats.write_buffer_stall_cycles += proceed_at - now;
+        proceed_at
+    }
+
+    /// Handles the miss path shared by reads and writes. Returns the cycle
+    /// at which the line has been delivered to this level, and who served
+    /// it.
+    fn fill_miss(&mut self, line: LineAddr, now: Cycle) -> (Cycle, ServedBy) {
+        // MSHR: merge with an in-flight fill, or allocate (waiting out a
+        // full file first — one wait always frees an entry because every
+        // allocation is completed within this call).
+        let mut at = now;
+        loop {
+            match self.mshrs.probe_or_allocate(line, at) {
+                MshrOutcome::Merged { ready_at } => {
+                    self.stats.mshr_merges += 1;
+                    return (ready_at.max(at), ServedBy::Lower);
+                }
+                MshrOutcome::Allocated => break,
+                MshrOutcome::Full { retry_at } => {
+                    self.stats.mshr_full_stall_cycles += retry_at.saturating_sub(at);
+                    at = retry_at.max(at + 1);
+                }
+            }
+        }
+
+        // Tag check discovered the miss after one array read; the request
+        // then goes below. The bank is busy for the tag read and again for
+        // the fill write.
+        let bank = line.bank(self.config.banks());
+        let lookup_start = self.banks.reserve(bank, at, self.config.read_cycles());
+        let lookup_done = lookup_start + self.config.read_cycles();
+
+        let base = line.base(self.config.line_bytes());
+        let below = self.next.read(base, lookup_done);
+        let served_by = ServedBy::Lower;
+
+        // Victim handling: a dirty victim goes to the write buffer. A full
+        // buffer back-pressures the fill.
+        let sets = self.config.sets();
+        let tag = line.tag(sets);
+        let (victim, dirty_tag) = match self.sets[line.set_index(sets)].lookup(tag) {
+            LookupResult::Miss { victim, dirty_tag } => (victim, dirty_tag),
+            // A merged fill for this line may have installed it already.
+            LookupResult::Hit(way) => {
+                self.sets[line.set_index(sets)].touch(way, below.complete_at, false);
+                self.mshrs.complete(line, below.complete_at);
+                return (below.complete_at, served_by);
+            }
+        };
+        let mut fill_ready = below.complete_at;
+        if let Some(dtag) = dirty_tag {
+            let victim_line = LineAddr::from_parts(dtag, line.set_index(sets), sets);
+            let wb_ready = self.push_writeback(victim_line, fill_ready);
+            fill_ready = fill_ready.max(wb_ready);
+        }
+
+        // Install the line; writing the fill occupies the bank.
+        let fill_write = self.next_write_cycles();
+        self.banks.reserve(bank, fill_ready, fill_write);
+        let sets_len = self.config.sets();
+        self.sets[line.set_index(sets_len)].fill(victim, tag, false, fill_ready);
+        self.stats.fills += 1;
+        self.mshrs.complete(line, fill_ready);
+        (fill_ready, served_by)
+    }
+
+    fn sync_component_stats(&mut self) {
+        self.stats.bank_conflict_cycles = self.banks.conflict_cycles();
+        self.stats.mshr_merges = self.mshrs.merges();
+    }
+}
+
+impl<N: MemoryLevel> MemoryLevel for Cache<N> {
+    fn read(&mut self, addr: Addr, now: Cycle) -> AccessOutcome {
+        self.stats.reads += 1;
+        let line = self.line_of(addr);
+        let sets = self.config.sets();
+        let tag = line.tag(sets);
+
+        let lookup = self.sets[line.set_index(sets)].lookup(tag);
+        let outcome = match lookup {
+            LookupResult::Hit(way) => {
+                self.stats.read_hits += 1;
+                // Data of an in-flight fill may not have arrived yet.
+                let avail = self.mshrs.ready_time(line, now).map_or(now, |r| r.max(now));
+                let bank = line.bank(self.config.banks());
+                let start = self.banks.reserve(bank, avail, self.config.read_cycles());
+                self.sets[line.set_index(sets)].touch(way, start, false);
+                AccessOutcome {
+                    complete_at: start + self.config.read_cycles(),
+                    served_by: ServedBy::ThisLevel,
+                }
+            }
+            LookupResult::Miss { .. } => {
+                let (ready, served_by) = self.fill_miss(line, now);
+                // The critical word is forwarded to the requester as the
+                // fill arrives; no second array read is charged.
+                AccessOutcome {
+                    complete_at: ready,
+                    served_by,
+                }
+            }
+        };
+        self.sync_component_stats();
+        outcome
+    }
+
+    fn write(&mut self, addr: Addr, now: Cycle) -> AccessOutcome {
+        self.stats.writes += 1;
+        let line = self.line_of(addr);
+        let sets = self.config.sets();
+        let tag = line.tag(sets);
+
+        let lookup = self.sets[line.set_index(sets)].lookup(tag);
+        let outcome = match (lookup, self.config.write_policy()) {
+            (LookupResult::Hit(way), WritePolicy::WriteBack) => {
+                self.stats.write_hits += 1;
+                let avail = self.mshrs.ready_time(line, now).map_or(now, |r| r.max(now));
+                let bank = line.bank(self.config.banks());
+                let wc = self.next_write_cycles();
+                let start = self.banks.reserve(bank, avail, wc);
+                self.sets[line.set_index(sets)].touch(way, start, true);
+                AccessOutcome {
+                    complete_at: start + wc,
+                    served_by: ServedBy::ThisLevel,
+                }
+            }
+            (LookupResult::Hit(way), WritePolicy::WriteThrough) => {
+                self.stats.write_hits += 1;
+                let bank = line.bank(self.config.banks());
+                let start = self.banks.reserve(bank, now, self.config.write_cycles());
+                self.sets[line.set_index(sets)].touch(way, start, false);
+                let below = self.next.write(line.base(self.config.line_bytes()), start);
+                AccessOutcome {
+                    complete_at: below.complete_at,
+                    served_by: ServedBy::ThisLevel,
+                }
+            }
+            (LookupResult::Miss { .. }, WritePolicy::WriteBack) => {
+                // Write-allocate: fetch the line, then perform the write hit
+                // ("the data in the cache location is loaded in the block
+                // from the L2/main memory and this is followed by the write
+                // hit operation", §IV).
+                let (ready, served_by) = self.fill_miss(line, now);
+                let bank = line.bank(self.config.banks());
+                let wc = self.next_write_cycles();
+                let start = self.banks.reserve(bank, ready, wc);
+                let way = match self.sets[line.set_index(sets)].lookup(tag) {
+                    LookupResult::Hit(way) => way,
+                    LookupResult::Miss { .. } => unreachable!("line was just filled"),
+                };
+                self.sets[line.set_index(sets)].touch(way, start, true);
+                AccessOutcome {
+                    complete_at: start + wc,
+                    served_by,
+                }
+            }
+            (LookupResult::Miss { .. }, WritePolicy::WriteThrough) => {
+                // No-allocate: the write goes straight below.
+                let below = self.next.write(line.base(self.config.line_bytes()), now);
+                AccessOutcome {
+                    complete_at: below.complete_at,
+                    served_by: ServedBy::Lower,
+                }
+            }
+        };
+        self.sync_component_stats();
+        outcome
+    }
+
+    fn line_bytes(&self) -> usize {
+        self.config.line_bytes()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+        self.banks.reset_stats();
+        self.mshrs.reset_stats();
+        self.write_buffer.reset_stats();
+        self.next.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MainMemory;
+
+    fn dl1() -> Cache<MainMemory> {
+        Cache::new(
+            CacheConfig::builder().build().unwrap(),
+            MainMemory::new(100),
+        )
+    }
+
+    fn sram_dl1() -> Cache<MainMemory> {
+        Cache::new(
+            CacheConfig::builder()
+                .line_bytes(32)
+                .read_cycles(1)
+                .write_cycles(1)
+                .build()
+                .unwrap(),
+            MainMemory::new(100),
+        )
+    }
+
+    #[test]
+    fn cold_read_misses_to_memory() {
+        let mut c = dl1();
+        let out = c.read(Addr(0), 0);
+        // Tag check (4) + memory (100).
+        assert_eq!(out.complete_at, 104);
+        assert_eq!(out.served_by, ServedBy::Lower);
+        assert_eq!(c.stats().read_misses(), 1);
+    }
+
+    #[test]
+    fn second_read_hits_at_read_latency() {
+        let mut c = dl1();
+        // Warm the line; wait out the fill-write bank shadow (2 cycles).
+        let t = c.read(Addr(0), 0).complete_at + 10;
+        let out = c.read(Addr(8), t);
+        assert_eq!(out.complete_at, t + 4);
+        assert_eq!(out.served_by, ServedBy::ThisLevel);
+        assert_eq!(c.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn hit_immediately_after_fill_waits_for_fill_write() {
+        let mut c = dl1();
+        let t = c.read(Addr(0), 0).complete_at;
+        // The fill is still being written into the bank for write_cycles
+        // (2); the hit read starts after it.
+        assert_eq!(c.read(Addr(8), t).complete_at, t + 2 + 4);
+    }
+
+    #[test]
+    fn sram_hit_is_one_cycle() {
+        let mut c = sram_dl1();
+        let t = c.read(Addr(0), 0).complete_at + 10;
+        assert_eq!(c.read(Addr(0), t).complete_at, t + 1);
+    }
+
+    #[test]
+    fn write_hit_takes_write_latency_and_dirties() {
+        let mut c = dl1();
+        let t = c.read(Addr(0), 0).complete_at + 10;
+        let out = c.write(Addr(0), t);
+        assert_eq!(out.complete_at, t + 2);
+        assert_eq!(c.stats().write_hits, 1);
+        // Evicting the dirty line later produces a write-back. Fill the set:
+        // set 0 holds lines 0 and 512 (sets = 512); a third conflicting
+        // line evicts LRU.
+        let sets = c.config().sets() as u64;
+        let lb = c.config().line_bytes() as u64;
+        let t2 = c.read(Addr(sets * lb), out.complete_at).complete_at;
+        let _ = c.read(Addr(2 * sets * lb), t2);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_miss_allocates() {
+        let mut c = dl1();
+        let out = c.write(Addr(0), 0);
+        assert_eq!(c.stats().write_misses(), 1);
+        assert_eq!(c.stats().fills, 1);
+        // Tag check (4) + memory (100) + fill write (2) + write hit (2).
+        assert_eq!(out.complete_at, 108);
+        // The line is now present and dirty.
+        assert!(c.contains(Addr(0)));
+    }
+
+    #[test]
+    fn write_through_no_allocate() {
+        let mut c = Cache::new(
+            CacheConfig::builder()
+                .write_policy(WritePolicy::WriteThrough)
+                .build()
+                .unwrap(),
+            MainMemory::new(100),
+        );
+        let out = c.write(Addr(0), 0);
+        assert!(!c.contains(Addr(0)));
+        assert_eq!(out.complete_at, 100);
+        // A write-through hit updates below as well.
+        c.read(Addr(64), 0);
+        let before = c.next_level().stats().writes;
+        c.write(Addr(64), 500);
+        assert_eq!(c.next_level().stats().writes, before + 1);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c = dl1();
+        let sets = c.config().sets() as u64;
+        let lb = c.config().line_bytes() as u64;
+        let stride = sets * lb; // same set, different tag
+        let mut t = 0;
+        t = c.read(Addr(0), t).complete_at;
+        t = c.read(Addr(stride), t).complete_at;
+        t = c.read(Addr(0), t).complete_at; // refresh line 0
+        t = c.read(Addr(2 * stride), t).complete_at; // evicts `stride`
+        assert!(c.contains(Addr(0)));
+        assert!(!c.contains(Addr(stride)));
+        let _ = t;
+    }
+
+    #[test]
+    fn bank_conflicts_delay_same_bank_accesses() {
+        let mut c = dl1();
+        // Lines 0 and 4 share bank 0 (4 banks); warm both, plus line 1 in
+        // bank 1; then wait out the fill shadows.
+        let lb = c.config().line_bytes() as u64;
+        let mut t = c.read(Addr(0), 0).complete_at;
+        t = c.read(Addr(4 * lb), t).complete_at;
+        t = c.read(Addr(lb), t).complete_at + 10;
+        // Issue two same-bank reads in the same cycle: the second waits.
+        let a = c.read(Addr(0), t);
+        let b = c.read(Addr(4 * lb), t);
+        assert_eq!(a.complete_at, t + 4);
+        assert_eq!(b.complete_at, t + 8);
+        assert!(c.stats().bank_conflict_cycles >= 4);
+        // Different banks do not wait on each other.
+        let warm = t + 100;
+        let x = c.read(Addr(0), warm);
+        let y = c.read(Addr(lb), warm);
+        assert_eq!(x.complete_at, warm + 4);
+        assert_eq!(y.complete_at, warm + 4);
+    }
+
+    #[test]
+    fn mshr_merges_inflight_line() {
+        let mut c = dl1();
+        let a = c.read(Addr(0), 0);
+        // Second access to the same line while the fill is in flight: the
+        // tag is installed but data arrives with the fill, so the hit waits.
+        let b = c.read(Addr(8), 1);
+        assert!(b.complete_at >= a.complete_at);
+    }
+
+    #[test]
+    fn occupy_bank_blocks_later_reads() {
+        let mut c = dl1();
+        let t = c.read(Addr(0), 0).complete_at + 10;
+        // Simulate a 4-cycle promotion occupying bank 0 from t.
+        c.occupy_bank(Addr(0), t, 4);
+        let out = c.read(Addr(0), t);
+        assert_eq!(out.complete_at, t + 4 + 4);
+    }
+
+    #[test]
+    fn invalidate_dirty_line_writes_back() {
+        let mut c = dl1();
+        c.write(Addr(0), 0);
+        let wb_before = c.stats().writebacks;
+        assert!(c.invalidate(Addr(0), 200));
+        assert_eq!(c.stats().writebacks, wb_before + 1);
+        assert!(!c.contains(Addr(0)));
+        assert!(!c.invalidate(Addr(0), 201));
+    }
+
+    #[test]
+    fn stats_reset_cascades() {
+        let mut c = dl1();
+        c.read(Addr(0), 0);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert_eq!(c.next_level().stats().accesses(), 0);
+    }
+
+    #[test]
+    fn two_level_hierarchy_counts_correctly() {
+        let l2 = Cache::new(
+            CacheConfig::builder()
+                .capacity_bytes(2 * 1024 * 1024)
+                .associativity(16)
+                .read_cycles(12)
+                .write_cycles(12)
+                .banks(1)
+                .build()
+                .unwrap(),
+            MainMemory::new(100),
+        );
+        let mut dl1 = Cache::new(CacheConfig::builder().build().unwrap(), l2);
+        let t = dl1.read(Addr(0), 0).complete_at;
+        // DL1 tag (4) + L2 tag (12) + memory (100) = 116.
+        assert_eq!(t, 116);
+        // A later read hits DL1 without touching L2 again.
+        let t2 = dl1.read(Addr(0), t + 10).complete_at;
+        assert_eq!(t2, t + 10 + 4);
+        assert_eq!(dl1.next_level().stats().reads, 1);
+    }
+
+    #[test]
+    fn flush_drains_every_dirty_line() {
+        let mut c = dl1();
+        let mut t = 0;
+        for i in 0..6u64 {
+            t = c.write(Addr(i * 64), t).complete_at + 5;
+        }
+        assert_eq!(c.dirty_lines(), 6);
+        let wb_before = c.next_level().stats().writes;
+        let (flushed, done) = c.flush_dirty(t);
+        assert_eq!(flushed, 6);
+        assert!(done > t);
+        assert_eq!(c.dirty_lines(), 0);
+        assert_eq!(c.next_level().stats().writes, wb_before + 6);
+        // Lines remain resident (flush, not invalidate).
+        assert!(c.contains(Addr(0)));
+        // A second flush is free.
+        assert_eq!(c.flush_dirty(done).0, 0);
+    }
+
+    #[test]
+    fn asymmetric_writes_follow_the_cadence() {
+        use crate::config::AsymmetricWrite;
+        let cfg = CacheConfig::builder()
+            .asymmetric_write(AsymmetricWrite {
+                slow_cycles: 6,
+                slow_period: 2,
+            })
+            .build()
+            .unwrap();
+        let mut c = Cache::new(cfg, MainMemory::new(100));
+        // Warm the line, wait out the fill shadow.
+        let t = c.read(Addr(0), 0).complete_at + 20;
+        // Array writes so far: 1 (the fill). The next write is the 2nd
+        // array write -> slow (6 cycles); the one after is fast (2).
+        let w1 = c.write(Addr(0), t);
+        assert_eq!(w1.complete_at, t + 6);
+        let t2 = w1.complete_at + 10;
+        let w2 = c.write(Addr(0), t2);
+        assert_eq!(w2.complete_at, t2 + 2);
+    }
+
+    #[test]
+    fn invalid_asymmetric_configs_rejected() {
+        use crate::config::AsymmetricWrite;
+        assert!(CacheConfig::builder()
+            .asymmetric_write(AsymmetricWrite {
+                slow_cycles: 1,
+                slow_period: 4
+            })
+            .build()
+            .is_err());
+        assert!(CacheConfig::builder()
+            .asymmetric_write(AsymmetricWrite {
+                slow_cycles: 8,
+                slow_period: 0
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn wide_line_cache_indexing() {
+        // 512-bit (64 B) lines vs 256-bit (32 B): adjacent 32 B blocks share
+        // a 64 B line.
+        let mut c = dl1();
+        let t = c.read(Addr(0), 0).complete_at;
+        let out = c.read(Addr(32), t);
+        assert_eq!(out.served_by, ServedBy::ThisLevel);
+        let mut s = sram_dl1();
+        let t = s.read(Addr(0), 0).complete_at;
+        let out = s.read(Addr(32), t);
+        assert_eq!(out.served_by, ServedBy::Lower);
+    }
+}

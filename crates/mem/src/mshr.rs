@@ -1,0 +1,254 @@
+//! Miss-status holding registers.
+//!
+//! An MSHR file tracks outstanding line fills so that a second access to a
+//! line that is already being fetched merges with the in-flight miss instead
+//! of issuing a duplicate request. With the paper's in-order blocking core,
+//! concurrency comes from software prefetches into the VWB and from the
+//! decoupled store path; the EMSHR baseline (`sttcache::baselines`) builds
+//! on this file by also *retaining* filled entries so they can serve reads.
+
+use crate::addr::{Cycle, LineAddr};
+
+/// One in-flight (or retained) miss entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MshrEntry {
+    line: LineAddr,
+    /// Cycle at which the fill data arrives.
+    ready_at: Cycle,
+    /// Number of accesses merged into this entry (including the allocator).
+    targets: u32,
+}
+
+/// Result of consulting the MSHR file for a missing line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// The line is already in flight; the access completes at `ready_at`.
+    Merged {
+        /// When the in-flight fill delivers the line.
+        ready_at: Cycle,
+    },
+    /// A new entry was allocated; the caller must perform the fill and
+    /// call [`MshrFile::complete`] with the fill time.
+    Allocated,
+    /// No entry is free; the access must wait until `retry_at` and try
+    /// again (the file's earliest completion).
+    Full {
+        /// When the earliest in-flight entry retires.
+        retry_at: Cycle,
+    },
+}
+
+/// A file of miss-status holding registers.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_mem::{MshrFile, MshrOutcome, LineAddr};
+///
+/// let mut mshrs = MshrFile::new(2);
+/// assert_eq!(mshrs.probe_or_allocate(LineAddr(1), 0), MshrOutcome::Allocated);
+/// mshrs.complete(LineAddr(1), 50);
+/// // A second access to the same line merges with the in-flight fill.
+/// assert_eq!(
+///     mshrs.probe_or_allocate(LineAddr(1), 10),
+///     MshrOutcome::Merged { ready_at: 50 }
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+    merges: u64,
+    full_events: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mshr file needs at least one entry");
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            merges: 0,
+            full_events: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live entries at cycle `now` (entries whose fill has not
+    /// yet retired).
+    pub fn occupancy(&self, now: Cycle) -> usize {
+        self.entries.iter().filter(|e| e.ready_at > now).count()
+    }
+
+    /// Consults the file for a miss on `line` at cycle `now`.
+    ///
+    /// Retired entries (fills that completed at or before `now`) are
+    /// reclaimed lazily here.
+    pub fn probe_or_allocate(&mut self, line: LineAddr, now: Cycle) -> MshrOutcome {
+        self.entries.retain(|e| e.ready_at > now || e.ready_at == 0);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.targets += 1;
+            self.merges += 1;
+            return MshrOutcome::Merged {
+                ready_at: e.ready_at,
+            };
+        }
+        if self.entries.len() >= self.capacity {
+            self.full_events += 1;
+            let retry_at = self
+                .entries
+                .iter()
+                .map(|e| e.ready_at)
+                .min()
+                .expect("full file is non-empty");
+            return MshrOutcome::Full { retry_at };
+        }
+        // ready_at == 0 marks "allocated, fill time not yet known".
+        self.entries.push(MshrEntry {
+            line,
+            ready_at: 0,
+            targets: 1,
+        });
+        MshrOutcome::Allocated
+    }
+
+    /// Records the fill-completion time for a previously allocated entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no allocated entry for `line` exists.
+    pub fn complete(&mut self, line: LineAddr, ready_at: Cycle) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.line == line && e.ready_at == 0)
+            .expect("complete() without a matching allocation");
+        e.ready_at = ready_at;
+    }
+
+    /// Whether `line` is currently tracked (in flight or awaiting
+    /// completion).
+    pub fn contains(&self, line: LineAddr, now: Cycle) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.line == line && (e.ready_at == 0 || e.ready_at > now))
+    }
+
+    /// The fill-completion time of `line` if it is in flight at `now`
+    /// (used to delay tag-array hits on lines whose data has not arrived).
+    pub fn ready_time(&self, line: LineAddr, now: Cycle) -> Option<Cycle> {
+        self.entries
+            .iter()
+            .find(|e| e.line == line && e.ready_at > now)
+            .map(|e| e.ready_at)
+    }
+
+    /// Total merged (secondary) accesses.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of times an access found the file full.
+    pub fn full_events(&self) -> u64 {
+        self.full_events
+    }
+
+    /// Clears counters (entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.merges = 0;
+        self.full_events = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.probe_or_allocate(LineAddr(9), 0), MshrOutcome::Allocated);
+        m.complete(LineAddr(9), 100);
+        assert_eq!(
+            m.probe_or_allocate(LineAddr(9), 5),
+            MshrOutcome::Merged { ready_at: 100 }
+        );
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn retired_entries_are_reclaimed() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.probe_or_allocate(LineAddr(1), 0), MshrOutcome::Allocated);
+        m.complete(LineAddr(1), 10);
+        // At cycle 20 the fill has retired; a new line can allocate.
+        assert_eq!(m.probe_or_allocate(LineAddr(2), 20), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn full_file_reports_retry_time() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.probe_or_allocate(LineAddr(1), 0), MshrOutcome::Allocated);
+        m.complete(LineAddr(1), 10);
+        assert_eq!(
+            m.probe_or_allocate(LineAddr(2), 5),
+            MshrOutcome::Full { retry_at: 10 }
+        );
+        assert_eq!(m.full_events(), 1);
+    }
+
+    #[test]
+    fn contains_tracks_lifetime() {
+        let mut m = MshrFile::new(2);
+        m.probe_or_allocate(LineAddr(3), 0);
+        assert!(m.contains(LineAddr(3), 0)); // allocated, not completed
+        m.complete(LineAddr(3), 8);
+        assert!(m.contains(LineAddr(3), 7));
+        assert!(!m.contains(LineAddr(3), 8));
+    }
+
+    #[test]
+    fn occupancy_counts_live_entries() {
+        let mut m = MshrFile::new(4);
+        m.probe_or_allocate(LineAddr(1), 0);
+        m.complete(LineAddr(1), 10);
+        m.probe_or_allocate(LineAddr(2), 0);
+        m.complete(LineAddr(2), 20);
+        assert_eq!(m.occupancy(5), 2);
+        assert_eq!(m.occupancy(15), 1);
+        assert_eq!(m.occupancy(25), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching allocation")]
+    fn complete_without_allocation_panics() {
+        let mut m = MshrFile::new(1);
+        m.complete(LineAddr(1), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut m = MshrFile::new(2);
+        m.probe_or_allocate(LineAddr(1), 0);
+        m.complete(LineAddr(1), 10);
+        m.probe_or_allocate(LineAddr(1), 1);
+        m.reset_stats();
+        assert_eq!(m.merges(), 0);
+        assert_eq!(m.full_events(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Replacement policies.
+//!
+//! The paper's platform uses true LRU; the alternatives here (FIFO,
+//! tree-PLRU, pseudo-random) are the policies a hardware team would weigh
+//! against it — true LRU is expensive above a few ways — and are swept by
+//! the ablation bench to show the paper's results are not an LRU artifact.
+
+/// Victim-selection policy of a cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ReplacementPolicy {
+    /// True least-recently-used (paper configuration).
+    #[default]
+    Lru,
+    /// First-in first-out (insertion order, untouched by hits).
+    Fifo,
+    /// Tree-based pseudo-LRU (single bit per tree node; the common
+    /// hardware approximation for 4+ ways). Falls back to true LRU for
+    /// non-power-of-two way counts.
+    TreePlru,
+    /// Pseudo-random (xorshift; deterministic per set, so simulations
+    /// stay reproducible).
+    Random,
+}
+
+impl ReplacementPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [ReplacementPolicy; 4] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::TreePlru,
+        ReplacementPolicy::Random,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::Fifo => "fifo",
+            ReplacementPolicy::TreePlru => "tree-plru",
+            ReplacementPolicy::Random => "random",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-set replacement state (PLRU tree bits and the random stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ReplacementState {
+    policy: ReplacementPolicy,
+    /// Tree-PLRU node bits (node 1 is the root, children of `n` are `2n`
+    /// and `2n+1`; a set bit means "the hot path went right").
+    plru_bits: u64,
+    /// Xorshift state for the random policy.
+    rng: u64,
+}
+
+impl ReplacementState {
+    pub fn new(policy: ReplacementPolicy, seed: u64) -> Self {
+        // Golden-ratio mix so adjacent set indices get distinct streams.
+        let rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        ReplacementState {
+            policy,
+            plru_bits: 0,
+            rng,
+        }
+    }
+
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Records a touch of `way` (hit or fill) for policies with access
+    /// state.
+    pub fn touch(&mut self, way: usize, ways: usize) {
+        if self.policy == ReplacementPolicy::TreePlru && ways.is_power_of_two() && ways > 1 {
+            // Flip the path bits so they point *away* from `way`.
+            let levels = ways.trailing_zeros();
+            let mut node = 1usize;
+            for level in (0..levels).rev() {
+                let went_right = (way >> level) & 1 == 1;
+                if went_right {
+                    self.plru_bits &= !(1 << node); // remember: hot is right => point left
+                } else {
+                    self.plru_bits |= 1 << node;
+                }
+                node = node * 2 + usize::from(went_right);
+            }
+        }
+    }
+
+    /// Picks a victim among `ways` ways using the per-way `(last_use,
+    /// inserted_at)` metadata provided by the set.
+    pub fn victim(&mut self, meta: &[(u64, u64)]) -> usize {
+        let ways = meta.len();
+        match self.policy {
+            ReplacementPolicy::Lru => index_of_min(meta.iter().map(|&(last_use, _)| last_use)),
+            ReplacementPolicy::Fifo => index_of_min(meta.iter().map(|&(_, inserted)| inserted)),
+            ReplacementPolicy::TreePlru if ways.is_power_of_two() && ways > 1 => {
+                let levels = ways.trailing_zeros();
+                let mut node = 1usize;
+                let mut way = 0usize;
+                for _ in 0..levels {
+                    let bit = (self.plru_bits >> node) & 1;
+                    way = (way << 1) | bit as usize;
+                    node = node * 2 + bit as usize;
+                }
+                way
+            }
+            ReplacementPolicy::TreePlru => index_of_min(meta.iter().map(|&(last_use, _)| last_use)),
+            ReplacementPolicy::Random => {
+                // xorshift64*
+                self.rng ^= self.rng >> 12;
+                self.rng ^= self.rng << 25;
+                self.rng ^= self.rng >> 27;
+                (self.rng.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize % ways
+            }
+        }
+    }
+}
+
+fn index_of_min(values: impl Iterator<Item = u64>) -> usize {
+    let mut best = (u64::MAX, 0usize);
+    for (i, v) in values.enumerate() {
+        if v < best.0 {
+            best = (v, i);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_picks_the_oldest_use() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 1);
+        assert_eq!(st.victim(&[(5, 0), (2, 1), (9, 2)]), 1);
+    }
+
+    #[test]
+    fn fifo_picks_the_oldest_insert_regardless_of_use() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Fifo, 1);
+        assert_eq!(st.victim(&[(100, 3), (200, 1), (1, 2)]), 1);
+    }
+
+    #[test]
+    fn plru_avoids_the_most_recent_way() {
+        let mut st = ReplacementState::new(ReplacementPolicy::TreePlru, 1);
+        let meta = [(0u64, 0u64); 4];
+        for _ in 0..16 {
+            let v = st.victim(&meta);
+            st.touch(v, 4);
+            // Immediately after touching v it is never the next victim.
+            assert_ne!(st.victim(&meta), v);
+        }
+    }
+
+    #[test]
+    fn plru_cycles_through_all_ways() {
+        let mut st = ReplacementState::new(ReplacementPolicy::TreePlru, 1);
+        let meta = [(0u64, 0u64); 4];
+        let mut seen = [false; 4];
+        for _ in 0..8 {
+            let v = st.victim(&meta);
+            seen[v] = true;
+            st.touch(v, 4);
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let sequence = |seed: u64| -> Vec<usize> {
+            let mut st = ReplacementState::new(ReplacementPolicy::Random, seed);
+            (0..32).map(|_| st.victim(&[(0, 0); 8])).collect()
+        };
+        let a = sequence(42);
+        assert_eq!(a, sequence(42));
+        assert_ne!(a, sequence(43));
+        assert!(a.iter().all(|&v| v < 8));
+        // Not stuck on one way.
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 2);
+    }
+
+    #[test]
+    fn plru_non_power_of_two_falls_back_to_lru() {
+        let mut st = ReplacementState::new(ReplacementPolicy::TreePlru, 1);
+        assert_eq!(st.victim(&[(5, 0), (2, 0), (9, 0)]), 1);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "lru");
+        assert_eq!(ReplacementPolicy::TreePlru.name(), "tree-plru");
+        assert_eq!(ReplacementPolicy::ALL.len(), 4);
+    }
+}

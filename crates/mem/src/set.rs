@@ -1,0 +1,350 @@
+//! One set of a set-associative cache.
+
+use crate::addr::Cycle;
+use crate::replacement::{ReplacementPolicy, ReplacementState};
+
+/// Index of a way within a set.
+pub type Way = usize;
+
+/// State of one way (tag + valid + dirty + replacement metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct WayState {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic last-use stamp (LRU).
+    last_use: Cycle,
+    /// Monotonic insertion stamp (FIFO).
+    inserted_at: Cycle,
+}
+
+/// Result of probing a set for a tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The tag is present in the given way.
+    Hit(Way),
+    /// The tag is absent; the given way is the policy's victim.
+    /// `dirty_tag` carries the victim's tag if it holds valid dirty data
+    /// that must be written back.
+    Miss {
+        /// Victim way chosen by the replacement policy.
+        victim: Way,
+        /// Tag of the dirty victim line, if a write-back is needed.
+        dirty_tag: Option<u64>,
+    },
+}
+
+/// A single cache set: `ways` ways of tag/valid/dirty state plus the
+/// replacement policy's bookkeeping.
+///
+/// The set stores no data payload — the simulator is timing-only (the
+/// functional values live in the workload itself), exactly like gem5's
+/// atomic tag arrays.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_mem::{CacheSet, LookupResult};
+///
+/// let mut set = CacheSet::new(2);
+/// assert!(matches!(set.lookup(7), LookupResult::Miss { .. }));
+/// set.fill(0, 7, false, 10);
+/// assert_eq!(set.lookup(7), LookupResult::Hit(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSet {
+    ways: Vec<WayState>,
+    repl: ReplacementState,
+}
+
+impl CacheSet {
+    /// Creates an empty true-LRU set with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(ways: usize) -> Self {
+        CacheSet::with_policy(ways, ReplacementPolicy::Lru, 1)
+    }
+
+    /// Creates an empty set with an explicit replacement policy. `seed`
+    /// feeds the random policy's per-set stream (use the set index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn with_policy(ways: usize, policy: ReplacementPolicy, seed: u64) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        CacheSet {
+            ways: vec![WayState::default(); ways],
+            repl: ReplacementState::new(policy, seed),
+        }
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.ways.len()
+    }
+
+    /// The replacement policy in force.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.repl.policy()
+    }
+
+    /// Checks for `tag` without updating any replacement state.
+    pub fn probe(&self, tag: u64) -> Option<Way> {
+        self.ways.iter().position(|w| w.valid && w.tag == tag)
+    }
+
+    /// Probes for `tag`; on a miss, asks the replacement policy for a
+    /// victim (which may advance the random policy's stream).
+    pub fn lookup(&mut self, tag: u64) -> LookupResult {
+        if let Some(way) = self.probe(tag) {
+            return LookupResult::Hit(way);
+        }
+        // Prefer an invalid way.
+        if let Some(i) = self.ways.iter().position(|w| !w.valid) {
+            return LookupResult::Miss {
+                victim: i,
+                dirty_tag: None,
+            };
+        }
+        let meta: Vec<(u64, u64)> = self
+            .ways
+            .iter()
+            .map(|w| (w.last_use, w.inserted_at))
+            .collect();
+        let victim = self.repl.victim(&meta);
+        let v = &self.ways[victim];
+        let dirty_tag = (v.valid && v.dirty).then_some(v.tag);
+        LookupResult::Miss { victim, dirty_tag }
+    }
+
+    /// Marks `way` as used at cycle `now` (replacement update) and
+    /// optionally dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range or invalid.
+    pub fn touch(&mut self, way: Way, now: Cycle, make_dirty: bool) {
+        let ways = self.ways.len();
+        let w = &mut self.ways[way];
+        assert!(w.valid, "touching an invalid way");
+        w.last_use = now;
+        w.dirty |= make_dirty;
+        self.repl.touch(way, ways);
+    }
+
+    /// Installs `tag` into `way` at cycle `now`, replacing whatever was
+    /// there. `dirty` sets the initial dirty bit (write-allocate installs
+    /// dirty lines).
+    pub fn fill(&mut self, way: Way, tag: u64, dirty: bool, now: Cycle) {
+        let ways = self.ways.len();
+        self.ways[way] = WayState {
+            tag,
+            valid: true,
+            dirty,
+            last_use: now,
+            inserted_at: now,
+        };
+        self.repl.touch(way, ways);
+    }
+
+    /// Invalidates the way holding `tag`, returning whether it was dirty.
+    /// Returns `None` if the tag is not present.
+    pub fn invalidate(&mut self, tag: u64) -> Option<bool> {
+        for w in &mut self.ways {
+            if w.valid && w.tag == tag {
+                w.valid = false;
+                let was_dirty = w.dirty;
+                w.dirty = false;
+                return Some(was_dirty);
+            }
+        }
+        None
+    }
+
+    /// Clears the dirty bit of the way holding `tag` (after a write-back).
+    pub fn clean(&mut self, tag: u64) {
+        for w in &mut self.ways {
+            if w.valid && w.tag == tag {
+                w.dirty = false;
+            }
+        }
+    }
+
+    /// Number of valid ways.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// Iterates over the valid `(tag, dirty)` pairs in this set.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (u64, bool)> + '_ {
+        self.ways
+            .iter()
+            .filter(|w| w.valid)
+            .map(|w| (w.tag, w.dirty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_misses_with_clean_victim() {
+        let mut set = CacheSet::new(2);
+        match set.lookup(42) {
+            LookupResult::Miss {
+                victim: 0,
+                dirty_tag: None,
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut set = CacheSet::new(2);
+        set.fill(0, 42, false, 1);
+        assert_eq!(set.lookup(42), LookupResult::Hit(0));
+        assert_eq!(set.probe(42), Some(0));
+        assert_eq!(set.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut set = CacheSet::new(2);
+        set.fill(0, 1, false, 1);
+        set.fill(1, 2, false, 2);
+        set.touch(0, 3, false); // tag 1 is now MRU
+        match set.lookup(99) {
+            LookupResult::Miss { victim, .. } => assert_eq!(victim, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut set = CacheSet::with_policy(2, ReplacementPolicy::Fifo, 1);
+        set.fill(0, 1, false, 1);
+        set.fill(1, 2, false, 2);
+        set.touch(0, 50, false); // does not save tag 1 under FIFO
+        match set.lookup(99) {
+            LookupResult::Miss { victim, .. } => assert_eq!(victim, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plru_never_victimizes_the_most_recent() {
+        let mut set = CacheSet::with_policy(4, ReplacementPolicy::TreePlru, 1);
+        for (i, tag) in [10, 20, 30, 40].iter().enumerate() {
+            set.fill(i, *tag, false, i as u64);
+        }
+        set.touch(2, 100, false);
+        match set.lookup(99) {
+            LookupResult::Miss { victim, .. } => assert_ne!(victim, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_victims_are_reproducible() {
+        let run = || {
+            let mut set = CacheSet::with_policy(4, ReplacementPolicy::Random, 7);
+            for (i, tag) in [10, 20, 30, 40].iter().enumerate() {
+                set.fill(i, *tag, false, i as u64);
+            }
+            let mut victims = Vec::new();
+            for _ in 0..8 {
+                if let LookupResult::Miss { victim, .. } = set.lookup(99) {
+                    victims.push(victim);
+                }
+            }
+            victims
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dirty_victim_reports_writeback_tag() {
+        let mut set = CacheSet::new(1);
+        set.fill(0, 5, false, 1);
+        set.touch(0, 2, true);
+        match set.lookup(6) {
+            LookupResult::Miss {
+                victim: 0,
+                dirty_tag: Some(5),
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut set = CacheSet::new(2);
+        set.fill(0, 1, true, 1);
+        assert_eq!(set.invalidate(1), Some(true));
+        assert_eq!(set.invalidate(1), None);
+        assert_eq!(set.occupancy(), 0);
+    }
+
+    #[test]
+    fn clean_clears_dirty_bit() {
+        let mut set = CacheSet::new(1);
+        set.fill(0, 9, true, 1);
+        set.clean(9);
+        match set.lookup(10) {
+            LookupResult::Miss {
+                dirty_tag: None, ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_way_preferred_as_victim() {
+        let mut set = CacheSet::new(4);
+        set.fill(0, 1, false, 1);
+        set.fill(1, 2, false, 2);
+        match set.lookup(3) {
+            LookupResult::Miss { victim: 2, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lru_tie_breaks_by_way_index() {
+        let mut set = CacheSet::new(2);
+        set.fill(0, 1, false, 5);
+        set.fill(1, 2, false, 5);
+        match set.lookup(3) {
+            LookupResult::Miss { victim: 0, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid way")]
+    fn touch_invalid_way_panics() {
+        let mut set = CacheSet::new(1);
+        set.touch(0, 1, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _ = CacheSet::new(0);
+    }
+
+    #[test]
+    fn iter_valid_lists_contents() {
+        let mut set = CacheSet::new(3);
+        set.fill(0, 10, false, 1);
+        set.fill(2, 20, true, 2);
+        let mut v: Vec<_> = set.iter_valid().collect();
+        v.sort();
+        assert_eq!(v, vec![(10, false), (20, true)]);
+    }
+}

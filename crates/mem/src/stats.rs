@@ -1,0 +1,135 @@
+//! Per-level statistics.
+
+/// Access and stall statistics for one level of the hierarchy.
+///
+/// All counters are cumulative since construction or the last reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Read accesses presented to this level.
+    pub reads: u64,
+    /// Write accesses presented to this level.
+    pub writes: u64,
+    /// Reads that hit.
+    pub read_hits: u64,
+    /// Writes that hit.
+    pub write_hits: u64,
+    /// Lines filled from the next level.
+    pub fills: u64,
+    /// Dirty lines evicted (write-backs generated).
+    pub writebacks: u64,
+    /// Cycles accesses waited on busy banks.
+    pub bank_conflict_cycles: u64,
+    /// Secondary misses merged into in-flight MSHR entries.
+    pub mshr_merges: u64,
+    /// Cycles accesses waited on a full MSHR file.
+    pub mshr_full_stall_cycles: u64,
+    /// Cycles evictions waited on a full write buffer.
+    pub write_buffer_stall_cycles: u64,
+}
+
+impl CacheStats {
+    /// A zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Read misses.
+    pub fn read_misses(&self) -> u64 {
+        self.reads - self.read_hits
+    }
+
+    /// Write misses.
+    pub fn write_misses(&self) -> u64 {
+        self.writes - self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses() + self.write_misses()
+    }
+
+    /// Miss rate over all accesses (0 when idle).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Hit rate over all accesses (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            1.0 - self.miss_rate()
+        }
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_hits += other.read_hits;
+        self.write_hits += other.write_hits;
+        self.fills += other.fills;
+        self.writebacks += other.writebacks;
+        self.bank_conflict_cycles += other.bank_conflict_cycles;
+        self.mshr_merges += other.mshr_merges;
+        self.mshr_full_stall_cycles += other.mshr_full_stall_cycles;
+        self.write_buffer_stall_cycles += other.write_buffer_stall_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let s = CacheStats {
+            reads: 10,
+            writes: 6,
+            read_hits: 8,
+            write_hits: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.accesses(), 16);
+        assert_eq!(s.read_misses(), 2);
+        assert_eq!(s.write_misses(), 3);
+        assert_eq!(s.misses(), 5);
+        assert!((s.miss_rate() - 5.0 / 16.0).abs() < 1e-12);
+        assert!((s.hit_rate() - 11.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_rates_are_zero() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = CacheStats {
+            reads: 1,
+            writebacks: 2,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            reads: 3,
+            writebacks: 4,
+            mshr_merges: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.reads, 4);
+        assert_eq!(a.writebacks, 6);
+        assert_eq!(a.mshr_merges, 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Eviction write buffer.
+//!
+//! The paper: "A small write buffer is present … to hold the evicted data
+//! temporarily, while being transferred to the L2, when the data block in
+//! question has to be renewed." The buffer decouples dirty evictions from
+//! the miss critical path; only when it is full does an eviction stall the
+//! requester until the oldest entry drains.
+
+use crate::addr::{Cycle, LineAddr};
+use std::collections::VecDeque;
+
+/// A FIFO of dirty lines draining to the next level.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_mem::{WriteBuffer, LineAddr};
+///
+/// let mut wb = WriteBuffer::new(2);
+/// // Two evictions are absorbed without stalling...
+/// assert_eq!(wb.push(LineAddr(1), 0, 100), 0);
+/// assert_eq!(wb.push(LineAddr(2), 0, 100), 0);
+/// // ...the third waits for the oldest entry to drain at cycle 100.
+/// assert_eq!(wb.push(LineAddr(3), 0, 100), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteBuffer {
+    /// Pending entries and their drain-completion cycles.
+    entries: VecDeque<(LineAddr, Cycle)>,
+    capacity: usize,
+    pushes: u64,
+    full_stall_cycles: u64,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        WriteBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            pushes: 0,
+            full_stall_cycles: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a dirty line at cycle `now`; the entry drains
+    /// `drain_cycles` later. Returns the cycle at which the *requester* may
+    /// proceed: `now` if space was free, otherwise the drain time of the
+    /// oldest entry (a full-buffer stall).
+    pub fn push(&mut self, line: LineAddr, now: Cycle, drain_cycles: u64) -> Cycle {
+        self.drain(now);
+        self.pushes += 1;
+        let proceed_at = if self.entries.len() >= self.capacity {
+            let oldest = self.entries.front().expect("full buffer is non-empty").1;
+            self.full_stall_cycles += oldest.saturating_sub(now);
+            self.drain(oldest);
+            oldest
+        } else {
+            now
+        };
+        self.entries.push_back((line, proceed_at + drain_cycles));
+        proceed_at
+    }
+
+    /// Whether the buffer currently holds `line` (a read may be serviced
+    /// from the buffer before the line reaches the next level).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|(l, _)| *l == line)
+    }
+
+    /// Current occupancy at cycle `now`.
+    pub fn occupancy(&mut self, now: Cycle) -> usize {
+        self.drain(now);
+        self.entries.len()
+    }
+
+    /// Total lines pushed.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total cycles requesters stalled on a full buffer.
+    pub fn full_stall_cycles(&self) -> u64 {
+        self.full_stall_cycles
+    }
+
+    /// Clears counters (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.pushes = 0;
+        self.full_stall_cycles = 0;
+    }
+
+    fn drain(&mut self, now: Cycle) {
+        while let Some(&(_, done)) = self.entries.front() {
+            if done <= now {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbs_until_full() {
+        let mut wb = WriteBuffer::new(3);
+        for i in 0..3 {
+            assert_eq!(wb.push(LineAddr(i), 0, 50), 0);
+        }
+        assert_eq!(wb.push(LineAddr(9), 0, 50), 50);
+        assert_eq!(wb.full_stall_cycles(), 50);
+    }
+
+    #[test]
+    fn drained_entries_free_space() {
+        let mut wb = WriteBuffer::new(1);
+        assert_eq!(wb.push(LineAddr(1), 0, 10), 0);
+        // At cycle 20 the entry has drained; no stall.
+        assert_eq!(wb.push(LineAddr(2), 20, 10), 20);
+        assert_eq!(wb.full_stall_cycles(), 0);
+    }
+
+    #[test]
+    fn contains_pending_lines() {
+        let mut wb = WriteBuffer::new(2);
+        wb.push(LineAddr(7), 0, 100);
+        assert!(wb.contains(LineAddr(7)));
+        assert!(!wb.contains(LineAddr(8)));
+        assert_eq!(wb.occupancy(200), 0);
+        assert!(!wb.contains(LineAddr(7)));
+    }
+
+    #[test]
+    fn occupancy_reflects_drains() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(LineAddr(1), 0, 10);
+        wb.push(LineAddr(2), 0, 10);
+        assert_eq!(wb.occupancy(5), 2);
+        assert_eq!(wb.occupancy(11), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = WriteBuffer::new(0);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut wb = WriteBuffer::new(1);
+        wb.push(LineAddr(1), 0, 10);
+        wb.push(LineAddr(2), 0, 10);
+        wb.reset_stats();
+        assert_eq!(wb.pushes(), 0);
+        assert_eq!(wb.full_stall_cycles(), 0);
+    }
+}

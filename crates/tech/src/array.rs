@@ -1,0 +1,532 @@
+//! Banked memory-array model.
+//!
+//! Combines a [`CellModel`] with an array organization (capacity,
+//! associativity, line size, banks) and a [`TechNode`] to produce the
+//! quantities the system simulator needs: access latency in ns and cycles,
+//! dynamic energy per access, leakage power, and silicon area.
+//!
+//! The shared-periphery delay (decode, word-line, column mux, output drive)
+//! is modelled as proportional to the decode depth `log2(bits per bank)`;
+//! the constant is calibrated so a single-bank 64 KB array at 32 nm HP
+//! reproduces the paper's Table I for both SRAM and STT-MRAM.
+
+use crate::cell::{CellKind, CellModel};
+use crate::node::TechNode;
+use crate::{Milliwatts, Nanoseconds, Picojoules, SquareMillimetres, TechError};
+
+/// Periphery delay per decode level at the calibration node, in ns.
+///
+/// Chosen so `K · log2(2^19 bits) = 0.537 ns` for the 64 KB Table I array:
+/// `0.537 + 0.250 (SRAM sense) = 0.787 ns` read, `0.537 + 0.236 = 0.773 ns`
+/// write, `0.537 + 2.833 (STT sense) = 3.37 ns`, `0.537 + 1.323 = 1.86 ns`.
+const PERIPHERY_NS_PER_LEVEL: f64 = 0.537 / 19.0;
+
+/// Periphery leakage per decode level at the calibration node, in mW.
+///
+/// Chosen so the (leak-free-cell) STT-MRAM 64 KB array dissipates Table I's
+/// 28.35 mW: `K · log2(2^19) = 28.35`.
+const PERIPHERY_MW_PER_LEVEL: f64 = 28.35 / 19.0;
+
+/// Fixed decode/drive energy per access at the calibration node, in pJ.
+const DECODE_PJ: f64 = 5.0;
+
+/// Fraction of the cell-array footprint that is usable storage (the rest is
+/// periphery, spine and routing).
+const LAYOUT_EFFICIENCY: f64 = 0.7;
+
+/// Validated configuration of a memory array.
+///
+/// Construct with [`ArrayConfig::builder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayConfig {
+    capacity_bytes: usize,
+    associativity: usize,
+    line_bits: usize,
+    banks: usize,
+    cell: CellKind,
+    node: TechNode,
+}
+
+/// Builder for [`ArrayConfig`].
+///
+/// Defaults mirror the paper's STT-MRAM DL1: 64 KB, 2-way, 512-bit lines,
+/// single bank, STT-MRAM cells, 32 nm HP.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_tech::{ArrayConfig, CellKind};
+///
+/// # fn main() -> Result<(), sttcache_tech::TechError> {
+/// let cfg = ArrayConfig::builder()
+///     .capacity_bytes(32 * 1024)
+///     .cell(CellKind::Sram6T)
+///     .line_bits(256)
+///     .build()?;
+/// assert_eq!(cfg.sets(), 32 * 1024 / 32 / 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayConfigBuilder {
+    capacity_bytes: usize,
+    associativity: usize,
+    line_bits: usize,
+    banks: usize,
+    cell: CellKind,
+    node: TechNode,
+}
+
+impl Default for ArrayConfigBuilder {
+    fn default() -> Self {
+        ArrayConfigBuilder {
+            capacity_bytes: 64 * 1024,
+            associativity: 2,
+            line_bits: 512,
+            banks: 1,
+            cell: CellKind::SttMram,
+            node: TechNode::hp_32nm(),
+        }
+    }
+}
+
+impl ArrayConfigBuilder {
+    /// Total capacity in bytes (must be a power of two).
+    pub fn capacity_bytes(&mut self, bytes: usize) -> &mut Self {
+        self.capacity_bytes = bytes;
+        self
+    }
+
+    /// Set associativity (ways).
+    pub fn associativity(&mut self, ways: usize) -> &mut Self {
+        self.associativity = ways;
+        self
+    }
+
+    /// Line size in bits (must be a power of two ≥ 8).
+    pub fn line_bits(&mut self, bits: usize) -> &mut Self {
+        self.line_bits = bits;
+        self
+    }
+
+    /// Number of independently accessible banks (power of two).
+    pub fn banks(&mut self, banks: usize) -> &mut Self {
+        self.banks = banks;
+        self
+    }
+
+    /// Memory-cell technology.
+    pub fn cell(&mut self, cell: CellKind) -> &mut Self {
+        self.cell = cell;
+        self
+    }
+
+    /// Process node.
+    pub fn node(&mut self, node: TechNode) -> &mut Self {
+        self.node = node;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TechError`] if the capacity or line size is not a power
+    /// of two, the associativity does not divide the line count, or the bank
+    /// count exceeds the line count.
+    pub fn build(&self) -> Result<ArrayConfig, TechError> {
+        let b = *self;
+        if b.capacity_bytes == 0 || !b.capacity_bytes.is_power_of_two() {
+            return Err(TechError::InvalidCapacity(b.capacity_bytes));
+        }
+        if b.line_bits < 8 || !b.line_bits.is_power_of_two() {
+            return Err(TechError::InvalidLineBits(b.line_bits));
+        }
+        let total_bits = b.capacity_bytes * 8;
+        if b.line_bits > total_bits {
+            return Err(TechError::InvalidLineBits(b.line_bits));
+        }
+        let lines = total_bits / b.line_bits;
+        if b.associativity == 0 || !lines.is_multiple_of(b.associativity) {
+            return Err(TechError::InvalidAssociativity(b.associativity));
+        }
+        if b.banks == 0 || !b.banks.is_power_of_two() || b.banks > lines {
+            return Err(TechError::InvalidBanks(b.banks));
+        }
+        Ok(ArrayConfig {
+            capacity_bytes: b.capacity_bytes,
+            associativity: b.associativity,
+            line_bits: b.line_bits,
+            banks: b.banks,
+            cell: b.cell,
+            node: b.node,
+        })
+    }
+}
+
+impl ArrayConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> ArrayConfigBuilder {
+        ArrayConfigBuilder::default()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Set associativity.
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// Line size in bits.
+    pub fn line_bits(&self) -> usize {
+        self.line_bits
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bits / 8
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Cell technology.
+    pub fn cell(&self) -> CellKind {
+        self.cell
+    }
+
+    /// Process node.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// Total storage bits.
+    pub fn total_bits(&self) -> usize {
+        self.capacity_bytes * 8
+    }
+
+    /// Number of cache lines.
+    pub fn lines(&self) -> usize {
+        self.total_bits() / self.line_bits
+    }
+
+    /// Number of sets (`lines / associativity`).
+    pub fn sets(&self) -> usize {
+        self.lines() / self.associativity
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        ArrayConfig::builder()
+            .build()
+            .expect("default array config is valid")
+    }
+}
+
+/// Physical organization derived from an [`ArrayConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayOrganization {
+    /// Word-lines per bank (one line per row in this first-order model).
+    pub rows_per_bank: usize,
+    /// Bit-lines per bank.
+    pub cols_per_bank: usize,
+    /// Bank count.
+    pub banks: usize,
+    /// Decode depth `log2(bits per bank)` used for periphery delay.
+    pub decode_levels: u32,
+}
+
+/// The analytical array model: latency, energy, leakage and area for a
+/// configured memory array.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_tech::{ArrayConfig, ArrayModel, CellKind};
+///
+/// # fn main() -> Result<(), sttcache_tech::TechError> {
+/// let sram = ArrayModel::new(
+///     ArrayConfig::builder().cell(CellKind::Sram6T).line_bits(256).build()?,
+/// );
+/// // Table I: 64 KB SRAM reads in 0.787 ns.
+/// assert!((sram.read_latency_ns() - 0.787).abs() < 1e-3);
+/// // At 1 GHz that is a single cycle.
+/// assert_eq!(sram.read_cycles(1.0), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayModel {
+    config: ArrayConfig,
+    cell: CellModel,
+}
+
+impl ArrayModel {
+    /// Builds the model for a configuration using the calibrated cell model
+    /// for the configured [`CellKind`].
+    pub fn new(config: ArrayConfig) -> Self {
+        ArrayModel {
+            config,
+            cell: CellModel::new(config.cell()),
+        }
+    }
+
+    /// Builds the model with an explicit (possibly custom) cell model.
+    pub fn with_cell(config: ArrayConfig, cell: CellModel) -> Self {
+        ArrayModel { config, cell }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// The cell model in use.
+    pub fn cell(&self) -> &CellModel {
+        &self.cell
+    }
+
+    /// Derived physical organization.
+    pub fn organization(&self) -> ArrayOrganization {
+        let bits_per_bank = self.config.total_bits() / self.config.banks();
+        let cols = self.config.line_bits() * self.config.associativity();
+        ArrayOrganization {
+            rows_per_bank: bits_per_bank / cols,
+            cols_per_bank: cols,
+            banks: self.config.banks(),
+            decode_levels: bits_per_bank.trailing_zeros(),
+        }
+    }
+
+    fn periphery_ns(&self) -> f64 {
+        let levels = self.organization().decode_levels as f64;
+        PERIPHERY_NS_PER_LEVEL * levels * self.config.node().delay_scale()
+    }
+
+    /// Random-access read latency in nanoseconds.
+    pub fn read_latency_ns(&self) -> Nanoseconds {
+        self.periphery_ns() + self.cell.parameters().read_ns * self.config.node().delay_scale()
+    }
+
+    /// Random-access write latency in nanoseconds.
+    pub fn write_latency_ns(&self) -> Nanoseconds {
+        self.periphery_ns() + self.cell.parameters().write_ns * self.config.node().delay_scale()
+    }
+
+    /// Read latency in whole clock cycles at `clock_ghz` (ceiling, min 1).
+    pub fn read_cycles(&self, clock_ghz: f64) -> u64 {
+        cycles(self.read_latency_ns(), clock_ghz)
+    }
+
+    /// Write latency in whole clock cycles at `clock_ghz` (ceiling, min 1).
+    pub fn write_cycles(&self, clock_ghz: f64) -> u64 {
+        cycles(self.write_latency_ns(), clock_ghz)
+    }
+
+    /// Dynamic energy of reading `bits` from the array, in pJ.
+    pub fn read_energy_pj(&self, bits: usize) -> Picojoules {
+        let scale = self.config.node().energy_scale();
+        (DECODE_PJ + self.cell.parameters().read_pj_per_bit * bits as f64) * scale
+    }
+
+    /// Dynamic energy of writing `bits` into the array, in pJ.
+    pub fn write_energy_pj(&self, bits: usize) -> Picojoules {
+        let scale = self.config.node().energy_scale();
+        (DECODE_PJ + self.cell.parameters().write_pj_per_bit * bits as f64) * scale
+    }
+
+    /// Standby leakage power of the whole array (cells + periphery), in mW.
+    pub fn leakage_mw(&self) -> Milliwatts {
+        let node = self.config.node();
+        let cell_mw = self.config.total_bits() as f64
+            * self.cell.parameters().leakage_nw_per_bit
+            * 1e-6
+            * node.leakage_scale();
+        let periphery_mw = PERIPHERY_MW_PER_LEVEL
+            * self.organization().decode_levels as f64
+            * node.leakage_scale();
+        cell_mw + periphery_mw
+    }
+
+    /// Silicon area of the array in mm² (cell matrix over layout
+    /// efficiency; periphery is folded into the efficiency factor).
+    pub fn area_mm2(&self) -> SquareMillimetres {
+        self.config.total_bits() as f64
+            * self.cell.parameters().area_f2
+            * self.config.node().f2_mm2()
+            / LAYOUT_EFFICIENCY
+    }
+
+    /// Per-cell area in F², as reported in the paper's Table I.
+    pub fn cell_area_f2(&self) -> f64 {
+        self.cell.parameters().area_f2
+    }
+}
+
+fn cycles(latency_ns: f64, clock_ghz: f64) -> u64 {
+    assert!(clock_ghz > 0.0, "clock frequency must be positive");
+    (latency_ns * clock_ghz).ceil().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_sram() -> ArrayModel {
+        ArrayModel::new(
+            ArrayConfig::builder()
+                .cell(CellKind::Sram6T)
+                .line_bits(256)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn table1_stt() -> ArrayModel {
+        ArrayModel::new(ArrayConfig::builder().build().unwrap())
+    }
+
+    #[test]
+    fn table1_sram_latencies() {
+        let m = table1_sram();
+        assert!(
+            (m.read_latency_ns() - 0.787).abs() < 1e-3,
+            "{}",
+            m.read_latency_ns()
+        );
+        assert!(
+            (m.write_latency_ns() - 0.773).abs() < 1e-3,
+            "{}",
+            m.write_latency_ns()
+        );
+    }
+
+    #[test]
+    fn table1_stt_latencies() {
+        let m = table1_stt();
+        assert!(
+            (m.read_latency_ns() - 3.37).abs() < 1e-2,
+            "{}",
+            m.read_latency_ns()
+        );
+        assert!(
+            (m.write_latency_ns() - 1.86).abs() < 1e-2,
+            "{}",
+            m.write_latency_ns()
+        );
+    }
+
+    #[test]
+    fn table1_stt_leakage() {
+        let m = table1_stt();
+        assert!((m.leakage_mw() - 28.35).abs() < 1e-6, "{}", m.leakage_mw());
+    }
+
+    #[test]
+    fn table1_cycles_at_1ghz() {
+        // The system simulation uses exactly these: SRAM 1/1, STT 4/2.
+        let sram = table1_sram();
+        let stt = table1_stt();
+        assert_eq!(sram.read_cycles(1.0), 1);
+        assert_eq!(sram.write_cycles(1.0), 1);
+        assert_eq!(stt.read_cycles(1.0), 4);
+        assert_eq!(stt.write_cycles(1.0), 2);
+    }
+
+    #[test]
+    fn stt_area_is_much_smaller() {
+        // Table I: 42 F² vs 146 F² per cell; the paper notes 2-3x more
+        // capacity fits in the same footprint.
+        let sram = table1_sram();
+        let stt = table1_stt();
+        assert!(sram.area_mm2() / stt.area_mm2() > 3.0);
+        assert_eq!(stt.cell_area_f2(), 42.0);
+        assert_eq!(sram.cell_area_f2(), 146.0);
+    }
+
+    #[test]
+    fn banking_shrinks_periphery_delay() {
+        let one = ArrayModel::new(ArrayConfig::builder().banks(1).build().unwrap());
+        let four = ArrayModel::new(ArrayConfig::builder().banks(4).build().unwrap());
+        assert!(four.read_latency_ns() < one.read_latency_ns());
+    }
+
+    #[test]
+    fn bigger_array_is_slower() {
+        let small = ArrayModel::new(
+            ArrayConfig::builder()
+                .capacity_bytes(16 * 1024)
+                .build()
+                .unwrap(),
+        );
+        let big = ArrayModel::new(
+            ArrayConfig::builder()
+                .capacity_bytes(256 * 1024)
+                .build()
+                .unwrap(),
+        );
+        assert!(big.read_latency_ns() > small.read_latency_ns());
+        assert!(big.leakage_mw() > small.leakage_mw());
+        assert!(big.area_mm2() > small.area_mm2());
+    }
+
+    #[test]
+    fn write_energy_exceeds_read_energy_for_stt() {
+        let stt = table1_stt();
+        assert!(stt.write_energy_pj(512) > stt.read_energy_pj(512));
+    }
+
+    #[test]
+    fn wider_access_costs_more_energy() {
+        let stt = table1_stt();
+        assert!(stt.read_energy_pj(1024) > stt.read_energy_pj(32));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(ArrayConfig::builder().capacity_bytes(0).build().is_err());
+        assert!(ArrayConfig::builder().capacity_bytes(3000).build().is_err());
+        assert!(ArrayConfig::builder().line_bits(7).build().is_err());
+        assert!(ArrayConfig::builder().line_bits(4).build().is_err());
+        assert!(ArrayConfig::builder().associativity(0).build().is_err());
+        assert!(ArrayConfig::builder().associativity(3000).build().is_err());
+        assert!(ArrayConfig::builder().banks(0).build().is_err());
+        assert!(ArrayConfig::builder().banks(3).build().is_err());
+        assert!(ArrayConfig::builder()
+            .capacity_bytes(64)
+            .line_bits(1024)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn organization_is_consistent() {
+        let m = table1_stt();
+        let org = m.organization();
+        assert_eq!(
+            org.rows_per_bank * org.cols_per_bank * org.banks,
+            m.config().total_bits()
+        );
+        assert_eq!(org.decode_levels, 19);
+    }
+
+    #[test]
+    fn sets_and_lines() {
+        let cfg = ArrayConfig::builder().build().unwrap();
+        assert_eq!(cfg.lines(), 64 * 1024 / 64);
+        assert_eq!(cfg.sets(), cfg.lines() / 2);
+        assert_eq!(cfg.line_bytes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency")]
+    fn zero_clock_panics() {
+        let _ = table1_stt().read_cycles(0.0);
+    }
+}

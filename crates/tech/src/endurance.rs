@@ -1,0 +1,159 @@
+//! Write-endurance and lifetime estimation.
+//!
+//! The paper rejects ReRAM and PRAM partly because of "severe endurance
+//! issues" and keeps STT-MRAM because it "suffers minimal degradation over
+//! time". This module turns a cell's endurance rating plus an observed write
+//! rate into a lifetime estimate, optionally accounting for wear-levelling
+//! across the array's lines.
+
+use crate::cell::CellModel;
+
+/// An estimated array lifetime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lifetime {
+    /// Lifetime in seconds (infinite if the write rate is zero).
+    pub seconds: f64,
+}
+
+impl Lifetime {
+    /// Lifetime in years.
+    pub fn years(&self) -> f64 {
+        self.seconds / (365.25 * 86400.0)
+    }
+
+    /// Whether the lifetime exceeds a typical 10-year product requirement.
+    pub fn meets_ten_year_target(&self) -> bool {
+        self.years() >= 10.0
+    }
+}
+
+/// Endurance model for a memory array built from a given cell.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_tech::{CellKind, CellModel, EnduranceModel};
+///
+/// let stt = EnduranceModel::new(CellModel::new(CellKind::SttMram), 1024);
+/// // 100 M line-writes/s spread over 1024 lines: STT-MRAM easily
+/// // survives 10 years...
+/// assert!(stt.lifetime(1e8, 1.0).meets_ten_year_target());
+/// // ...while PRAM at the same L1-class write rate does not.
+/// let pram = EnduranceModel::new(CellModel::new(CellKind::Pram), 1024);
+/// assert!(!pram.lifetime(1e8, 1.0).meets_ten_year_target());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    cell: CellModel,
+    lines: usize,
+}
+
+impl EnduranceModel {
+    /// Creates a model for an array of `lines` cache lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn new(cell: CellModel, lines: usize) -> Self {
+        assert!(lines > 0, "array must have at least one line");
+        EnduranceModel { cell, lines }
+    }
+
+    /// Estimates lifetime for `writes_per_second` line-writes and a
+    /// wear-levelling quality factor in `(0, 1]` (1 = perfectly uniform
+    /// wear; smaller = hot lines concentrate wear).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uniformity` is outside `(0, 1]` or `writes_per_second` is
+    /// negative.
+    pub fn lifetime(&self, writes_per_second: f64, uniformity: f64) -> Lifetime {
+        assert!(
+            uniformity > 0.0 && uniformity <= 1.0,
+            "wear uniformity must be in (0, 1]"
+        );
+        assert!(writes_per_second >= 0.0, "write rate must be non-negative");
+        if writes_per_second == 0.0 {
+            return Lifetime {
+                seconds: f64::INFINITY,
+            };
+        }
+        // Per-line write rate if wear were uniform, de-rated by uniformity.
+        let per_line_rate = writes_per_second / (self.lines as f64 * uniformity);
+        Lifetime {
+            seconds: self.cell.parameters().endurance_cycles / per_line_rate,
+        }
+    }
+
+    /// The cell model.
+    pub fn cell(&self) -> &CellModel {
+        &self.cell
+    }
+
+    /// The line count used for wear spreading.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    fn model(kind: CellKind) -> EnduranceModel {
+        EnduranceModel::new(CellModel::new(kind), 1024)
+    }
+
+    #[test]
+    fn zero_writes_is_infinite_lifetime() {
+        let lt = model(CellKind::SttMram).lifetime(0.0, 1.0);
+        assert!(lt.seconds.is_infinite());
+        assert!(lt.meets_ten_year_target());
+    }
+
+    #[test]
+    fn stt_outlives_reram_and_pram() {
+        let rate = 1e8;
+        let stt = model(CellKind::SttMram).lifetime(rate, 1.0);
+        let reram = model(CellKind::ReRam).lifetime(rate, 1.0);
+        let pram = model(CellKind::Pram).lifetime(rate, 1.0);
+        assert!(stt.seconds > reram.seconds);
+        assert!(reram.seconds > pram.seconds);
+    }
+
+    #[test]
+    fn poor_wear_leveling_shortens_life() {
+        let good = model(CellKind::SttMram).lifetime(1e8, 1.0);
+        let bad = model(CellKind::SttMram).lifetime(1e8, 0.1);
+        assert!(bad.seconds < good.seconds);
+        assert!((good.seconds / bad.seconds - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_lines_spread_wear() {
+        let small = EnduranceModel::new(CellModel::new(CellKind::ReRam), 256);
+        let large = EnduranceModel::new(CellModel::new(CellKind::ReRam), 4096);
+        assert!(large.lifetime(1e8, 1.0).seconds > small.lifetime(1e8, 1.0).seconds);
+    }
+
+    #[test]
+    fn years_conversion() {
+        let lt = Lifetime {
+            seconds: 365.25 * 86400.0,
+        };
+        assert!((lt.years() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniformity")]
+    fn invalid_uniformity_panics() {
+        let _ = model(CellKind::SttMram).lifetime(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_lines_panics() {
+        let _ = EnduranceModel::new(CellModel::new(CellKind::SttMram), 0);
+    }
+}

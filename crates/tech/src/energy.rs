@@ -1,0 +1,170 @@
+//! Energy accounting helpers.
+//!
+//! The paper defers full power models ("power models have yet to be fully
+//! developed though") but claims the NVM's energy advantage; this module is
+//! the extension that makes those claims measurable: a per-component dynamic
+//! energy breakdown plus a leakage integrator over simulated time.
+
+use crate::{Milliwatts, Picojoules};
+
+/// Accumulated dynamic-energy breakdown for one memory component.
+///
+/// All quantities are picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Energy spent on read accesses.
+    pub read_pj: Picojoules,
+    /// Energy spent on write accesses.
+    pub write_pj: Picojoules,
+}
+
+impl EnergyBreakdown {
+    /// A zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one read access of the given energy.
+    pub fn add_read(&mut self, pj: Picojoules) {
+        self.read_pj += pj;
+    }
+
+    /// Adds one write access of the given energy.
+    pub fn add_write(&mut self, pj: Picojoules) {
+        self.write_pj += pj;
+    }
+
+    /// Total dynamic energy in pJ.
+    pub fn total_pj(&self) -> Picojoules {
+        self.read_pj + self.write_pj
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.read_pj += other.read_pj;
+        self.write_pj += other.write_pj;
+    }
+}
+
+/// Integrates leakage power over simulated time for a set of components.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_tech::LeakageIntegrator;
+///
+/// let mut leak = LeakageIntegrator::new(1.0); // 1 GHz clock
+/// leak.add_component("dl1", 28.35);
+/// leak.add_component("l2", 300.0);
+/// // 1e6 cycles at 1 GHz = 1 ms; 328.35 mW over 1 ms = 328.35 µJ.
+/// let uj = leak.energy_uj(1_000_000);
+/// assert!((uj - 328.35).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageIntegrator {
+    clock_ghz: f64,
+    components: Vec<(String, Milliwatts)>,
+}
+
+impl LeakageIntegrator {
+    /// Creates an integrator for a platform clocked at `clock_ghz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_ghz` is not strictly positive.
+    pub fn new(clock_ghz: f64) -> Self {
+        assert!(clock_ghz > 0.0, "clock frequency must be positive");
+        LeakageIntegrator {
+            clock_ghz,
+            components: Vec::new(),
+        }
+    }
+
+    /// Registers a component and its leakage power in mW.
+    pub fn add_component(&mut self, name: impl Into<String>, leakage_mw: Milliwatts) {
+        self.components.push((name.into(), leakage_mw));
+    }
+
+    /// Total registered leakage power in mW.
+    pub fn total_mw(&self) -> Milliwatts {
+        self.components.iter().map(|(_, mw)| mw).sum()
+    }
+
+    /// Leakage energy in microjoules over `cycles` simulated cycles.
+    pub fn energy_uj(&self, cycles: u64) -> f64 {
+        let seconds = cycles as f64 / (self.clock_ghz * 1e9);
+        // mW · s = mJ; convert to µJ.
+        self.total_mw() * seconds * 1e3
+    }
+
+    /// Per-component leakage energies in µJ over `cycles` cycles.
+    pub fn breakdown_uj(&self, cycles: u64) -> Vec<(String, f64)> {
+        let seconds = cycles as f64 / (self.clock_ghz * 1e9);
+        self.components
+            .iter()
+            .map(|(name, mw)| (name.clone(), mw * seconds * 1e3))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut b = EnergyBreakdown::new();
+        b.add_read(2.0);
+        b.add_read(3.0);
+        b.add_write(10.0);
+        assert_eq!(b.read_pj, 5.0);
+        assert_eq!(b.write_pj, 10.0);
+        assert_eq!(b.total_pj(), 15.0);
+    }
+
+    #[test]
+    fn breakdown_merges() {
+        let mut a = EnergyBreakdown {
+            read_pj: 1.0,
+            write_pj: 2.0,
+        };
+        let b = EnergyBreakdown {
+            read_pj: 10.0,
+            write_pj: 20.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.read_pj, 11.0);
+        assert_eq!(a.write_pj, 22.0);
+    }
+
+    #[test]
+    fn leakage_integrates_linearly_in_time() {
+        let mut leak = LeakageIntegrator::new(2.0);
+        leak.add_component("x", 100.0);
+        let e1 = leak.energy_uj(1_000_000);
+        let e2 = leak.energy_uj(2_000_000);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_component_breakdown_sums_to_total() {
+        let mut leak = LeakageIntegrator::new(1.0);
+        leak.add_component("a", 10.0);
+        leak.add_component("b", 20.0);
+        let parts: f64 = leak.breakdown_uj(500).iter().map(|(_, e)| e).sum();
+        assert!((parts - leak.energy_uj(500)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_integrator_is_zero() {
+        let leak = LeakageIntegrator::new(1.0);
+        assert_eq!(leak.total_mw(), 0.0);
+        assert_eq!(leak.energy_uj(1_000_000), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency")]
+    fn zero_clock_panics() {
+        let _ = LeakageIntegrator::new(0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for technology-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a technology or array configuration is invalid.
+///
+/// Produced by [`crate::ArrayConfigBuilder::build`] and the validating
+/// constructors in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TechError {
+    /// The capacity is zero or not a power of two.
+    InvalidCapacity(usize),
+    /// The associativity is zero or does not divide the number of lines.
+    InvalidAssociativity(usize),
+    /// The line size is zero, not a power of two, or larger than the array.
+    InvalidLineBits(usize),
+    /// The bank count is zero, not a power of two, or exceeds the line count.
+    InvalidBanks(usize),
+    /// A numeric device parameter was out of its physical range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::InvalidCapacity(c) => {
+                write!(f, "capacity {c} bytes is not a non-zero power of two")
+            }
+            TechError::InvalidAssociativity(a) => {
+                write!(f, "associativity {a} is invalid for this array")
+            }
+            TechError::InvalidLineBits(l) => {
+                write!(f, "line size {l} bits is invalid for this array")
+            }
+            TechError::InvalidBanks(b) => write!(f, "bank count {b} is invalid for this array"),
+            TechError::InvalidParameter { name, value } => {
+                write!(
+                    f,
+                    "parameter {name} = {value} is outside its physical range"
+                )
+            }
+        }
+    }
+}
+
+impl Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            TechError::InvalidCapacity(3).to_string(),
+            TechError::InvalidAssociativity(0).to_string(),
+            TechError::InvalidLineBits(7).to_string(),
+            TechError::InvalidBanks(3).to_string(),
+            TechError::InvalidParameter {
+                name: "tmr",
+                value: -1.0,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m}");
+            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with("parameter"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TechError>();
+    }
+}

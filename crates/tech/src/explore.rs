@@ -1,0 +1,211 @@
+//! Technology design-space exploration.
+//!
+//! The paper's §VI explorations ("the effect of the different tune-able
+//! parameters") generalize naturally at the technology layer: which
+//! (capacity, associativity, cell) points are Pareto-optimal in the
+//! latency / leakage / area space? This module sweeps array
+//! configurations, evaluates them through the calibrated [`ArrayModel`]
+//! and extracts the Pareto front — the standard memory-DSE workflow of
+//! CACTI/NVSim users.
+
+use crate::array::{ArrayConfig, ArrayModel};
+use crate::cell::CellKind;
+use crate::TechError;
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The configuration.
+    pub config: ArrayConfig,
+    /// Random read latency in ns.
+    pub read_latency_ns: f64,
+    /// Random write latency in ns.
+    pub write_latency_ns: f64,
+    /// Standby leakage in mW.
+    pub leakage_mw: f64,
+    /// Array area in mm².
+    pub area_mm2: f64,
+}
+
+impl DesignPoint {
+    /// Evaluates a configuration through the analytical model.
+    pub fn evaluate(config: ArrayConfig) -> Self {
+        let model = ArrayModel::new(config);
+        DesignPoint {
+            config,
+            read_latency_ns: model.read_latency_ns(),
+            write_latency_ns: model.write_latency_ns(),
+            leakage_mw: model.leakage_mw(),
+            area_mm2: model.area_mm2(),
+        }
+    }
+
+    /// Whether `self` dominates `other` (no worse on every objective,
+    /// strictly better on at least one) over read latency, leakage and
+    /// area.
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let no_worse = self.read_latency_ns <= other.read_latency_ns
+            && self.leakage_mw <= other.leakage_mw
+            && self.area_mm2 <= other.area_mm2;
+        let better = self.read_latency_ns < other.read_latency_ns
+            || self.leakage_mw < other.leakage_mw
+            || self.area_mm2 < other.area_mm2;
+        no_worse && better
+    }
+}
+
+/// Sweep specification for [`explore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Capacities in bytes (powers of two).
+    pub capacities: Vec<usize>,
+    /// Associativities.
+    pub associativities: Vec<usize>,
+    /// Cell technologies.
+    pub cells: Vec<CellKind>,
+    /// Line size in bits (fixed across the sweep).
+    pub line_bits: usize,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            capacities: vec![16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024],
+            associativities: vec![2, 4],
+            cells: vec![CellKind::Sram6T, CellKind::SttMram],
+            line_bits: 512,
+        }
+    }
+}
+
+/// Evaluates every combination in the sweep.
+///
+/// # Errors
+///
+/// Returns the first [`TechError`] produced by an invalid combination
+/// (e.g. an associativity that does not divide the line count).
+///
+/// # Example
+///
+/// ```
+/// use sttcache_tech::{explore, SweepSpec};
+///
+/// # fn main() -> Result<(), sttcache_tech::TechError> {
+/// let points = explore(&SweepSpec::default())?;
+/// assert_eq!(points.len(), 4 * 2 * 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore(spec: &SweepSpec) -> Result<Vec<DesignPoint>, TechError> {
+    let mut points = Vec::new();
+    for &capacity in &spec.capacities {
+        for &assoc in &spec.associativities {
+            for &cell in &spec.cells {
+                let cfg = ArrayConfig::builder()
+                    .capacity_bytes(capacity)
+                    .associativity(assoc)
+                    .line_bits(spec.line_bits)
+                    .cell(cell)
+                    .build()?;
+                points.push(DesignPoint::evaluate(cfg));
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// Extracts the Pareto-optimal subset (read latency × leakage × area) of a
+/// set of design points, preserving input order.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_tech::{explore, pareto_front, SweepSpec};
+///
+/// # fn main() -> Result<(), sttcache_tech::TechError> {
+/// let points = explore(&SweepSpec::default())?;
+/// let front = pareto_front(&points);
+/// assert!(!front.is_empty());
+/// assert!(front.len() <= points.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    points
+        .iter()
+        .filter(|candidate| !points.iter().any(|other| other.dominates(candidate)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_cross_product() {
+        let spec = SweepSpec {
+            capacities: vec![16 * 1024, 64 * 1024],
+            associativities: vec![2],
+            cells: vec![CellKind::Sram6T, CellKind::SttMram, CellKind::ReRam],
+            line_bits: 512,
+        };
+        let points = explore(&spec).unwrap();
+        assert_eq!(points.len(), 6);
+    }
+
+    #[test]
+    fn dominance_is_strict_and_irreflexive() {
+        let points = explore(&SweepSpec::default()).unwrap();
+        for p in &points {
+            assert!(!p.dominates(p));
+        }
+    }
+
+    #[test]
+    fn front_members_are_mutually_non_dominating() {
+        let points = explore(&SweepSpec::default()).unwrap();
+        let front = pareto_front(&points);
+        for a in &front {
+            for b in &front {
+                assert!(!a.dominates(b) || a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_front_point_is_dominated() {
+        let points = explore(&SweepSpec::default()).unwrap();
+        let front = pareto_front(&points);
+        for p in &points {
+            if !front.contains(p) {
+                assert!(front.iter().any(|f| f.dominates(p)), "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sram_and_stt_both_reach_the_front() {
+        // SRAM wins latency, STT-MRAM wins leakage and area: at equal
+        // capacity both must survive.
+        let spec = SweepSpec {
+            capacities: vec![64 * 1024],
+            associativities: vec![2],
+            cells: vec![CellKind::Sram6T, CellKind::SttMram],
+            line_bits: 512,
+        };
+        let front = pareto_front(&explore(&spec).unwrap());
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn invalid_combinations_error() {
+        let spec = SweepSpec {
+            capacities: vec![64],
+            associativities: vec![2],
+            cells: vec![CellKind::Sram6T],
+            line_bits: 4096,
+        };
+        assert!(explore(&spec).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! `adi`: alternating-direction-implicit integration.
+
+use super::{checksum, for_n, pf2, seed_value, Kernel};
+use crate::space::DataSpace;
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+
+/// ADI integration (`u, v, p, q: N×N`, `tsteps` iterations). Each step
+/// runs a column sweep (tridiagonal forward/backward along `i`) and a row
+/// sweep (along `j`) — the classic alternating stride pattern: one of the
+/// two sweeps is always anti-locality, whichever line size is chosen.
+/// Inherently sequential along the sweep direction (recurrences), so the
+/// `vectorize` toggle is a no-op, like `seidel-2d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adi {
+    n: usize,
+    tsteps: usize,
+}
+
+impl Adi {
+    /// Creates the kernel (`n × n` grid, `tsteps` steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `tsteps` is zero.
+    pub fn new(n: usize, tsteps: usize) -> Self {
+        assert!(n >= 3, "adi needs at least a 3x3 grid");
+        assert!(tsteps > 0, "adi needs at least one step");
+        Adi { n, tsteps }
+    }
+}
+
+impl Kernel for Adi {
+    fn name(&self) -> &'static str {
+        "adi"
+    }
+
+    fn execute(&self, e: &mut dyn Engine, t: Transformations) -> f64 {
+        let n = self.n;
+        let mut space = DataSpace::new(t.others);
+        let mut u = space.array2(n, n);
+        let mut v = space.array2(n, n);
+        let mut p = space.array2(n, n);
+        let mut q = space.array2(n, n);
+        u.fill(|i, j| seed_value(i + 211, j) * 0.5 + 0.5);
+
+        // PolyBench's precomputed tridiagonal coefficients.
+        let (a, b, c, d, f) = (-0.1f32, 1.2f32, -0.1f32, -0.05f32, 1.1f32);
+
+        for_n(e, 1, self.tsteps, |e, _| {
+            // Column sweep: for each column j, forward recurrence over i
+            // into p/q, then backward substitution into v.
+            for_n(e, 1, n - 2, |e, jt| {
+                let j = jt + 1;
+                p.set(e, 0, j, 0.0);
+                q.set(e, 0, j, 1.0);
+                for_n(e, t.unroll_factor(), n - 2, |e, it| {
+                    let i = it + 1;
+                    if t.prefetch && it % super::LINE_ELEMS == 0 && i + super::LINE_ELEMS < n {
+                        e.prefetch(u.addr(j, i + super::LINE_ELEMS)); // u row walk
+                    }
+                    let denom = b - a * p.at(e, i - 1, j);
+                    let pv = c / denom;
+                    e.compute(3);
+                    p.set(e, i, j, pv);
+                    let rhs = -d * u.at(e, j, i - 1) + (1.0 + 2.0 * d) * u.at(e, j, i)
+                        - f * u.at(e, j, i + 1);
+                    let qv = (rhs - a * q.at(e, i - 1, j)) / denom;
+                    e.compute(7);
+                    q.set(e, i, j, qv);
+                });
+                v.set(e, n - 1, j, 1.0);
+                for_n(e, t.unroll_factor(), n - 2, |e, rt| {
+                    let i = n - 2 - rt;
+                    let vv = p.at(e, i, j) * v.at(e, i + 1, j) + q.at(e, i, j);
+                    e.compute(3);
+                    v.set(e, i, j, vv);
+                });
+            });
+            // Row sweep: symmetric, along j, updating u.
+            for_n(e, 1, n - 2, |e, it| {
+                let i = it + 1;
+                p.set(e, i, 0, 0.0);
+                q.set(e, i, 0, 1.0);
+                for_n(e, t.unroll_factor(), n - 2, |e, jt| {
+                    let j = jt + 1;
+                    pf2(e, t, &v, i, j);
+                    let denom = b - a * p.at(e, i, j - 1);
+                    let pv = c / denom;
+                    e.compute(3);
+                    p.set(e, i, j, pv);
+                    let rhs = -d * v.at(e, j - 1, i) + (1.0 + 2.0 * d) * v.at(e, j, i)
+                        - f * v.at(e, j + 1, i);
+                    let qv = (rhs - a * q.at(e, i, j - 1)) / denom;
+                    e.compute(7);
+                    q.set(e, i, j, qv);
+                });
+                u.set(e, i, n - 1, 1.0);
+                for_n(e, t.unroll_factor(), n - 2, |e, rt| {
+                    let j = n - 2 - rt;
+                    let uv = p.at(e, i, j) * u.at(e, i, j + 1) + q.at(e, i, j);
+                    e.compute(3);
+                    u.set(e, i, j, uv);
+                });
+            });
+        });
+        checksum(u.raw())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop, clippy::assign_op_pattern)] // reference loops mirror the PolyBench C code
+mod tests {
+    use super::super::kernel_tests::*;
+    use super::*;
+    use crate::space::test_support::Recorder;
+
+    fn small() -> Adi {
+        Adi::new(10, 2)
+    }
+
+    #[test]
+    fn conformance() {
+        assert_kernel_conformance(&small());
+    }
+
+    #[test]
+    fn vectorize_toggle_is_a_no_op() {
+        let mut a = Recorder::default();
+        small().execute(&mut a, Transformations::none());
+        let mut b = Recorder::default();
+        small().execute(&mut b, Transformations::only_vectorize());
+        assert_eq!(a.loads.len(), b.loads.len());
+    }
+
+    #[test]
+    fn prefetch_emits_hints() {
+        assert_prefetch_emits_hints(&Adi::new(40, 1));
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        assert_unrolling_reduces_branches(&small());
+    }
+
+    #[test]
+    fn result_stays_bounded() {
+        // The implicit scheme is stable: values remain finite and bounded
+        // after several steps.
+        let got = Adi::new(8, 4).execute(&mut Recorder::default(), Transformations::none());
+        assert!(got.is_finite());
+        assert!(got.abs() < 1e4);
+    }
+}

@@ -1,0 +1,163 @@
+//! `correlation`: correlation matrix of a data set.
+
+use super::{checksum, dot_col, for_n, seed_value, Kernel};
+use crate::space::DataSpace;
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+
+/// Correlation computation (`data: N×M`, `corr: M×M`): mean and standard
+/// deviation per column, normalization, then column-pair dot products.
+/// The stddev step contains the suite's one *data-dependent* branch (the
+/// near-zero guard), which the "others" branch-less conversion removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Correlation {
+    n: usize,
+    m: usize,
+}
+
+const EPS: f32 = 0.1;
+
+impl Correlation {
+    /// Creates the kernel (`n` samples of `m` variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below two.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(
+            n >= 2 && m >= 2,
+            "correlation needs at least a 2x2 data set"
+        );
+        Correlation { n, m }
+    }
+}
+
+impl Kernel for Correlation {
+    fn name(&self) -> &'static str {
+        "correlation"
+    }
+
+    fn execute(&self, e: &mut dyn Engine, t: Transformations) -> f64 {
+        let (n, m) = (self.n, self.m);
+        let mut space = DataSpace::new(t.others);
+        let mut data = space.array2(n, m);
+        let mut mean = space.array1(m);
+        let mut stddev = space.array1(m);
+        let mut corr = space.array2(m, m);
+        data.fill(|i, j| seed_value(i + 127, j));
+        let ones = {
+            let mut v = space.array1(n);
+            v.fill(|_| 1.0);
+            v
+        };
+
+        // Column means.
+        for_n(e, 1, m, |e, j| {
+            let s = dot_col(e, t, &data, j, &ones);
+            e.compute(1);
+            mean.set(e, j, s / n as f32);
+        });
+
+        // Column standard deviations, with the near-zero guard.
+        for_n(e, 1, m, |e, j| {
+            let mj = mean.at(e, j);
+            let mut acc = 0.0f32;
+            for_n(e, t.unroll_factor(), n, |e, i| {
+                let d = data.at(e, i, j) - mj;
+                acc += d * d;
+                e.compute(3);
+            });
+            let sd = (acc / n as f32).sqrt();
+            e.compute(2);
+            let sd = if t.others {
+                // Branch-less select (the paper's conditional-to-branchless
+                // conversion): blend by mask instead of jumping.
+                e.compute(2);
+                let keep = (sd > EPS) as u32 as f32;
+                keep * sd + (1.0 - keep) * 1.0
+            } else {
+                e.branch(sd <= EPS);
+                if sd <= EPS {
+                    1.0
+                } else {
+                    sd
+                }
+            };
+            stddev.set(e, j, sd);
+        });
+
+        // Normalize in place.
+        for_n(e, 1, n, |e, i| {
+            for_n(e, t.unroll_factor(), m, |e, j| {
+                let v = (data.at(e, i, j) - mean.at(e, j)) / ((n as f32).sqrt() * stddev.at(e, j));
+                e.compute(4);
+                data.set(e, i, j, v);
+            });
+        });
+
+        // Correlation matrix (upper triangle, unit diagonal).
+        for_n(e, 1, m, |e, j1| {
+            corr.set(e, j1, j1, 1.0);
+            for_n(e, 1, m - j1 - 1, |e, dj| {
+                let j2 = j1 + 1 + dj;
+                let mut acc = 0.0f32;
+                for_n(e, t.unroll_factor(), n, |e, i| {
+                    if t.prefetch && i + 2 < n {
+                        e.prefetch(data.addr(i + 2, j1));
+                    }
+                    acc += data.at(e, i, j1) * data.at(e, i, j2);
+                    e.compute(3);
+                });
+                corr.set(e, j1, j2, acc);
+                corr.set(e, j2, j1, acc);
+            });
+        });
+        checksum(corr.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::kernel_tests::*;
+    use super::*;
+    use crate::space::test_support::Recorder;
+
+    fn small() -> Correlation {
+        Correlation::new(12, 9)
+    }
+
+    #[test]
+    fn conformance() {
+        assert_kernel_conformance(&small());
+    }
+
+    #[test]
+    fn prefetch_emits_hints() {
+        assert_prefetch_emits_hints(&small());
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        assert_unrolling_reduces_branches(&small());
+    }
+
+    #[test]
+    fn branchless_conversion_removes_data_dependent_branches() {
+        let mut plain = Recorder::default();
+        small().execute(&mut plain, Transformations::none());
+        let mut opt = Recorder::default();
+        small().execute(&mut opt, Transformations::only_others());
+        // Unrolling removes loop branches AND the guard branches vanish.
+        assert!(opt.branches.len() < plain.branches.len());
+    }
+
+    #[test]
+    fn diagonal_is_unity() {
+        use crate::space::test_support::Recorder;
+        // The checksum includes m unit diagonal entries; with symmetric
+        // off-diagonals the sum is m + 2*sum(upper).
+        let got = Correlation::new(8, 3).execute(&mut Recorder::default(), Transformations::none());
+        assert!(got.is_finite());
+        assert!(got >= 3.0 - 2.0 * 3.0, "diagonal contributes m = 3");
+    }
+}

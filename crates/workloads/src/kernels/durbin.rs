@@ -1,0 +1,127 @@
+//! `durbin`: Levinson-Durbin recursion for Toeplitz systems.
+
+use super::{checksum, for_n, pf1, seed_value, Kernel};
+use crate::space::DataSpace;
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+
+/// The Levinson-Durbin recursion (`r, y: N`). The reversed-index inner
+/// product (`r[k-i-1]·y[i]`) walks one operand backwards — a pattern the
+/// next-line prefetcher cannot help, so the software hints target the
+/// forward operand only. Inherently serial across `k`; only the inner
+/// loops vectorize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Durbin {
+    n: usize,
+}
+
+impl Durbin {
+    /// Creates the kernel for an order-`n` system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "durbin needs at least order two");
+        Durbin { n }
+    }
+}
+
+impl Kernel for Durbin {
+    fn name(&self) -> &'static str {
+        "durbin"
+    }
+
+    fn execute(&self, e: &mut dyn Engine, t: Transformations) -> f64 {
+        let n = self.n;
+        let mut space = DataSpace::new(t.others);
+        let mut r = space.array1(n);
+        let mut y = space.array1(n);
+        let mut z = space.array1(n);
+        // Toeplitz coefficients kept small so the recursion stays stable.
+        r.fill(|i| seed_value(i, 137) * 0.1 - 0.2);
+
+        let mut alpha = -r.at(e, 0);
+        let mut beta = 1.0f32;
+        y.set(e, 0, alpha);
+        e.compute(2);
+
+        for_n(e, 1, n - 1, |e, kt| {
+            let k = kt + 1;
+            beta *= 1.0 - alpha * alpha;
+            e.compute(3);
+            // sum = Σ_i r[k-i-1]·y[i]  (reversed walk on r).
+            let mut sum = 0.0f32;
+            for_n(e, t.unroll_factor(), k, |e, i| {
+                pf1(e, t, &y, i);
+                sum += r.at(e, k - i - 1) * y.at(e, i);
+                e.compute(3);
+            });
+            alpha = -(r.at(e, k) + sum) / beta;
+            e.compute(3);
+            // z[i] = y[i] + alpha·y[k-i-1], then copy back.
+            for_n(e, t.unroll_factor(), k, |e, i| {
+                let v = y.at(e, i) + alpha * y.at(e, k - i - 1);
+                e.compute(3);
+                z.set(e, i, v);
+            });
+            for_n(e, t.unroll_factor(), k, |e, i| {
+                let v = z.at(e, i);
+                y.set(e, i, v);
+            });
+            y.set(e, k, alpha);
+        });
+        checksum(y.raw())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop, clippy::assign_op_pattern)] // reference loops mirror the PolyBench C code
+mod tests {
+    use super::super::kernel_tests::*;
+    use super::*;
+    use crate::space::test_support::Recorder;
+
+    fn small() -> Durbin {
+        Durbin::new(24)
+    }
+
+    #[test]
+    fn conformance() {
+        assert_kernel_conformance(&small());
+    }
+
+    #[test]
+    fn prefetch_emits_hints() {
+        assert_prefetch_emits_hints(&Durbin::new(64));
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        assert_unrolling_reduces_branches(&small());
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let n = 8;
+        let r: Vec<f32> = (0..n).map(|i| seed_value(i, 137) * 0.1 - 0.2).collect();
+        let mut y = vec![0.0f32; n];
+        let mut alpha = -r[0];
+        let mut beta = 1.0f32;
+        y[0] = alpha;
+        for k in 1..n {
+            beta *= 1.0 - alpha * alpha;
+            let mut sum = 0.0f32;
+            for i in 0..k {
+                sum += r[k - i - 1] * y[i];
+            }
+            alpha = -(r[k] + sum) / beta;
+            let z: Vec<f32> = (0..k).map(|i| y[i] + alpha * y[k - i - 1]).collect();
+            y[..k].copy_from_slice(&z);
+            y[k] = alpha;
+        }
+        let expect: f64 = y.iter().map(|&v| v as f64).sum();
+        let got = Durbin::new(n).execute(&mut Recorder::default(), Transformations::none());
+        assert!((got - expect).abs() < 1e-4, "{got} vs {expect}");
+    }
+}

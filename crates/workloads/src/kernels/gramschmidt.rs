@@ -1,0 +1,153 @@
+//! `gramschmidt`: modified Gram-Schmidt QR decomposition.
+
+use super::{checksum, for_n, seed_value, Kernel};
+use crate::space::DataSpace;
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+
+/// QR decomposition by modified Gram-Schmidt (`A: M×N` → `Q: M×N`,
+/// `R: N×N`). Column-norm reductions and column-pair projections make
+/// this the most column-walk-intensive kernel of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gramschmidt {
+    m: usize,
+    n: usize,
+}
+
+impl Gramschmidt {
+    /// Creates the kernel (`A: m × n`, `m ≥ n` for full rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < n` or `n` is zero.
+    pub fn new(m: usize, n: usize) -> Self {
+        assert!(n > 0 && m >= n, "gramschmidt needs m >= n > 0");
+        Gramschmidt { m, n }
+    }
+}
+
+impl Kernel for Gramschmidt {
+    fn name(&self) -> &'static str {
+        "gramschmidt"
+    }
+
+    fn execute(&self, e: &mut dyn Engine, t: Transformations) -> f64 {
+        let (m, n) = (self.m, self.n);
+        let mut space = DataSpace::new(t.others);
+        let mut a = space.array2(m, n);
+        let mut q = space.array2(m, n);
+        let mut r = space.array2(n, n);
+        // A diagonally boosted random matrix stays numerically full rank.
+        a.fill(|i, j| seed_value(i + 157, j) + if i == j { 3.0 } else { 0.0 });
+
+        for_n(e, 1, n, |e, k| {
+            // r[k][k] = ||A[:,k]||
+            let mut nrm = 0.0f32;
+            for_n(e, t.unroll_factor(), m, |e, i| {
+                let v = a.at(e, i, k);
+                nrm += v * v;
+                e.compute(3);
+            });
+            let rkk = nrm.sqrt().max(1e-6);
+            e.compute(2);
+            r.set(e, k, k, rkk);
+            // Q[:,k] = A[:,k] / r[k][k]
+            for_n(e, t.unroll_factor(), m, |e, i| {
+                let v = a.at(e, i, k) / rkk;
+                e.compute(2);
+                q.set(e, i, k, v);
+            });
+            // Project the remaining columns.
+            for_n(e, 1, n - k - 1, |e, dj| {
+                let j = k + 1 + dj;
+                let mut rkj = 0.0f32;
+                for_n(e, t.unroll_factor(), m, |e, i| {
+                    rkj += q.at(e, i, k) * a.at(e, i, j);
+                    e.compute(3);
+                });
+                r.set(e, k, j, rkj);
+                for_n(e, t.unroll_factor(), m, |e, i| {
+                    let v = a.at(e, i, j) - q.at(e, i, k) * rkj;
+                    e.compute(3);
+                    a.set(e, i, j, v);
+                });
+            });
+        });
+        checksum(q.raw()) + checksum(r.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::kernel_tests::*;
+    use super::*;
+    use crate::space::test_support::Recorder;
+    use crate::space::DataSpace;
+
+    fn small() -> Gramschmidt {
+        Gramschmidt::new(12, 8)
+    }
+
+    #[test]
+    fn conformance() {
+        assert_kernel_conformance(&small());
+    }
+
+    #[test]
+    fn prefetch_is_deliberately_withheld() {
+        // Every loop walks columns with multiple live streams; hinting any
+        // of them evicts another from the small VWB, so the manual
+        // transformation leaves this kernel alone.
+        use crate::space::test_support::Recorder;
+        let mut rec = Recorder::default();
+        small().execute(&mut rec, Transformations::only_prefetch());
+        assert!(rec.prefetches.is_empty());
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        assert_unrolling_reduces_branches(&small());
+    }
+
+    #[test]
+    fn q_columns_are_orthonormal() {
+        // Re-run the factorization on raw data and check QᵀQ ≈ I.
+        let (m, n) = (10, 6);
+        let mut space = DataSpace::new(true);
+        let mut a = space.array2(m, n);
+        a.fill(|i, j| seed_value(i + 157, j) + if i == j { 3.0 } else { 0.0 });
+        let mut q = vec![vec![0.0f32; n]; m];
+        let mut work: Vec<Vec<f32>> = (0..m)
+            .map(|i| (0..n).map(|j| a.raw_at(i, j)).collect())
+            .collect();
+        for k in 0..n {
+            let nrm: f32 = (0..m).map(|i| work[i][k] * work[i][k]).sum();
+            let rkk = nrm.sqrt().max(1e-6);
+            for i in 0..m {
+                q[i][k] = work[i][k] / rkk;
+            }
+            for j in k + 1..n {
+                let rkj: f32 = (0..m).map(|i| q[i][k] * work[i][j]).sum();
+                for (i, row) in work.iter_mut().enumerate() {
+                    row[j] -= q[i][k] * rkj;
+                }
+            }
+        }
+        for k1 in 0..n {
+            for k2 in 0..n {
+                let dot: f32 = (0..m).map(|i| q[i][k1] * q[i][k2]).sum();
+                let expect = if k1 == k2 { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-3, "({k1},{k2}): {dot}");
+            }
+        }
+        // And the instrumented kernel produces a finite checksum.
+        let got = Gramschmidt::new(m, n).execute(&mut Recorder::default(), Transformations::none());
+        assert!(got.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n")]
+    fn wide_matrix_panics() {
+        let _ = Gramschmidt::new(4, 8);
+    }
+}

@@ -1,0 +1,145 @@
+//! `heat-3d`: 3-D heat-equation stencil.
+
+use super::{checksum, for_n, seed_value, Kernel, LINE_ELEMS};
+use crate::space::{Array3, DataSpace};
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+
+/// Seven-point 3-D stencil (`A, B: N×N×N`, ping-pong over `tsteps`).
+/// The `k`-dimension walk is unit stride but the `i`/`j` neighbours sit a
+/// full plane / row apart — six of seven operands are line-sized strides,
+/// the heaviest promotion traffic in the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heat3d {
+    n: usize,
+    tsteps: usize,
+}
+
+impl Heat3d {
+    /// Creates the kernel (`n × n × n` grid, `tsteps` steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `tsteps` is zero.
+    pub fn new(n: usize, tsteps: usize) -> Self {
+        assert!(n >= 3, "heat-3d needs at least a 3x3x3 grid");
+        assert!(tsteps > 0, "heat-3d needs at least one step");
+        Heat3d { n, tsteps }
+    }
+
+    fn sweep(e: &mut dyn Engine, t: Transformations, src: &Array3, dst: &mut Array3) {
+        let (n, _, _) = src.dims();
+        for_n(e, 1, n - 2, |e, it| {
+            let i = it + 1;
+            for_n(e, 1, n - 2, |e, jt| {
+                let j = jt + 1;
+                for_n(e, t.unroll_factor(), n - 2, |e, kt| {
+                    let k = kt + 1;
+                    if t.prefetch && k % LINE_ELEMS == 1 && k + LINE_ELEMS < n {
+                        e.prefetch(src.addr(i, j, k + LINE_ELEMS));
+                    }
+                    let v = 0.125f32
+                        * (src.at(e, i + 1, j, k) - 2.0 * src.at(e, i, j, k)
+                            + src.at(e, i - 1, j, k))
+                        + 0.125f32
+                            * (src.at(e, i, j + 1, k) - 2.0 * src.at(e, i, j, k)
+                                + src.at(e, i, j - 1, k))
+                        + 0.125f32
+                            * (src.at(e, i, j, k + 1) - 2.0 * src.at(e, i, j, k)
+                                + src.at(e, i, j, k - 1))
+                        + src.at(e, i, j, k);
+                    e.compute(12);
+                    dst.set(e, i, j, k, v);
+                });
+            });
+        });
+    }
+}
+
+impl Kernel for Heat3d {
+    fn name(&self) -> &'static str {
+        "heat-3d"
+    }
+
+    fn execute(&self, e: &mut dyn Engine, t: Transformations) -> f64 {
+        let n = self.n;
+        let mut space = DataSpace::new(t.others);
+        let mut a = space.array3(n, n, n);
+        let mut b = space.array3(n, n, n);
+        a.fill(|i, j, k| seed_value(i * 31 + j + 197, k));
+        b.fill(|i, j, k| seed_value(i * 31 + j + 199, k));
+
+        for_n(e, 1, self.tsteps, |e, _| {
+            Heat3d::sweep(e, t, &a, &mut b);
+            Heat3d::sweep(e, t, &b, &mut a);
+        });
+        checksum(a.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::kernel_tests::*;
+    use super::*;
+    use crate::space::test_support::Recorder;
+
+    fn small() -> Heat3d {
+        Heat3d::new(7, 2)
+    }
+
+    #[test]
+    fn conformance() {
+        assert_kernel_conformance(&small());
+    }
+
+    #[test]
+    fn prefetch_emits_hints() {
+        assert_prefetch_emits_hints(&Heat3d::new(20, 1));
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        assert_unrolling_reduces_branches(&small());
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let (n, steps) = (5, 1);
+        let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+        let mut a = vec![0.0f32; n * n * n];
+        let mut b = vec![0.0f32; n * n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[idx(i, j, k)] = seed_value(i * 31 + j + 197, k);
+                    b[idx(i, j, k)] = seed_value(i * 31 + j + 199, k);
+                }
+            }
+        }
+        let stencil = |src: &[f32], dst: &mut [f32]| {
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    for k in 1..n - 1 {
+                        dst[idx(i, j, k)] = 0.125
+                            * (src[idx(i + 1, j, k)] - 2.0 * src[idx(i, j, k)]
+                                + src[idx(i - 1, j, k)])
+                            + 0.125
+                                * (src[idx(i, j + 1, k)] - 2.0 * src[idx(i, j, k)]
+                                    + src[idx(i, j - 1, k)])
+                            + 0.125
+                                * (src[idx(i, j, k + 1)] - 2.0 * src[idx(i, j, k)]
+                                    + src[idx(i, j, k - 1)])
+                            + src[idx(i, j, k)];
+                    }
+                }
+            }
+        };
+        for _ in 0..steps {
+            stencil(&a, &mut b);
+            stencil(&b, &mut a);
+        }
+        let expect: f64 = a.iter().map(|&v| v as f64).sum();
+        let got = Heat3d::new(n, steps).execute(&mut Recorder::default(), Transformations::none());
+        assert!((got - expect).abs() < 1e-3, "{got} vs {expect}");
+    }
+}

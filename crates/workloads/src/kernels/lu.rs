@@ -1,0 +1,129 @@
+//! `lu`: LU decomposition without pivoting.
+
+use super::{checksum, dot_row_prefix_rows_col, for_n, seed_value, Kernel};
+use crate::space::DataSpace;
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+
+/// In-place LU factorization (`A: N×N`, diagonally dominant so no pivoting
+/// is needed). The `U` update dots a row prefix against a *column* prefix
+/// — the hybrid pattern that keeps part of the traffic column-strided even
+/// after vectorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lu {
+    n: usize,
+}
+
+impl Lu {
+    /// Creates the kernel for an `n × n` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "lu dimension must be non-zero");
+        Lu { n }
+    }
+}
+
+impl Kernel for Lu {
+    fn name(&self) -> &'static str {
+        "lu"
+    }
+
+    fn execute(&self, e: &mut dyn Engine, t: Transformations) -> f64 {
+        let n = self.n;
+        let mut space = DataSpace::new(t.others);
+        let mut a = space.array2(n, n);
+        a.fill(|i, j| {
+            if i == j {
+                n as f32 + 2.0
+            } else {
+                seed_value(i + 139, j) * 0.4
+            }
+        });
+
+        for_n(e, 1, n, |e, i| {
+            // L part: A[i][j] = (A[i][j] - A[i][:j]·A[:j][j]) / A[j][j]
+            for_n(e, 1, i, |e, j| {
+                let dot = dot_row_prefix_rows_col(e, t, &a, i, j, j);
+                let v = (a.at(e, i, j) - dot) / a.at(e, j, j);
+                e.compute(3);
+                a.set(e, i, j, v);
+            });
+            // U part: A[i][j] -= A[i][:i]·A[:i][j]
+            for_n(e, 1, n - i, |e, dj| {
+                let j = i + dj;
+                let dot = dot_row_prefix_rows_col(e, t, &a, i, j, i);
+                let v = a.at(e, i, j) - dot;
+                e.compute(2);
+                a.set(e, i, j, v);
+            });
+        });
+        checksum(a.raw())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop, clippy::assign_op_pattern)] // reference loops mirror the PolyBench C code
+mod tests {
+    use super::super::kernel_tests::*;
+    use super::*;
+    use crate::space::test_support::Recorder;
+
+    fn small() -> Lu {
+        Lu::new(13)
+    }
+
+    #[test]
+    fn conformance() {
+        assert_kernel_conformance(&small());
+    }
+
+    #[test]
+    fn prefetch_emits_hints() {
+        assert_prefetch_emits_hints(&Lu::new(40));
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        assert_unrolling_reduces_branches(&small());
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let n = 6;
+        let orig = |i: usize, j: usize| {
+            if i == j {
+                n as f32 + 2.0
+            } else {
+                seed_value(i + 139, j) * 0.4
+            }
+        };
+        let mut a = vec![vec![0.0f32; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i][j] = orig(i, j);
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                let mut dot = 0.0f32;
+                for k in 0..j {
+                    dot += a[i][k] * a[k][j];
+                }
+                a[i][j] = (a[i][j] - dot) / a[j][j];
+            }
+            for j in i..n {
+                let mut dot = 0.0f32;
+                for k in 0..i {
+                    dot += a[i][k] * a[k][j];
+                }
+                a[i][j] -= dot;
+            }
+        }
+        let expect: f64 = a.iter().flatten().map(|&v| v as f64).sum();
+        let got = Lu::new(n).execute(&mut Recorder::default(), Transformations::none());
+        assert!((got - expect).abs() < 1e-3, "{got} vs {expect}");
+    }
+}

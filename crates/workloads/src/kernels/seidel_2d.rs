@@ -1,0 +1,135 @@
+//! `seidel-2d`: in-place nine-point Gauss-Seidel sweeps.
+
+use super::{checksum, for_n, pf2, seed_value, Kernel};
+use crate::space::DataSpace;
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+
+/// 2-D Gauss-Seidel (`A: N×N`, in place over `tsteps`).
+///
+/// The loop-carried dependence (`A[i][j]` uses the *updated* west and north
+/// neighbours) makes the kernel **non-vectorizable** — the `vectorize`
+/// toggle is a no-op here, exactly as the paper's per-benchmark Fig. 6
+/// breakdown varies by kernel. Prefetching and unrolling still apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seidel2d {
+    n: usize,
+    tsteps: usize,
+}
+
+impl Seidel2d {
+    /// Creates the kernel (`n × n` grid, `tsteps` sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `tsteps` is zero.
+    pub fn new(n: usize, tsteps: usize) -> Self {
+        assert!(n >= 3, "seidel-2d needs at least a 3x3 grid");
+        assert!(tsteps > 0, "seidel-2d needs at least one sweep");
+        Seidel2d { n, tsteps }
+    }
+}
+
+impl Kernel for Seidel2d {
+    fn name(&self) -> &'static str {
+        "seidel-2d"
+    }
+
+    fn execute(&self, e: &mut dyn Engine, t: Transformations) -> f64 {
+        let n = self.n;
+        let mut space = DataSpace::new(t.others);
+        let mut a = space.array2(n, n);
+        a.fill(|i, j| seed_value(i + 109, j));
+
+        for_n(e, 1, self.tsteps, |e, _| {
+            for_n(e, 1, n - 2, |e, it| {
+                let i = it + 1;
+                for_n(e, t.unroll_factor(), n - 2, |e, jt| {
+                    let j = jt + 1;
+                    pf2(e, t, &a, i, j);
+                    let v = (a.at(e, i - 1, j - 1)
+                        + a.at(e, i - 1, j)
+                        + a.at(e, i - 1, j + 1)
+                        + a.at(e, i, j - 1)
+                        + a.at(e, i, j)
+                        + a.at(e, i, j + 1)
+                        + a.at(e, i + 1, j - 1)
+                        + a.at(e, i + 1, j)
+                        + a.at(e, i + 1, j + 1))
+                        / 9.0;
+                    e.compute(9);
+                    a.set(e, i, j, v);
+                });
+            });
+        });
+        checksum(a.raw())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop, clippy::assign_op_pattern)] // reference loops mirror the PolyBench C code
+mod tests {
+    use super::super::kernel_tests::*;
+    use super::*;
+    use crate::space::test_support::Recorder;
+
+    fn small() -> Seidel2d {
+        Seidel2d::new(9, 2)
+    }
+
+    #[test]
+    fn conformance() {
+        assert_kernel_conformance(&small());
+    }
+
+    #[test]
+    fn vectorize_toggle_is_a_no_op() {
+        // The dependence chain forbids vectorization: same event stream.
+        let mut a = Recorder::default();
+        small().execute(&mut a, Transformations::none());
+        let mut b = Recorder::default();
+        small().execute(&mut b, Transformations::only_vectorize());
+        assert_eq!(a.loads.len(), b.loads.len());
+    }
+
+    #[test]
+    fn prefetch_emits_hints() {
+        assert_prefetch_emits_hints(&Seidel2d::new(20, 2));
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        assert_unrolling_reduces_branches(&small());
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let (n, steps) = (5, 1);
+        let mut a = vec![vec![0.0f32; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i][j] = seed_value(i + 109, j);
+            }
+        }
+        for _ in 0..steps {
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    a[i][j] = (a[i - 1][j - 1]
+                        + a[i - 1][j]
+                        + a[i - 1][j + 1]
+                        + a[i][j - 1]
+                        + a[i][j]
+                        + a[i][j + 1]
+                        + a[i + 1][j - 1]
+                        + a[i + 1][j]
+                        + a[i + 1][j + 1])
+                        / 9.0;
+                }
+            }
+        }
+        let expect: f64 = a.iter().flatten().map(|&v| v as f64).sum();
+        let got =
+            Seidel2d::new(n, steps).execute(&mut Recorder::default(), Transformations::none());
+        assert!((got - expect).abs() < 1e-4, "{got} vs {expect}");
+    }
+}

@@ -1,0 +1,127 @@
+//! `symm`: symmetric matrix-matrix multiplication.
+
+use super::{checksum, for_n, pf2, seed_value, Kernel};
+use crate::space::DataSpace;
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+
+/// Symmetric matrix multiply, BLAS `SYMM` left-lower variant:
+/// `C = α·A·B + β·C` with `A` symmetric and only its lower triangle
+/// stored. The reference loop couples a column reduction with a running
+/// row update, mixing both walk directions in one nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Symm {
+    m: usize,
+    n: usize,
+}
+
+const ALPHA: f32 = 1.5;
+const BETA: f32 = 1.2;
+
+impl Symm {
+    /// Creates the kernel (`A: m × m`, `B, C: m × n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(m: usize, n: usize) -> Self {
+        assert!(m > 0 && n > 0, "symm dimensions must be non-zero");
+        Symm { m, n }
+    }
+}
+
+impl Kernel for Symm {
+    fn name(&self) -> &'static str {
+        "symm"
+    }
+
+    fn execute(&self, e: &mut dyn Engine, t: Transformations) -> f64 {
+        let (m, n) = (self.m, self.n);
+        let mut space = DataSpace::new(t.others);
+        let mut a = space.array2(m, m);
+        let mut b = space.array2(m, n);
+        let mut c = space.array2(m, n);
+        a.fill(|i, j| seed_value(i.min(j) + 167, i.max(j)));
+        b.fill(|i, j| seed_value(i + 173, j));
+        c.fill(|i, j| seed_value(i + 179, j));
+
+        // PolyBench reference nest: for each (i, j), accumulate over k < i
+        // into both temp and C[k][j].
+        for_n(e, 1, m, |e, i| {
+            for_n(e, 1, n, |e, j| {
+                let mut temp2 = 0.0f32;
+                let b_ij = b.at(e, i, j);
+                for_n(e, t.unroll_factor(), i, |e, k| {
+                    // A-row hints only; B/C column hints would thrash the
+                    // buffer against three live streams.
+                    pf2(e, t, &a, i, k);
+                    let a_ik = a.at(e, i, k);
+                    // C[k][j] += alpha * B[i][j] * A[i][k]
+                    let upd = c.at(e, k, j) + ALPHA * b_ij * a_ik;
+                    e.compute(3);
+                    c.set(e, k, j, upd);
+                    // temp2 += B[k][j] * A[i][k]
+                    temp2 += b.at(e, k, j) * a_ik;
+                    e.compute(2);
+                });
+                let v = BETA * c.at(e, i, j) + ALPHA * b_ij * a.at(e, i, i) + ALPHA * temp2;
+                e.compute(5);
+                c.set(e, i, j, v);
+            });
+        });
+        checksum(c.raw())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop, clippy::assign_op_pattern)] // reference loops mirror the PolyBench C code
+mod tests {
+    use super::super::kernel_tests::*;
+    use super::*;
+    use crate::space::test_support::Recorder;
+
+    fn small() -> Symm {
+        Symm::new(10, 9)
+    }
+
+    #[test]
+    fn conformance() {
+        assert_kernel_conformance(&small());
+    }
+
+    #[test]
+    fn prefetch_emits_hints() {
+        assert_prefetch_emits_hints(&small());
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        assert_unrolling_reduces_branches(&small());
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let (m, n) = (5, 4);
+        let a = |i: usize, j: usize| seed_value(i.min(j) + 167, i.max(j));
+        let b = |i: usize, j: usize| seed_value(i + 173, j);
+        let mut c = vec![vec![0.0f32; n]; m];
+        for (i, row) in c.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = seed_value(i + 179, j);
+            }
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let mut temp2 = 0.0f32;
+                for k in 0..i {
+                    c[k][j] += ALPHA * b(i, j) * a(i, k);
+                    temp2 += b(k, j) * a(i, k);
+                }
+                c[i][j] = BETA * c[i][j] + ALPHA * b(i, j) * a(i, i) + ALPHA * temp2;
+            }
+        }
+        let expect: f64 = c.iter().flatten().map(|&v| v as f64).sum();
+        let got = Symm::new(m, n).execute(&mut Recorder::default(), Transformations::none());
+        assert!((got - expect).abs() < 1e-3, "{got} vs {expect}");
+    }
+}

@@ -1,0 +1,88 @@
+//! `3mm`: G = (A·B)·(C·D) (three chained matrix products).
+
+use super::{checksum, matmul, seed_value, Kernel};
+use crate::space::DataSpace;
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+
+/// Three matrix multiplications: `E = A·B`, `F = C·D`, `G = E·F`
+/// (`A: NI×NK`, `B: NK×NJ`, `C: NJ×NM`, `D: NM×NL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreeMm {
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    nl: usize,
+    nm: usize,
+}
+
+impl ThreeMm {
+    /// Creates the kernel with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(ni: usize, nj: usize, nk: usize, nl: usize, nm: usize) -> Self {
+        assert!(
+            ni > 0 && nj > 0 && nk > 0 && nl > 0 && nm > 0,
+            "3mm dimensions must be non-zero"
+        );
+        ThreeMm { ni, nj, nk, nl, nm }
+    }
+}
+
+impl Kernel for ThreeMm {
+    fn name(&self) -> &'static str {
+        "3mm"
+    }
+
+    fn execute(&self, e: &mut dyn Engine, t: Transformations) -> f64 {
+        let mut space = DataSpace::new(t.others);
+        let mut a = space.array2(self.ni, self.nk);
+        let mut b = space.array2(self.nk, self.nj);
+        let mut c = space.array2(self.nj, self.nm);
+        let mut d = space.array2(self.nm, self.nl);
+        let mut ef = space.array2(self.ni, self.nj);
+        let mut fg = space.array2(self.nj, self.nl);
+        let mut g = space.array2(self.ni, self.nl);
+        a.fill(|i, j| seed_value(i + 3, j));
+        b.fill(|i, j| seed_value(i + 7, j));
+        c.fill(|i, j| seed_value(i + 11, j));
+        d.fill(|i, j| seed_value(i + 13, j));
+
+        matmul(e, t, &mut ef, &a, &b, 1.0, 0.0); // E = A·B
+        matmul(e, t, &mut fg, &c, &d, 1.0, 0.0); // F = C·D
+        matmul(e, t, &mut g, &ef, &fg, 1.0, 0.0); // G = E·F
+        checksum(g.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::kernel_tests::*;
+    use super::*;
+
+    fn small() -> ThreeMm {
+        ThreeMm::new(6, 7, 8, 9, 10)
+    }
+
+    #[test]
+    fn conformance() {
+        assert_kernel_conformance(&small());
+    }
+
+    #[test]
+    fn vectorization_reduces_loads() {
+        assert_vectorization_reduces_loads(&ThreeMm::new(8, 8, 8, 8, 8));
+    }
+
+    #[test]
+    fn prefetch_emits_hints() {
+        assert_prefetch_emits_hints(&small());
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        assert_unrolling_reduces_branches(&small());
+    }
+}

@@ -1,0 +1,100 @@
+//! `2mm`: D = α·A·B·C + β·D (two chained matrix products).
+
+use super::{checksum, matmul, seed_value, Kernel};
+use crate::space::DataSpace;
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+
+/// Two matrix multiplications: `tmp = α·A·B`, then `D = tmp·C + β·D`
+/// (`A: NI×NK`, `B: NK×NJ`, `C: NJ×NL`, `D: NI×NL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoMm {
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    nl: usize,
+}
+
+const ALPHA: f32 = 1.5;
+const BETA: f32 = 1.2;
+
+impl TwoMm {
+    /// Creates the kernel with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(ni: usize, nj: usize, nk: usize, nl: usize) -> Self {
+        assert!(
+            ni > 0 && nj > 0 && nk > 0 && nl > 0,
+            "2mm dimensions must be non-zero"
+        );
+        TwoMm { ni, nj, nk, nl }
+    }
+}
+
+impl Kernel for TwoMm {
+    fn name(&self) -> &'static str {
+        "2mm"
+    }
+
+    fn execute(&self, e: &mut dyn Engine, t: Transformations) -> f64 {
+        let mut space = DataSpace::new(t.others);
+        let mut tmp = space.array2(self.ni, self.nj);
+        let mut a = space.array2(self.ni, self.nk);
+        let mut b = space.array2(self.nk, self.nj);
+        let mut c = space.array2(self.nj, self.nl);
+        let mut d = space.array2(self.ni, self.nl);
+        a.fill(|i, j| seed_value(i + 3, j));
+        b.fill(|i, j| seed_value(i + 7, j));
+        c.fill(|i, j| seed_value(i + 11, j));
+        d.fill(|i, j| seed_value(i + 13, j));
+
+        // tmp = alpha * A * B (tmp starts zeroed: beta term is 0).
+        matmul(e, t, &mut tmp, &a, &b, ALPHA, 0.0);
+        // D = tmp * C + beta * D.
+        matmul(e, t, &mut d, &tmp, &c, 1.0, BETA);
+        checksum(d.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::kernel_tests::*;
+    use super::*;
+
+    fn small() -> TwoMm {
+        TwoMm::new(7, 8, 9, 10)
+    }
+
+    #[test]
+    fn conformance() {
+        assert_kernel_conformance(&small());
+    }
+
+    #[test]
+    fn vectorization_reduces_loads() {
+        assert_vectorization_reduces_loads(&TwoMm::new(8, 8, 8, 8));
+    }
+
+    #[test]
+    fn prefetch_emits_hints() {
+        assert_prefetch_emits_hints(&small());
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        assert_unrolling_reduces_branches(&small());
+    }
+
+    #[test]
+    fn chains_two_products() {
+        use crate::space::test_support::Recorder;
+        let mut rec = Recorder::default();
+        TwoMm::new(4, 4, 4, 4).execute(&mut rec, Transformations::none());
+        // Roughly twice the traffic of one 4x4x4 gemm.
+        let mut one = Recorder::default();
+        super::super::Gemm::new(4, 4, 4).execute(&mut one, Transformations::none());
+        assert!(rec.loads.len() > one.loads.len());
+    }
+}

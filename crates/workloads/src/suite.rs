@@ -1,0 +1,234 @@
+//! Benchmark-suite enumeration and problem sizing.
+
+pub use crate::kernels::Kernel;
+use crate::kernels::{
+    Adi, Atax, Bicg, Cholesky, Correlation, Covariance, Doitgen, Durbin, Fdtd2d, FloydWarshall,
+    Gemm, Gemver, Gesummv, Gramschmidt, Heat3d, Jacobi1d, Jacobi2d, Lu, Ludcmp, Mvt, Seidel2d,
+    Symm, Syr2k, Syrk, ThreeMm, Trisolv, Trmm, TwoMm,
+};
+
+/// The problem-size classes (PolyBench's `MINI`/`SMALL` spirit, scaled so
+/// a full figure sweep simulates in seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProblemSize {
+    /// Smallest sizes — unit tests and smoke runs.
+    #[default]
+    Mini,
+    /// The figure-generation sizes.
+    Small,
+    /// Stress sizes (~27x the mini simulation time for the cubic
+    /// kernels); use for one-off validation, not sweeps.
+    Large,
+}
+
+impl ProblemSize {
+    fn scale(self) -> usize {
+        match self {
+            ProblemSize::Mini => 1,
+            ProblemSize::Small => 2,
+            ProblemSize::Large => 3,
+        }
+    }
+}
+
+/// The PolyBench subset the paper evaluates on.
+///
+/// # Example
+///
+/// ```
+/// use sttcache_workloads::{PolyBench, ProblemSize};
+///
+/// let kernels = PolyBench::suite(ProblemSize::Mini);
+/// assert_eq!(kernels.len(), 28);
+/// assert_eq!(kernels[0].name(), "2mm");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are the benchmark names
+pub enum PolyBench {
+    TwoMm,
+    ThreeMm,
+    Adi,
+    Atax,
+    Bicg,
+    Cholesky,
+    Correlation,
+    Covariance,
+    Doitgen,
+    Durbin,
+    Fdtd2d,
+    FloydWarshall,
+    Gemm,
+    Gemver,
+    Gesummv,
+    Gramschmidt,
+    Heat3d,
+    Jacobi1d,
+    Jacobi2d,
+    Lu,
+    Ludcmp,
+    Mvt,
+    Seidel2d,
+    Symm,
+    Syr2k,
+    Syrk,
+    Trisolv,
+    Trmm,
+}
+
+impl PolyBench {
+    /// Every benchmark, in the order the figures print them.
+    pub const ALL: [PolyBench; 28] = [
+        PolyBench::TwoMm,
+        PolyBench::ThreeMm,
+        PolyBench::Adi,
+        PolyBench::Atax,
+        PolyBench::Bicg,
+        PolyBench::Cholesky,
+        PolyBench::Correlation,
+        PolyBench::Covariance,
+        PolyBench::Doitgen,
+        PolyBench::Durbin,
+        PolyBench::Fdtd2d,
+        PolyBench::FloydWarshall,
+        PolyBench::Gemm,
+        PolyBench::Gemver,
+        PolyBench::Gesummv,
+        PolyBench::Gramschmidt,
+        PolyBench::Heat3d,
+        PolyBench::Jacobi1d,
+        PolyBench::Jacobi2d,
+        PolyBench::Lu,
+        PolyBench::Ludcmp,
+        PolyBench::Mvt,
+        PolyBench::Seidel2d,
+        PolyBench::Symm,
+        PolyBench::Syr2k,
+        PolyBench::Syrk,
+        PolyBench::Trisolv,
+        PolyBench::Trmm,
+    ];
+
+    /// The benchmark's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolyBench::TwoMm => "2mm",
+            PolyBench::ThreeMm => "3mm",
+            PolyBench::Adi => "adi",
+            PolyBench::Atax => "atax",
+            PolyBench::Bicg => "bicg",
+            PolyBench::Cholesky => "cholesky",
+            PolyBench::Correlation => "correlation",
+            PolyBench::Covariance => "covariance",
+            PolyBench::Doitgen => "doitgen",
+            PolyBench::Durbin => "durbin",
+            PolyBench::Fdtd2d => "fdtd-2d",
+            PolyBench::FloydWarshall => "floyd-warshall",
+            PolyBench::Gemm => "gemm",
+            PolyBench::Gemver => "gemver",
+            PolyBench::Gesummv => "gesummv",
+            PolyBench::Gramschmidt => "gramschmidt",
+            PolyBench::Heat3d => "heat-3d",
+            PolyBench::Jacobi1d => "jacobi-1d",
+            PolyBench::Jacobi2d => "jacobi-2d",
+            PolyBench::Lu => "lu",
+            PolyBench::Ludcmp => "ludcmp",
+            PolyBench::Mvt => "mvt",
+            PolyBench::Seidel2d => "seidel-2d",
+            PolyBench::Symm => "symm",
+            PolyBench::Syr2k => "syr2k",
+            PolyBench::Syrk => "syrk",
+            PolyBench::Trisolv => "trisolv",
+            PolyBench::Trmm => "trmm",
+        }
+    }
+
+    /// Instantiates the kernel at the given problem size.
+    pub fn kernel(self, size: ProblemSize) -> Box<dyn Kernel> {
+        let s = size.scale();
+        match self {
+            PolyBench::TwoMm => Box::new(TwoMm::new(16 * s, 18 * s, 20 * s, 22 * s)),
+            PolyBench::Adi => Box::new(Adi::new(24 * s, 6 * s)),
+            PolyBench::ThreeMm => Box::new(ThreeMm::new(14 * s, 16 * s, 18 * s, 20 * s, 22 * s)),
+            PolyBench::Atax => Box::new(Atax::new(76 * s, 84 * s)),
+            PolyBench::Bicg => Box::new(Bicg::new(84 * s, 76 * s)),
+            PolyBench::Cholesky => Box::new(Cholesky::new(40 * s)),
+            PolyBench::Correlation => Box::new(Correlation::new(28 * s, 24 * s)),
+            PolyBench::Covariance => Box::new(Covariance::new(28 * s, 24 * s)),
+            PolyBench::Durbin => Box::new(Durbin::new(120 * s)),
+            PolyBench::Fdtd2d => Box::new(Fdtd2d::new(24 * s, 28 * s, 8 * s)),
+            PolyBench::FloydWarshall => Box::new(FloydWarshall::new(24 * s)),
+            PolyBench::Doitgen => Box::new(Doitgen::new(8 * s, 8 * s, 24 * s)),
+            PolyBench::Gemm => Box::new(Gemm::new(20 * s, 22 * s, 24 * s)),
+            PolyBench::Gemver => Box::new(Gemver::new(72 * s)),
+            PolyBench::Gesummv => Box::new(Gesummv::new(80 * s)),
+            PolyBench::Gramschmidt => Box::new(Gramschmidt::new(32 * s, 20 * s)),
+            PolyBench::Heat3d => Box::new(Heat3d::new(14 * s, 4 * s)),
+            PolyBench::Jacobi1d => Box::new(Jacobi1d::new(1200 * s, 12 * s)),
+            PolyBench::Jacobi2d => Box::new(Jacobi2d::new(36 * s, 10 * s)),
+            PolyBench::Lu => Box::new(Lu::new(32 * s)),
+            PolyBench::Ludcmp => Box::new(Ludcmp::new(32 * s)),
+            PolyBench::Mvt => Box::new(Mvt::new(80 * s)),
+            PolyBench::Seidel2d => Box::new(Seidel2d::new(36 * s, 8 * s)),
+            PolyBench::Symm => Box::new(Symm::new(28 * s, 24 * s)),
+            PolyBench::Syr2k => Box::new(Syr2k::new(20 * s, 24 * s)),
+            PolyBench::Syrk => Box::new(Syrk::new(24 * s, 28 * s)),
+            PolyBench::Trisolv => Box::new(Trisolv::new(120 * s)),
+            PolyBench::Trmm => Box::new(Trmm::new(24 * s, 28 * s)),
+        }
+    }
+
+    /// Instantiates the whole suite at one size.
+    pub fn suite(size: ProblemSize) -> Vec<Box<dyn Kernel>> {
+        PolyBench::ALL.iter().map(|b| b.kernel(size)).collect()
+    }
+}
+
+impl std::fmt::Display for PolyBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::test_support::Recorder;
+    use crate::transform::Transformations;
+
+    #[test]
+    fn names_match_kernels() {
+        for b in PolyBench::ALL {
+            let k = b.kernel(ProblemSize::Mini);
+            assert_eq!(k.name(), b.name());
+        }
+    }
+
+    #[test]
+    fn all_kernels_run_at_mini_size() {
+        for b in PolyBench::ALL {
+            let k = b.kernel(ProblemSize::Mini);
+            let mut rec = Recorder::default();
+            let sum = k.execute(&mut rec, Transformations::none());
+            assert!(sum.is_finite(), "{b}");
+            assert!(!rec.loads.is_empty(), "{b}");
+        }
+    }
+
+    #[test]
+    fn small_is_bigger_than_mini() {
+        for b in [PolyBench::Gemm, PolyBench::Atax, PolyBench::Jacobi2d] {
+            let mut mini = Recorder::default();
+            b.kernel(ProblemSize::Mini)
+                .run(&mut mini, Transformations::none());
+            let mut small = Recorder::default();
+            b.kernel(ProblemSize::Small)
+                .run(&mut small, Transformations::none());
+            assert!(small.loads.len() > 2 * mini.loads.len(), "{b}");
+        }
+    }
+
+    #[test]
+    fn display_uses_names() {
+        assert_eq!(PolyBench::Jacobi2d.to_string(), "jacobi-2d");
+    }
+}

@@ -1,0 +1,76 @@
+//! Design-space exploration: sweep the VWB capacity, promotion occupancy
+//! and NVM bank count, and report the configuration with the lowest
+//! average penalty — the §VI "exploration of the effects of the different
+//! tune-able parameters".
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use sttcache::{penalty_pct, DCacheOrganization, Platform, PlatformConfig, SttError, VwbConfig};
+use sttcache_cpu::Engine;
+use sttcache_mem::CacheConfig;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+/// The sweep uses a representative kernel mix: one matrix product, one
+/// column-walk-heavy kernel and one streaming stencil.
+const MIX: [PolyBench; 3] = [PolyBench::Gemm, PolyBench::Mvt, PolyBench::Jacobi2d];
+
+fn average_penalty_of(cfg: &PlatformConfig) -> Result<f64, SttError> {
+    let platform = Platform::with_config(cfg.clone())?;
+    let sram = Platform::new(DCacheOrganization::SramBaseline)?;
+    let mut sum = 0.0;
+    for bench in MIX {
+        let kernel = bench.kernel(ProblemSize::Mini);
+        let base = sram.run(|e: &mut dyn Engine| kernel.run(e, Transformations::none()));
+        let kernel = bench.kernel(ProblemSize::Mini);
+        let run = platform.run(|e: &mut dyn Engine| kernel.run(e, Transformations::none()));
+        sum += penalty_pct(base.cycles(), run.cycles());
+    }
+    Ok(sum / MIX.len() as f64)
+}
+
+fn nvm_dl1_with_banks(banks: usize) -> CacheConfig {
+    CacheConfig::builder()
+        .capacity_bytes(64 * 1024)
+        .associativity(2)
+        .line_bytes(64)
+        .banks(banks)
+        .read_cycles(4)
+        .write_cycles(2)
+        .build()
+        .expect("swept DL1 geometry is valid")
+}
+
+fn main() -> Result<(), SttError> {
+    println!(
+        "{:>10} {:>12} {:>8} {:>12}",
+        "VWB bits", "promo cyc", "banks", "avg penalty"
+    );
+    let mut best: Option<(f64, String)> = None;
+    for &bits in &[1024usize, 2048, 4096] {
+        for &promo in &[2u64, 4] {
+            for &banks in &[2usize, 4, 8] {
+                let mut cfg = PlatformConfig::new(DCacheOrganization::NvmVwb(VwbConfig {
+                    capacity_bits: bits,
+                    promotion_cycles: promo,
+                    ..VwbConfig::default()
+                }));
+                cfg.dl1_override = Some(nvm_dl1_with_banks(banks));
+                let p = average_penalty_of(&cfg)?;
+                println!("{bits:>10} {promo:>12} {banks:>8} {p:>11.2}%");
+                let label = format!("{bits} bit VWB, {promo}-cycle promotion, {banks} banks");
+                if best.as_ref().is_none_or(|(bp, _)| p < *bp) {
+                    best = Some((p, label));
+                }
+            }
+        }
+    }
+    let (p, label) = best.expect("sweep is non-empty");
+    println!("\nBest configuration: {label} ({p:.2}% average penalty).");
+    println!(
+        "The paper settles on 2 Kbit / 4 banks: bigger VWBs keep helping, but \
+         fully associative search, routing and energy costs grow with size (§VI)."
+    );
+    Ok(())
+}

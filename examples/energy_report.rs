@@ -1,0 +1,98 @@
+//! Energy, area and lifetime report — the paper's "obvious advantages
+//! offered by the NVM cache" (§VI) plus the endurance check that rules
+//! ReRAM and PRAM out of the L1 (§I), made quantitative.
+//!
+//! ```text
+//! cargo run --release --example energy_report
+//! ```
+
+use sttcache::{DCacheOrganization, Platform, SttError};
+use sttcache_cpu::Engine;
+use sttcache_tech::{ArrayConfig, ArrayModel, CellKind, CellModel, EnduranceModel, MtjDevice};
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() -> Result<(), SttError> {
+    // --- Technology survey: every cell this crate models, at 64 KB. ---
+    println!("== 64 KB 2-way L1 array across memory technologies ==");
+    println!(
+        "{:<20} {:>9} {:>9} {:>10} {:>10} {:>11}",
+        "technology", "read ns", "write ns", "leak mW", "area mm2", "endurance"
+    );
+    for kind in CellKind::ALL {
+        let cfg = ArrayConfig::builder().cell(kind).build()?;
+        let m = ArrayModel::new(cfg);
+        println!(
+            "{:<20} {:>9.2} {:>9.2} {:>10.2} {:>10.4} {:>11.0e}",
+            kind.name(),
+            m.read_latency_ns(),
+            m.write_latency_ns(),
+            m.leakage_mw(),
+            m.area_mm2(),
+            m.cell().parameters().endurance_cycles,
+        );
+    }
+
+    // --- Per-run energy on a real workload. ---
+    println!("\n== gemm energy (dynamic + leakage over the run) ==");
+    for org in [
+        DCacheOrganization::SramBaseline,
+        DCacheOrganization::nvm_vwb_default(),
+    ] {
+        let platform = Platform::new(org)?;
+        let kernel = PolyBench::Gemm.kernel(ProblemSize::Mini);
+        let r = platform.run(|e: &mut dyn Engine| kernel.run(e, Transformations::all()));
+        println!(
+            "{:<14} {:>9} cycles  dl1 {:>9.1} pJ  buffer {:>7.1} pJ  leakage {:>8.3} uJ  total {:>8.3} uJ",
+            org.name(),
+            r.cycles(),
+            r.energy.dl1_dynamic_pj,
+            r.energy.buffer_dynamic_pj,
+            r.energy.leakage_uj,
+            r.energy.total_uj(),
+        );
+    }
+
+    // --- Lifetime: can each NVM survive L1 write traffic for 10 years? ---
+    println!("\n== lifetime at an L1-class write rate (50M line-writes/s) ==");
+    let lines = 1024; // 64 KB of 64 B lines
+    for kind in [CellKind::SttMram, CellKind::ReRam, CellKind::Pram] {
+        let model = EnduranceModel::new(CellModel::new(kind), lines);
+        let lt = model.lifetime(50e6, 0.5);
+        let verdict = if lt.meets_ten_year_target() {
+            "ok"
+        } else {
+            "FAILS"
+        };
+        println!(
+            "{:<20} {:>14.2e} years  10-year target: {verdict}",
+            kind.name(),
+            lt.years()
+        );
+    }
+
+    // --- The TMR trade-off behind the paper's read-latency thesis. ---
+    println!("\n== STT-MRAM read latency vs TMR ratio (64 KB array) ==");
+    for tmr in [0.5, 1.0, 1.5, 2.0] {
+        let mtj = MtjDevice::new(
+            sttcache_tech::MtjStack::PerpendicularDual,
+            2500.0,
+            tmr,
+            60.0,
+            35.0,
+        )?;
+        let cell = CellModel::from_mtj(&mtj, 2.0);
+        let cfg = ArrayConfig::builder().cell(CellKind::SttMram).build()?;
+        let m = ArrayModel::with_cell(cfg, cell);
+        println!(
+            "TMR {:>4.0}%  ->  read {:.2} ns ({} cycles at 1 GHz)",
+            tmr * 100.0,
+            m.read_latency_ns(),
+            m.read_cycles(1.0)
+        );
+    }
+    println!(
+        "\nStability- and endurance-constrained TMR (~100%) pins the read at ~4 \
+         cycles — the paper's central observation (§III)."
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Full PolyBench sweep: every kernel on every L1 D-cache organization,
+//! with and without the code transformations — the data behind the
+//! paper's Figs. 1, 3, 5 and 8 in one table.
+//!
+//! ```text
+//! cargo run --release --example polybench_sweep [--small]
+//! ```
+
+use sttcache::{penalty_pct, DCacheOrganization, Platform, SttError};
+use sttcache_cpu::Engine;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn run(
+    org: DCacheOrganization,
+    bench: PolyBench,
+    size: ProblemSize,
+    t: Transformations,
+) -> Result<u64, SttError> {
+    let platform = Platform::new(org)?;
+    let kernel = bench.kernel(size);
+    Ok(platform.run(|e: &mut dyn Engine| kernel.run(e, t)).cycles())
+}
+
+fn main() -> Result<(), SttError> {
+    let size = if std::env::args().any(|a| a == "--small") {
+        ProblemSize::Small
+    } else {
+        ProblemSize::Mini
+    };
+
+    let orgs = [
+        DCacheOrganization::NvmDropIn,
+        DCacheOrganization::nvm_vwb_default(),
+        DCacheOrganization::nvm_l0_default(),
+        DCacheOrganization::nvm_emshr_default(),
+    ];
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "benchmark", "SRAM cyc", "drop-in", "VWB", "L0", "EMSHR", "VWB+opts"
+    );
+
+    let mut avgs = [0.0f64; 5];
+    for bench in PolyBench::ALL {
+        let base = run(
+            DCacheOrganization::SramBaseline,
+            bench,
+            size,
+            Transformations::none(),
+        )?;
+        let mut cols = Vec::new();
+        for org in orgs {
+            let cycles = run(org, bench, size, Transformations::none())?;
+            cols.push(penalty_pct(base, cycles));
+        }
+        // Optimized proposal vs the equally optimized SRAM baseline.
+        let base_opt = run(
+            DCacheOrganization::SramBaseline,
+            bench,
+            size,
+            Transformations::all(),
+        )?;
+        let opt = run(
+            DCacheOrganization::nvm_vwb_default(),
+            bench,
+            size,
+            Transformations::all(),
+        )?;
+        cols.push(penalty_pct(base_opt, opt));
+
+        print!("{:<12} {base:>12}", bench.name());
+        for v in &cols {
+            print!(" {v:>9.1}%");
+        }
+        println!();
+        for (a, v) in avgs.iter_mut().zip(&cols) {
+            *a += v / PolyBench::ALL.len() as f64;
+        }
+    }
+    print!("{:<12} {:>12}", "AVERAGE", "");
+    for a in avgs {
+        print!(" {a:>9.1}%");
+    }
+    println!();
+    Ok(())
+}

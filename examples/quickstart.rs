@@ -1,0 +1,75 @@
+//! Quickstart: measure the STT-MRAM drop-in penalty on one kernel and
+//! watch the VWB + code transformations recover it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sttcache::{penalty_pct, DCacheOrganization, Platform, SttError};
+use sttcache_cpu::Engine;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() -> Result<(), SttError> {
+    let bench = PolyBench::Gemm;
+    let size = ProblemSize::Mini;
+
+    // 1. The SRAM baseline (Table I left column: 1-cycle DL1).
+    let sram = Platform::new(DCacheOrganization::SramBaseline)?;
+    let kernel = bench.kernel(size);
+    let base = sram.run(|e: &mut dyn Engine| kernel.run(e, Transformations::none()));
+    println!(
+        "SRAM baseline      : {:>9} cycles (IPC {:.2})",
+        base.cycles(),
+        base.core.ipc()
+    );
+
+    // 2. Drop in the STT-MRAM DL1 (4-cycle read, 2-cycle write).
+    let nvm = Platform::new(DCacheOrganization::NvmDropIn)?;
+    let kernel = bench.kernel(size);
+    let drop_in = nvm.run(|e: &mut dyn Engine| kernel.run(e, Transformations::none()));
+    println!(
+        "NVM drop-in        : {:>9} cycles  -> penalty {:+.1}%",
+        drop_in.cycles(),
+        penalty_pct(base.cycles(), drop_in.cycles())
+    );
+
+    // 3. Add the paper's Very Wide Buffer.
+    let vwb = Platform::new(DCacheOrganization::nvm_vwb_default())?;
+    let kernel = bench.kernel(size);
+    let buffered = vwb.run(|e: &mut dyn Engine| kernel.run(e, Transformations::none()));
+    println!(
+        "NVM + VWB          : {:>9} cycles  -> penalty {:+.1}%",
+        buffered.cycles(),
+        penalty_pct(base.cycles(), buffered.cycles())
+    );
+    if let Some(stats) = &buffered.vwb {
+        println!(
+            "                     VWB read hit rate {:.1}%, {} promotions",
+            stats.read_hit_rate() * 100.0,
+            stats.promotions
+        );
+    }
+
+    // 4. Apply the code transformations (vectorize + prefetch + others);
+    //    the fair reference is the SRAM platform running the same binary.
+    let kernel = bench.kernel(size);
+    let base_opt = sram.run(|e: &mut dyn Engine| kernel.run(e, Transformations::all()));
+    let kernel = bench.kernel(size);
+    let optimized = vwb.run(|e: &mut dyn Engine| kernel.run(e, Transformations::all()));
+    println!(
+        "NVM + VWB optimized: {:>9} cycles  -> penalty {:+.1}% (vs optimized SRAM)",
+        optimized.cycles(),
+        penalty_pct(base_opt.cycles(), optimized.cycles())
+    );
+
+    println!(
+        "\nArea: the STT-MRAM DL1 occupies {:.3} mm2 vs {:.3} mm2 for SRAM \
+         ({}x denser cells), and leaks {:.1} mW vs {:.1} mW.",
+        optimized.energy.dl1_area_mm2,
+        base.energy.dl1_area_mm2,
+        (base.energy.dl1_area_mm2 / optimized.energy.dl1_area_mm2).round(),
+        optimized.energy.dl1_leakage_mw,
+        base.energy.dl1_leakage_mw,
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Trace-driven sweep: record a kernel's event stream once, then replay
+//! it through every L1 D-cache organization — the record-once/sweep-many
+//! workflow of trace-driven studies, including a binary round-trip
+//! through the on-disk trace format.
+//!
+//! ```text
+//! cargo run --release --example trace_sweep
+//! ```
+
+use sttcache::{penalty_pct, DCacheOrganization, Platform, SttError};
+use sttcache_cpu::{Engine, Trace, TraceRecorder};
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn main() -> Result<(), SttError> {
+    let bench = PolyBench::Bicg;
+
+    // 1. Record the kernel once.
+    let mut recorder = TraceRecorder::new();
+    bench
+        .kernel(ProblemSize::Mini)
+        .run(&mut recorder, Transformations::all());
+    let trace = recorder.into_trace();
+    let (loads, stores, prefetches, branches) = trace.summary();
+    println!(
+        "recorded {}: {} events ({loads} loads, {stores} stores, {prefetches} prefetch hints, \
+         {branches} branches)",
+        bench.name(),
+        trace.len()
+    );
+
+    // 2. Round-trip through the binary format (what a trace file holds).
+    let mut bytes = Vec::new();
+    trace
+        .write_to(&mut bytes)
+        .expect("writing to a Vec cannot fail");
+    let trace = Trace::read_from(&mut bytes.as_slice()).expect("round-trip of a valid trace");
+    println!(
+        "binary trace size: {} bytes ({:.2} B/event)",
+        bytes.len(),
+        bytes.len() as f64 / trace.len() as f64
+    );
+
+    // 3. Replay through every organization.
+    let base = {
+        let platform = Platform::new(DCacheOrganization::SramBaseline)?;
+        platform.run(|e: &mut dyn Engine| trace.replay(e)).cycles()
+    };
+    println!(
+        "\n{:<16} {:>12} {:>10}",
+        "organization", "cycles", "penalty"
+    );
+    println!("{:<16} {base:>12} {:>9.1}%", "SRAM baseline", 0.0);
+    for org in [
+        DCacheOrganization::NvmDropIn,
+        DCacheOrganization::nvm_vwb_default(),
+        DCacheOrganization::nvm_l0_default(),
+        DCacheOrganization::nvm_emshr_default(),
+    ] {
+        let platform = Platform::new(org)?;
+        let cycles = platform.run(|e: &mut dyn Engine| trace.replay(e)).cycles();
+        println!(
+            "{:<16} {cycles:>12} {:>9.1}%",
+            org.name(),
+            penalty_pct(base, cycles)
+        );
+    }
+    Ok(())
+}

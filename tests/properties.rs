@@ -1,0 +1,323 @@
+//! Property-based tests on the memory hierarchy and front-ends: the timed
+//! cache is compared against an untimed reference model over random access
+//! sequences, and timing/stat invariants are checked for every structure.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use sttcache::{nvm_dl1_config, VwbConfig, VwbFrontEnd};
+use sttcache_cpu::DataPort;
+use sttcache_mem::{Addr, Cache, CacheConfig, MainMemory, MemoryLevel};
+
+/// An untimed reference model of a set-associative LRU write-back cache:
+/// per-set vectors ordered most-recent-first.
+struct RefCache {
+    sets: Vec<Vec<(u64, bool)>>, // (tag, dirty), MRU first
+    ways: usize,
+    line_bytes: usize,
+}
+
+impl RefCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); cfg.sets()],
+            ways: cfg.associativity(),
+            line_bytes: cfg.line_bytes(),
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_bytes as u64;
+        let sets = self.sets.len() as u64;
+        ((line % sets) as usize, line / sets)
+    }
+
+    /// Returns whether the access hit; updates LRU/dirty/contents.
+    fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = self.ways;
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = entries.remove(pos);
+            entries.insert(0, (t, d || is_write));
+            true
+        } else {
+            entries.insert(0, (tag, is_write));
+            entries.truncate(ways);
+            false
+        }
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|&(t, _)| t == tag)
+    }
+}
+
+/// Random (address, is_write) sequences over a small footprint so sets
+/// collide and evictions happen.
+fn access_seq() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    prop::collection::vec((0u64..(1 << 18), any::<bool>()), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The timed cache's contents and hit/miss decisions match the untimed
+    /// LRU reference exactly.
+    #[test]
+    fn cache_matches_reference_model(seq in access_seq()) {
+        let cfg = CacheConfig::builder()
+            .capacity_bytes(4 * 1024)
+            .associativity(2)
+            .line_bytes(64)
+            .banks(2)
+            .build()
+            .expect("test configuration is valid");
+        let mut cache = Cache::new(cfg, MainMemory::new(50));
+        let mut reference = RefCache::new(&cfg);
+        let mut now = 0;
+        for (addr, is_write) in seq {
+            let expect_hit = reference.access(addr, is_write);
+            let before = *cache.stats();
+            let out = if is_write {
+                cache.write(Addr(addr), now)
+            } else {
+                cache.read(Addr(addr), now)
+            };
+            let got_hit = cache.stats().misses() == before.misses();
+            prop_assert_eq!(got_hit, expect_hit, "addr {:#x} write {}", addr, is_write);
+            prop_assert!(out.complete_at > now);
+            now = out.complete_at + 20; // quiesce banks/buffers between ops
+        }
+        // Final contents agree.
+        for addr in (0..(1u64 << 18)).step_by(64) {
+            prop_assert_eq!(cache.contains(Addr(addr)), reference.contains(addr));
+        }
+    }
+
+    /// Completion times never precede issue, and later issues of the same
+    /// access never complete earlier (monotonicity under contention).
+    #[test]
+    fn completion_is_monotonic(seq in access_seq()) {
+        let mut cache = Cache::new(CacheConfig::default(), MainMemory::new(100));
+        let mut now = 0;
+        for (addr, is_write) in seq {
+            let out = if is_write {
+                cache.write(Addr(addr), now)
+            } else {
+                cache.read(Addr(addr), now)
+            };
+            prop_assert!(out.complete_at > now);
+            prop_assert!(out.complete_at <= now + 10_000, "unbounded stall");
+            now = out.complete_at;
+        }
+    }
+
+    /// Hit + miss counters always reconcile with total accesses, and
+    /// fills never exceed misses.
+    #[test]
+    fn stats_reconcile(seq in access_seq()) {
+        let mut cache = Cache::new(CacheConfig::default(), MainMemory::new(100));
+        let mut now = 0;
+        for (addr, is_write) in &seq {
+            let out = if *is_write {
+                cache.write(Addr(*addr), now)
+            } else {
+                cache.read(Addr(*addr), now)
+            };
+            now = out.complete_at;
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses(), seq.len() as u64);
+        prop_assert_eq!(s.read_hits + s.read_misses(), s.reads);
+        prop_assert!(s.fills <= s.misses());
+        prop_assert!(s.writebacks <= s.fills + 1);
+    }
+
+    /// The VWB front-end serves the same addresses as a bare DL1 would —
+    /// every read completes, and a read issued after a prior read of the
+    /// same line at a quiescent time is a 1-cycle buffer hit.
+    #[test]
+    fn vwb_rereads_hit_in_one_cycle(addrs in prop::collection::vec(0u64..(1 << 14), 1..64)) {
+        let dl1 = Cache::new(nvm_dl1_config().expect("canonical"), MainMemory::new(100));
+        let mut vwb = VwbFrontEnd::new(VwbConfig::default(), dl1).expect("canonical");
+        let mut now = 0;
+        for addr in addrs {
+            let t1 = vwb.read(Addr(addr), now);
+            prop_assert!(t1 > now);
+            // Quiesce, then re-read: must be a VWB hit at hit latency.
+            let quiet = t1 + 50;
+            let t2 = vwb.read(Addr(addr), quiet);
+            prop_assert_eq!(t2, quiet + 1, "addr {:#x}", addr);
+            now = t2;
+        }
+    }
+
+    /// VWB statistics reconcile: hits never exceed accesses and every miss
+    /// triggered exactly one promotion.
+    #[test]
+    fn vwb_stats_reconcile(seq in access_seq()) {
+        let dl1 = Cache::new(nvm_dl1_config().expect("canonical"), MainMemory::new(100));
+        let mut vwb = VwbFrontEnd::new(VwbConfig::default(), dl1).expect("canonical");
+        let mut now = 0;
+        for (addr, is_write) in seq {
+            now = if is_write {
+                vwb.write(Addr(addr), now)
+            } else {
+                vwb.read(Addr(addr), now)
+            };
+        }
+        let s = vwb.stats();
+        prop_assert!(s.read_hits <= s.reads);
+        prop_assert!(s.write_hits <= s.writes);
+        prop_assert_eq!(s.promotions, s.reads - s.read_hits);
+        prop_assert!(s.dirty_evictions <= s.promotions);
+    }
+
+    /// Penalty percentages are order-preserving and zero at the baseline.
+    #[test]
+    fn penalty_properties(base in 1u64..1_000_000, extra in 0u64..1_000_000) {
+        let p = sttcache::penalty_pct(base, base + extra);
+        prop_assert!(p >= 0.0);
+        prop_assert_eq!(sttcache::penalty_pct(base, base), 0.0);
+        let p2 = sttcache::penalty_pct(base, base + extra + 1);
+        prop_assert!(p2 > p);
+    }
+}
+
+/// An untimed FIFO reference: eviction by insertion order, untouched by
+/// hits.
+struct RefFifo {
+    sets: Vec<Vec<(u64, u64)>>, // (tag, inserted_seq)
+    ways: usize,
+    line_bytes: usize,
+    seq: u64,
+}
+
+impl RefFifo {
+    fn new(cfg: &CacheConfig) -> Self {
+        RefFifo {
+            sets: vec![Vec::new(); cfg.sets()],
+            ways: cfg.associativity(),
+            line_bytes: cfg.line_bytes(),
+            seq: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes as u64;
+        let sets = self.sets.len() as u64;
+        let (set, tag) = ((line % sets) as usize, line / sets);
+        let entries = &mut self.sets[set];
+        if entries.iter().any(|&(t, _)| t == tag) {
+            return true;
+        }
+        if entries.len() >= self.ways {
+            let oldest = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(_, s))| s)
+                .map(|(i, _)| i)
+                .expect("full set");
+            entries.swap_remove(oldest);
+        }
+        self.seq += 1;
+        entries.push((tag, self.seq));
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The FIFO-configured timed cache matches the untimed FIFO reference
+    /// on hit/miss decisions (reads only: FIFO victim choice is
+    /// insertion-order-only, so writes behave identically).
+    #[test]
+    fn fifo_cache_matches_reference(seq in prop::collection::vec(0u64..(1 << 16), 1..300)) {
+        use sttcache_mem::ReplacementPolicy;
+        let cfg = CacheConfig::builder()
+            .capacity_bytes(2 * 1024)
+            .associativity(2)
+            .line_bytes(64)
+            .banks(1)
+            .replacement(ReplacementPolicy::Fifo)
+            .build()
+            .expect("test configuration is valid");
+        let mut cache = Cache::new(cfg, MainMemory::new(50));
+        let mut reference = RefFifo::new(&cfg);
+        let mut now = 0;
+        for addr in seq {
+            let expect_hit = reference.access(addr);
+            let before = cache.stats().misses();
+            let out = cache.read(Addr(addr), now);
+            let got_hit = cache.stats().misses() == before;
+            prop_assert_eq!(got_hit, expect_hit, "addr {:#x}", addr);
+            now = out.complete_at + 20;
+        }
+    }
+
+    /// Every replacement policy yields a working cache: correct hit/miss
+    /// accounting and bounded completion times over random streams.
+    #[test]
+    fn all_policies_stay_consistent(
+        seq in prop::collection::vec((0u64..(1 << 16), any::<bool>()), 1..200),
+        policy_idx in 0usize..4,
+    ) {
+        use sttcache_mem::ReplacementPolicy;
+        let policy = ReplacementPolicy::ALL[policy_idx];
+        let cfg = CacheConfig::builder()
+            .capacity_bytes(2 * 1024)
+            .associativity(4)
+            .line_bytes(64)
+            .banks(1)
+            .replacement(policy)
+            .build()
+            .expect("test configuration is valid");
+        let mut cache = Cache::new(cfg, MainMemory::new(50));
+        let mut now = 0;
+        for (addr, is_write) in &seq {
+            let out = if *is_write {
+                cache.write(Addr(*addr), now)
+            } else {
+                cache.read(Addr(*addr), now)
+            };
+            prop_assert!(out.complete_at > now);
+            now = out.complete_at + 5;
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses(), seq.len() as u64, "{}", policy);
+        prop_assert!(s.fills <= s.misses());
+    }
+}
+
+/// Deterministic cross-check of the reference model itself.
+#[test]
+fn reference_model_basics() {
+    let cfg = CacheConfig::builder()
+        .capacity_bytes(256)
+        .line_bytes(64)
+        .associativity(2)
+        .banks(1)
+        .build()
+        .expect("test configuration is valid");
+    let mut r = RefCache::new(&cfg);
+    assert!(!r.access(0, false)); // cold miss
+    assert!(r.access(0, false)); // hit
+    assert!(!r.access(128, false)); // same set (2 sets), different tag
+    assert!(!r.access(256, false)); // evicts LRU (line 0? no: set 0 ways {256,0})
+    let _ = r;
+}
+
+/// A one-off check that hits under a fill wait for the data (regression
+/// for the MSHR ready-time path).
+#[test]
+fn hit_under_fill_waits_for_data() {
+    let mut cache = Cache::new(CacheConfig::default(), MainMemory::new(100));
+    let miss = cache.read(Addr(0), 0);
+    let hit = cache.read(Addr(8), 1);
+    assert!(hit.complete_at >= miss.complete_at);
+    let mut hashes = HashMap::new();
+    hashes.insert("complete", hit.complete_at);
+    assert!(hashes["complete"] >= 100);
+}

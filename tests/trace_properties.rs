@@ -1,0 +1,120 @@
+//! Property-based tests on the trace infrastructure: binary round-trips
+//! over arbitrary event streams, and replay equivalence — a recorded
+//! kernel replayed through a platform must produce the identical timing.
+
+use proptest::prelude::*;
+use sttcache::{DCacheOrganization, Platform};
+use sttcache_cpu::{Engine, Trace, TraceEvent, TraceRecorder};
+use sttcache_mem::Addr;
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (any::<u64>(), 1u8..=64).prop_map(|(a, b)| TraceEvent::Load {
+            addr: Addr(a),
+            bytes: b
+        }),
+        (any::<u64>(), 1u8..=64).prop_map(|(a, b)| TraceEvent::Store {
+            addr: Addr(a),
+            bytes: b
+        }),
+        any::<u64>().prop_map(|a| TraceEvent::Prefetch { addr: Addr(a) }),
+        (1u32..10_000).prop_map(|ops| TraceEvent::Compute { ops }),
+        any::<bool>().prop_map(|taken| TraceEvent::Branch { taken }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary event streams survive the binary format bit-exactly.
+    #[test]
+    fn binary_roundtrip(events in prop::collection::vec(arb_event(), 0..300)) {
+        let trace: Trace = events.into_iter().collect();
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).expect("vec write");
+        let back = Trace::read_from(&mut buf.as_slice()).expect("read back");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Replaying a trace into a recorder reproduces it (replay is a
+    /// faithful engine driver).
+    #[test]
+    fn replay_identity(events in prop::collection::vec(arb_event(), 0..200)) {
+        let trace: Trace = events.into_iter().collect();
+        let mut rec = TraceRecorder::new();
+        trace.replay(&mut rec);
+        let rerecorded = rec.into_trace();
+        // Compute events may coalesce, so compare the summaries and the
+        // total compute volume instead of exact event lists.
+        prop_assert_eq!(trace.summary(), rerecorded.summary());
+        let volume = |t: &Trace| -> u64 {
+            t.events()
+                .iter()
+                .map(|e| match e {
+                    TraceEvent::Compute { ops } => *ops as u64,
+                    _ => 0,
+                })
+                .sum()
+        };
+        prop_assert_eq!(volume(&trace), volume(&rerecorded));
+    }
+
+    /// Truncating a serialized trace anywhere inside the payload never
+    /// panics — it errors.
+    #[test]
+    fn truncation_is_an_error_not_a_panic(
+        events in prop::collection::vec(arb_event(), 1..50),
+        cut in 0usize..64,
+    ) {
+        let trace: Trace = events.into_iter().collect();
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).expect("vec write");
+        let cut = cut.min(buf.len().saturating_sub(1));
+        let truncated = &buf[..buf.len() - 1 - cut];
+        // Either a clean error, or (if the cut removed whole trailing
+        // events but the header count disagrees) still an error.
+        prop_assert!(Trace::read_from(&mut &truncated[..]).is_err());
+    }
+}
+
+/// Recording a kernel and replaying the trace through a platform gives the
+/// identical cycle count as running the kernel directly.
+#[test]
+fn trace_replay_reproduces_direct_timing() {
+    for org in [
+        DCacheOrganization::NvmDropIn,
+        DCacheOrganization::nvm_vwb_default(),
+    ] {
+        let kernel = PolyBench::Atax.kernel(ProblemSize::Mini);
+        let direct = Platform::new(org)
+            .expect("canonical configuration")
+            .run(|e: &mut dyn Engine| kernel.run(e, Transformations::all()))
+            .cycles();
+
+        let mut rec = TraceRecorder::new();
+        kernel.run(&mut rec, Transformations::all());
+        let trace = rec.into_trace();
+        let replayed = Platform::new(org)
+            .expect("canonical configuration")
+            .run(|e: &mut dyn Engine| trace.replay(e))
+            .cycles();
+
+        assert_eq!(direct, replayed, "{}", org.name());
+    }
+}
+
+/// The binary format is compact: well under 16 bytes per event for
+/// realistic kernels.
+#[test]
+fn trace_format_is_compact() {
+    let mut rec = TraceRecorder::new();
+    PolyBench::Gemm
+        .kernel(ProblemSize::Mini)
+        .run(&mut rec, Transformations::none());
+    let trace = rec.into_trace();
+    let mut buf = Vec::new();
+    trace.write_to(&mut buf).expect("vec write");
+    let per_event = buf.len() as f64 / trace.len() as f64;
+    assert!(per_event < 16.0, "{per_event:.2} bytes/event");
+}
