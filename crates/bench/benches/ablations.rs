@@ -147,15 +147,13 @@ fn main() {
     println!();
 
     // Criterion timing of the two extreme bank configurations.
-    let mut c = common::criterion();
+    let mut c = common::harness();
     for b in [1usize, 8] {
         let label = format!("ablations/banks-{b}");
-        c.bench_function(&label, |bencher| {
-            bencher.iter(|| {
-                let mut cfg = PlatformConfig::new(DCacheOrganization::nvm_vwb_default());
-                cfg.dl1_override = Some(nvm_dl1(b, 2, 4));
-                criterion::black_box(cycles_with(cfg))
-            })
+        c.bench_function(&label, || {
+            let mut cfg = PlatformConfig::new(DCacheOrganization::nvm_vwb_default());
+            cfg.dl1_override = Some(nvm_dl1(b, 2, 4));
+            common::black_box(cycles_with(cfg))
         });
     }
     c.final_summary();

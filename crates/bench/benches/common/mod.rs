@@ -1,35 +1,130 @@
-//! Shared Criterion plumbing for the figure benches.
+//! Shared timing harness for the figure benches — hermetic replacement
+//! for Criterion (no registry dependencies).
 //!
 //! Each bench target regenerates one table/figure of the paper: it prints
 //! the figure's rows once (so `cargo bench` output contains the
-//! reproduction), then times a representative simulation so Criterion has
-//! something meaningful to measure.
+//! reproduction), then times a representative simulation. Timing is
+//! warmup + median-of-N wall-clock runs, reported as plain text.
+//!
+//! `cargo bench` arguments: `--runs N` (timed runs per label, default 5)
+//! and `--warmup N` (untimed warm-up runs, default 1); everything else
+//! (`--bench`, filters) is ignored.
 
-use criterion::Criterion;
-use sttcache::DCacheOrganization;
-use sttcache_bench::run_benchmark;
-use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+use std::time::{Duration, Instant};
 
-/// A Criterion instance tuned for whole-simulation benchmarks.
+#[allow(unused_imports)] // not every bench target needs a manual black_box
+pub use std::hint::black_box;
+
+/// One timed entry: label + per-run wall-clock times (sorted).
+struct Row {
+    label: String,
+    runs: Vec<Duration>,
+}
+
+/// A minimal warmup + median-of-N timing harness.
+pub struct Harness {
+    warmup: usize,
+    runs: usize,
+    rows: Vec<Row>,
+}
+
+/// A harness configured from the command line (see module docs).
 #[allow(dead_code)] // each bench target compiles its own copy of this module
-pub fn criterion() -> Criterion {
-    Criterion::default().sample_size(10).configure_from_args()
+pub fn harness() -> Harness {
+    Harness::from_args()
+}
+
+impl Harness {
+    /// Parses `--runs N` / `--warmup N`, ignoring the flags `cargo bench`
+    /// itself injects.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let lookup = |flag: &str, default: usize| -> usize {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Harness {
+            warmup: lookup("--warmup", 1),
+            runs: lookup("--runs", 5).max(1),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Times `f`: `warmup` untimed calls, then `runs` timed calls; prints
+    /// and records the median.
+    pub fn bench_function<O>(&mut self, label: &str, mut f: impl FnMut() -> O) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut times: Vec<Duration> = (0..self.runs)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        println!(
+            "bench {label:<40} median {:>10} (min {}, max {}, {} runs)",
+            fmt_duration(median),
+            fmt_duration(times[0]),
+            fmt_duration(*times.last().expect("at least one run")),
+            self.runs,
+        );
+        self.rows.push(Row {
+            label: label.to_string(),
+            runs: times,
+        });
+    }
+
+    /// Prints the closing summary table (median per label).
+    pub fn final_summary(self) {
+        if self.rows.is_empty() {
+            return;
+        }
+        println!("\n== timing summary (median of {} runs) ==", self.runs);
+        for row in &self.rows {
+            let median = row.runs[row.runs.len() / 2];
+            println!("{:<44} {:>10}", row.label, fmt_duration(median));
+        }
+    }
+}
+
+/// Renders a duration with a unit that keeps 3-4 significant digits.
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
 }
 
 /// Benchmarks one (organization, kernel, transformations) simulation.
 #[allow(dead_code)] // not every bench target fans out through this helper
 pub fn bench_sim(
-    c: &mut Criterion,
+    h: &mut Harness,
     group: &str,
-    org: DCacheOrganization,
-    bench: PolyBench,
-    t: Transformations,
+    org: sttcache::DCacheOrganization,
+    bench: sttcache_workloads::PolyBench,
+    t: sttcache_workloads::Transformations,
 ) {
-    let label = format!("{}/{}/{}", group, bench.name(), t.label());
-    c.bench_function(&label, |b| {
-        b.iter(|| {
-            let r = run_benchmark(org, bench, ProblemSize::Mini, t);
-            criterion::black_box(r.cycles())
-        })
+    let label = format!("{}/{}/{}/{}", group, org.name(), bench.name(), t.label());
+    h.bench_function(&label, || {
+        let r = sttcache_bench::run_benchmark(
+            org,
+            bench,
+            sttcache_workloads::ProblemSize::Mini,
+            t,
+        );
+        black_box(r.cycles())
     });
 }

@@ -9,7 +9,7 @@ use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 fn main() {
     figures::print_fig1(ProblemSize::Mini);
-    let mut c = common::criterion();
+    let mut c = common::harness();
     for org in [
         DCacheOrganization::SramBaseline,
         DCacheOrganization::NvmDropIn,

@@ -8,7 +8,7 @@ use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 fn main() {
     figures::print_fig3(ProblemSize::Mini);
-    let mut c = common::criterion();
+    let mut c = common::harness();
     common::bench_sim(
         &mut c,
         "fig3",

@@ -8,7 +8,7 @@ use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 fn main() {
     figures::print_fig6(ProblemSize::Mini);
-    let mut c = common::criterion();
+    let mut c = common::harness();
     for t in [
         Transformations::only_vectorize(),
         Transformations::only_prefetch(),

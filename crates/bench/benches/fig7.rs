@@ -8,23 +8,21 @@ use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 fn main() {
     figures::print_fig7(ProblemSize::Mini);
-    let mut c = common::criterion();
+    let mut c = common::harness();
     for bits in [1024usize, 2048, 4096] {
         let org = DCacheOrganization::NvmVwb(VwbConfig {
             capacity_bits: bits,
             ..VwbConfig::default()
         });
         let label = format!("fig7/vwb-{bits}bit");
-        c.bench_function(&label, |b| {
-            b.iter(|| {
-                let r = sttcache_bench::run_benchmark(
-                    org,
-                    PolyBench::Gemm,
-                    ProblemSize::Mini,
-                    Transformations::all(),
-                );
-                criterion::black_box(r.cycles())
-            })
+        c.bench_function(&label, || {
+            let r = sttcache_bench::run_benchmark(
+                org,
+                PolyBench::Gemm,
+                ProblemSize::Mini,
+                Transformations::all(),
+            );
+            common::black_box(r.cycles())
         });
     }
     c.final_summary();

@@ -8,7 +8,7 @@ use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 fn main() {
     figures::print_fig8(ProblemSize::Mini);
-    let mut c = common::criterion();
+    let mut c = common::harness();
     for org in [
         DCacheOrganization::nvm_vwb_default(),
         DCacheOrganization::nvm_emshr_default(),

@@ -6,9 +6,9 @@ use sttcache_bench::figures;
 
 fn main() {
     figures::print_table1();
-    let mut c = common::criterion();
-    c.bench_function("table1/array-model", |b| {
-        b.iter(|| criterion::black_box(sttcache_bench::table1()))
+    let mut c = common::harness();
+    c.bench_function("table1/array-model", || {
+        common::black_box(sttcache_bench::table1())
     });
     c.final_summary();
 }

@@ -1,15 +1,28 @@
 //! Regenerates the paper's tables and figures as text.
 //!
 //! ```text
-//! figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|all] [--small] [--csv]
+//! figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|all]
+//!         [--small] [--csv] [--jobs N | --serial]
 //! ```
 //!
 //! Defaults to `all` at the mini problem size; `--small` runs the larger
 //! figure-generation size; `--csv` emits machine-readable output for the
-//! per-benchmark figures.
+//! per-benchmark figures. Sweeps shard across worker threads
+//! (`STTCACHE_THREADS` or the machine's parallelism); `--jobs N` pins the
+//! worker count and `--serial` forces one worker. Output is byte-identical
+//! at every worker count — results merge by grid index, not completion
+//! order.
 
-use sttcache_bench::figures;
+use sttcache_bench::{figures, parallel};
 use sttcache_workloads::ProblemSize;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|all] \
+         [--small] [--csv] [--jobs N | --serial]"
+    );
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,13 +31,37 @@ fn main() {
     } else {
         ProblemSize::Mini
     };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
 
-    if args.iter().any(|a| a == "--csv") {
+    // Worker-count flags apply to every sweep this process runs.
+    let mut what: Option<&str> = None;
+    let mut csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--small" => {}
+            "--csv" => csv = true,
+            "--serial" => parallel::set_jobs(1),
+            "--jobs" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+                parallel::set_jobs(n);
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}'");
+                usage();
+            }
+            other => what = Some(other),
+        }
+        i += 1;
+    }
+    let what = what.unwrap_or("all");
+
+    if csv {
         if figures::print_csv(what, size) {
             return;
         }
@@ -46,10 +83,7 @@ fn main() {
         "all" => figures::print_all(size),
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!(
-                "usage: figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|all] [--small]"
-            );
-            std::process::exit(2);
+            usage();
         }
     }
 }

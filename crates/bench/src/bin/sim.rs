@@ -3,17 +3,21 @@
 //!
 //! ```text
 //! sim --bench gemm --org vwb --opts v+p+o [--size small] [--vwb-bits 4096]
-//!     [--icache nvm] [--baseline]
+//!     [--icache nvm] [--baseline] [--jobs N | --serial]
 //! ```
 //!
 //! * `--org`: `sram` | `nvm` | `vwb` | `l0` | `emshr`
 //! * `--opts`: `none` | `all` | any `+`-joined subset of `v`, `p`, `o`
 //! * `--baseline`: additionally run the SRAM platform on the same binary
-//!   and print the penalty.
+//!   and print the penalty. The measured and baseline simulations are
+//!   independent, so they run through the sweep engine (two workers
+//!   unless `--serial` / `--jobs 1` pins it down).
 
 use sttcache::{
-    DCacheOrganization, DlOneTechnology, IcacheConfig, Platform, PlatformConfig, VwbConfig,
+    DCacheOrganization, DlOneTechnology, IcacheConfig, Platform, PlatformConfig, RunResult,
+    VwbConfig,
 };
+use sttcache_bench::{parallel, SweepRunner};
 use sttcache_cpu::Engine;
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
@@ -30,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sim --bench <name> [--org sram|nvm|vwb|l0|emshr] [--size mini|small]\n\
          \x20          [--opts none|all|v+p+o subset] [--vwb-bits N] [--icache sram|nvm]\n\
-         \x20          [--baseline]\n\
+         \x20          [--baseline] [--jobs N | --serial]\n\
          benchmarks: {}",
         PolyBench::ALL.map(|b| b.name()).join(", ")
     );
@@ -100,6 +104,14 @@ fn parse_args() -> Options {
                 });
             }
             "--baseline" => baseline = true,
+            "--serial" => parallel::set_jobs(1),
+            "--jobs" => {
+                let n: usize = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                parallel::set_jobs(n);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -134,15 +146,27 @@ fn main() {
     let o = parse_args();
     let mut cfg = PlatformConfig::new(o.org);
     cfg.icache = o.icache;
-    let platform = match Platform::with_config(cfg.clone()) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("invalid configuration: {e}");
-            std::process::exit(1);
-        }
-    };
-    let kernel = o.bench.kernel(o.size);
-    let result = platform.run(|e: &mut dyn Engine| kernel.run(e, o.opts));
+    if let Err(e) = Platform::with_config(cfg.clone()) {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(1);
+    }
+
+    // The measured run and the optional baseline are independent grid
+    // points; the sweep engine shards them and hands the results back in
+    // submission order.
+    let mut configs = vec![cfg];
+    if o.baseline {
+        let mut base_cfg = PlatformConfig::new(DCacheOrganization::SramBaseline);
+        base_cfg.icache = o.icache;
+        configs.push(base_cfg);
+    }
+    let results: Vec<RunResult> = SweepRunner::current().map_ok(&configs, |_, cfg| {
+        let platform = Platform::with_config(cfg.clone()).expect("configuration validated above");
+        let kernel = o.bench.kernel(o.size);
+        platform.run(|e: &mut dyn Engine| kernel.run(e, o.opts))
+    });
+
+    let result = &results[0];
     println!(
         "# sim: {} on {} ({:?}, opts {})",
         o.bench.name(),
@@ -152,13 +176,7 @@ fn main() {
     );
     print!("{}", result.stats_text());
 
-    if o.baseline {
-        let mut base_cfg = PlatformConfig::new(DCacheOrganization::SramBaseline);
-        base_cfg.icache = o.icache;
-        let base_platform =
-            Platform::with_config(base_cfg).expect("canonical baseline configuration");
-        let kernel = o.bench.kernel(o.size);
-        let base = base_platform.run(|e: &mut dyn Engine| kernel.run(e, o.opts));
+    if let Some(base) = results.get(1) {
         println!(
             "{:<40} {:>16.2} # percent vs SRAM baseline on the same binary",
             "penalty.vs_sram_pct",

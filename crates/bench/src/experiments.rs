@@ -1,5 +1,12 @@
 //! The experiments behind every table and figure.
+//!
+//! Every figure is a full PolyBench sweep over a kernel × organization ×
+//! transformation grid. The grids are built up front and sharded across
+//! worker threads by [`SweepRunner`]; results are merged back by stable
+//! grid index, so the output is identical no matter how many workers run
+//! the sweep (see `crates/bench/src/parallel.rs`).
 
+use crate::parallel::{self, GridPoint, SweepRunner};
 use sttcache::{
     average_penalty, penalty_pct, DCacheOrganization, PenaltyRow, Platform, PlatformConfig,
     RunResult, VwbConfig,
@@ -36,17 +43,38 @@ pub fn run_benchmark(
     platform.run(|e: &mut dyn Engine| kernel.run(e, t))
 }
 
-/// Baseline cycle counts: the SRAM platform running the *same binary*
-/// (same transformation set) as the measured configuration — the paper's
-/// figures always normalize against the SRAM D-cache executing the
-/// identical code.
-fn baseline_cycles(size: ProblemSize, t: Transformations) -> Vec<(PolyBench, u64)> {
-    PolyBench::ALL
-        .iter()
-        .map(|&b| {
-            let r = run_benchmark(DCacheOrganization::SramBaseline, b, size, t);
-            (b, r.cycles())
-        })
+/// Builds the grid for a list of (organization, transformation) combos:
+/// combo-major, `PolyBench::ALL`-minor — each combo occupies one
+/// contiguous, benchmark-ordered chunk of the result vector.
+fn combo_grid(
+    combos: &[(DCacheOrganization, Transformations)],
+    size: ProblemSize,
+) -> Vec<GridPoint> {
+    let mut points = Vec::with_capacity(combos.len() * PolyBench::ALL.len());
+    for &(org, transforms) in combos {
+        for &bench in &PolyBench::ALL {
+            points.push(GridPoint {
+                org,
+                bench,
+                size,
+                transforms,
+            });
+        }
+    }
+    points
+}
+
+/// Runs a combo grid through the current sweep runner and returns the
+/// per-combo cycle-count chunks (one chunk per combo, benchmark order).
+fn sweep_combos(
+    combos: &[(DCacheOrganization, Transformations)],
+    size: ProblemSize,
+) -> Vec<Vec<u64>> {
+    let points = combo_grid(combos, size);
+    let cycles = SweepRunner::current().grid_cycles(&points);
+    cycles
+        .chunks(PolyBench::ALL.len())
+        .map(|c| c.to_vec())
         .collect()
 }
 
@@ -112,18 +140,17 @@ pub fn table1() -> [TableOneRow; 2] {
 /// Fig. 1: performance penalty of the drop-in STT-MRAM D-cache, per
 /// benchmark, relative to the SRAM baseline.
 pub fn fig1(size: ProblemSize) -> Vec<PenaltyRow> {
-    let base = baseline_cycles(size, Transformations::none());
-    let mut rows: Vec<PenaltyRow> = base
+    let chunks = sweep_combos(
+        &[
+            (DCacheOrganization::SramBaseline, Transformations::none()),
+            (DCacheOrganization::NvmDropIn, Transformations::none()),
+        ],
+        size,
+    );
+    let mut rows: Vec<PenaltyRow> = PolyBench::ALL
         .iter()
-        .map(|&(b, cycles)| {
-            let r = run_benchmark(
-                DCacheOrganization::NvmDropIn,
-                b,
-                size,
-                Transformations::none(),
-            );
-            PenaltyRow::new(b.name(), penalty_pct(cycles, r.cycles()))
-        })
+        .enumerate()
+        .map(|(i, b)| PenaltyRow::new(b.name(), penalty_pct(chunks[0][i], chunks[1][i])))
         .collect();
     let avg = average_penalty(&rows);
     rows.push(PenaltyRow::new("AVERAGE", avg));
@@ -132,29 +159,30 @@ pub fn fig1(size: ProblemSize) -> Vec<PenaltyRow> {
 
 /// Fig. 3: drop-in NVM vs NVM + VWB (both untransformed).
 pub fn fig3(size: ProblemSize) -> SeriesTable {
-    let base = baseline_cycles(size, Transformations::none());
-    let mut rows = Vec::new();
-    for &(b, cycles) in &base {
-        let drop_in = run_benchmark(
-            DCacheOrganization::NvmDropIn,
-            b,
-            size,
-            Transformations::none(),
-        );
-        let vwb = run_benchmark(
-            DCacheOrganization::nvm_vwb_default(),
-            b,
-            size,
-            Transformations::none(),
-        );
-        rows.push((
-            b.name().to_string(),
-            vec![
-                penalty_pct(cycles, drop_in.cycles()),
-                penalty_pct(cycles, vwb.cycles()),
-            ],
-        ));
-    }
+    let chunks = sweep_combos(
+        &[
+            (DCacheOrganization::SramBaseline, Transformations::none()),
+            (DCacheOrganization::NvmDropIn, Transformations::none()),
+            (
+                DCacheOrganization::nvm_vwb_default(),
+                Transformations::none(),
+            ),
+        ],
+        size,
+    );
+    let rows = PolyBench::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            (
+                b.name().to_string(),
+                vec![
+                    penalty_pct(chunks[0][i], chunks[1][i]),
+                    penalty_pct(chunks[0][i], chunks[2][i]),
+                ],
+            )
+        })
+        .collect();
     SeriesTable {
         series: vec!["Drop-in NVM D-Cache".into(), "NVM D-Cache with VWB".into()],
         rows,
@@ -196,13 +224,12 @@ pub fn fig4(size: ProblemSize) -> Vec<Fig4Row> {
         cfg.dl1_override = Some(dl1);
         Platform::with_config(cfg).expect("counterfactual platform is valid")
     };
-    let read_only = with_latencies(4, 1);
-    let write_only = with_latencies(1, 2);
 
-    let mut rows = Vec::new();
-    let mut sum_read = 0.0;
-    let mut sum_write = 0.0;
-    for &b in &PolyBench::ALL {
+    // One sweep item per benchmark: the three runs a decomposition needs
+    // (SRAM reference, read-only-slow, write-only-slow).
+    let shares = SweepRunner::current().map_ok(&PolyBench::ALL, |_, &b| {
+        let read_only = with_latencies(4, 1);
+        let write_only = with_latencies(1, 2);
         let sram = run_benchmark(
             DCacheOrganization::SramBaseline,
             b,
@@ -215,7 +242,7 @@ pub fn fig4(size: ProblemSize) -> Vec<Fig4Row> {
         let w = write_only.run(|e: &mut dyn Engine| kernel_w.run(e, Transformations::none()));
         let p_read = penalty_pct(sram.cycles(), r.cycles()).max(0.0);
         let p_write = penalty_pct(sram.cycles(), w.cycles()).max(0.0);
-        let (read_pct, write_pct) = if p_read + p_write < 0.25 {
+        if p_read + p_write < 0.25 {
             // Penalty too small to decompose by counterfactuals; fall back
             // to the stall attribution of the read-latency run.
             let re = r
@@ -235,7 +262,13 @@ pub fn fig4(size: ProblemSize) -> Vec<Fig4Row> {
         } else {
             let total = p_read + p_write;
             (p_read / total * 100.0, p_write / total * 100.0)
-        };
+        }
+    });
+
+    let mut rows = Vec::new();
+    let mut sum_read = 0.0;
+    let mut sum_write = 0.0;
+    for (b, (read_pct, write_pct)) in PolyBench::ALL.iter().zip(shares) {
         sum_read += read_pct;
         sum_write += write_pct;
         rows.push(Fig4Row {
@@ -256,37 +289,36 @@ pub fn fig4(size: ProblemSize) -> Vec<Fig4Row> {
 /// Fig. 5: drop-in NVM, VWB without transformations, VWB with all
 /// transformations.
 pub fn fig5(size: ProblemSize) -> SeriesTable {
-    let base = baseline_cycles(size, Transformations::none());
-    let base_opt = baseline_cycles(size, Transformations::all());
-    let mut rows = Vec::new();
-    for (&(b, cycles), &(_, cycles_opt)) in base.iter().zip(&base_opt) {
-        let drop_in = run_benchmark(
-            DCacheOrganization::NvmDropIn,
-            b,
-            size,
-            Transformations::none(),
-        );
-        let plain = run_benchmark(
-            DCacheOrganization::nvm_vwb_default(),
-            b,
-            size,
-            Transformations::none(),
-        );
-        let opt = run_benchmark(
-            DCacheOrganization::nvm_vwb_default(),
-            b,
-            size,
-            Transformations::all(),
-        );
-        rows.push((
-            b.name().to_string(),
-            vec![
-                penalty_pct(cycles, drop_in.cycles()),
-                penalty_pct(cycles, plain.cycles()),
-                penalty_pct(cycles_opt, opt.cycles()),
-            ],
-        ));
-    }
+    let chunks = sweep_combos(
+        &[
+            (DCacheOrganization::SramBaseline, Transformations::none()),
+            (DCacheOrganization::SramBaseline, Transformations::all()),
+            (DCacheOrganization::NvmDropIn, Transformations::none()),
+            (
+                DCacheOrganization::nvm_vwb_default(),
+                Transformations::none(),
+            ),
+            (
+                DCacheOrganization::nvm_vwb_default(),
+                Transformations::all(),
+            ),
+        ],
+        size,
+    );
+    let rows = PolyBench::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            (
+                b.name().to_string(),
+                vec![
+                    penalty_pct(chunks[0][i], chunks[2][i]),
+                    penalty_pct(chunks[0][i], chunks[3][i]),
+                    penalty_pct(chunks[1][i], chunks[4][i]),
+                ],
+            )
+        })
+        .collect();
     SeriesTable {
         series: vec![
             "Drop-in NVM".into(),
@@ -318,17 +350,10 @@ pub struct Fig6Row {
 /// shares are normalized to 100 % as in the paper's stacked bars.
 pub fn fig6(size: ProblemSize) -> Vec<Fig6Row> {
     let org = DCacheOrganization::nvm_vwb_default();
-    let mut rows = Vec::new();
-    let mut sums = [0.0f64; 3];
-    for &b in &PolyBench::ALL {
-        let sram = run_benchmark(
-            DCacheOrganization::SramBaseline,
-            b,
-            size,
-            Transformations::none(),
-        );
-        let unopt = run_benchmark(org, b, size, Transformations::none());
-        let p_base = penalty_pct(sram.cycles(), unopt.cycles());
+    // One sweep item per benchmark; each item runs its leave-one-out
+    // decomposition (up to a dozen simulations) so the grid shards at
+    // benchmark granularity.
+    let shares = SweepRunner::current().map_ok(&PolyBench::ALL, |_, &b| {
         // Leave-one-out: a family's contribution is how much the penalty
         // worsens when it alone is removed from the full set (this credits
         // interactions, e.g. alignment x vectorization, to "others").
@@ -346,7 +371,6 @@ pub fn fig6(size: ProblemSize) -> Vec<Fig6Row> {
         let mut v = without(|t| t.vectorize = false);
         let mut p = without(|t| t.prefetch = false);
         let mut o = without(|t| t.others = false);
-        let _ = p_base;
         if v + p + o < 0.1 {
             // Penalty already negligible; split by the gross cycles each
             // family saves on the NVM platform itself.
@@ -362,16 +386,25 @@ pub fn fig6(size: ProblemSize) -> Vec<Fig6Row> {
             o = saved(|t| t.others = false);
         }
         let total = (v + p + o).max(1e-9);
-        let row = Fig6Row {
+        (
+            v / total * 100.0,
+            p / total * 100.0,
+            o / total * 100.0,
+        )
+    });
+
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 3];
+    for (b, (v, p, o)) in PolyBench::ALL.iter().zip(shares) {
+        sums[0] += v;
+        sums[1] += p;
+        sums[2] += o;
+        rows.push(Fig6Row {
             name: b.name().to_string(),
-            vectorization_pct: v / total * 100.0,
-            prefetching_pct: p / total * 100.0,
-            others_pct: o / total * 100.0,
-        };
-        sums[0] += row.vectorization_pct;
-        sums[1] += row.prefetching_pct;
-        sums[2] += row.others_pct;
-        rows.push(row);
+            vectorization_pct: v,
+            prefetching_pct: p,
+            others_pct: o,
+        });
     }
     let n = PolyBench::ALL.len() as f64;
     rows.push(Fig6Row {
@@ -386,21 +419,28 @@ pub fn fig6(size: ProblemSize) -> Vec<Fig6Row> {
 /// Fig. 7: penalty of the optimized VWB organization for 1, 2 and 4 Kbit
 /// buffers.
 pub fn fig7(size: ProblemSize) -> SeriesTable {
-    let base = baseline_cycles(size, Transformations::all());
     let sizes = [1024usize, 2048, 4096];
-    let mut rows = Vec::new();
-    for &(b, cycles) in &base {
-        let mut cols = Vec::new();
-        for &bits in &sizes {
-            let org = DCacheOrganization::NvmVwb(VwbConfig {
+    let mut combos = vec![(DCacheOrganization::SramBaseline, Transformations::all())];
+    combos.extend(sizes.iter().map(|&bits| {
+        (
+            DCacheOrganization::NvmVwb(VwbConfig {
                 capacity_bits: bits,
                 ..VwbConfig::default()
-            });
-            let r = run_benchmark(org, b, size, Transformations::all());
-            cols.push(penalty_pct(cycles, r.cycles()));
-        }
-        rows.push((b.name().to_string(), cols));
-    }
+            }),
+            Transformations::all(),
+        )
+    }));
+    let chunks = sweep_combos(&combos, size);
+    let rows = PolyBench::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let cols = (1..combos.len())
+                .map(|c| penalty_pct(chunks[0][i], chunks[c][i]))
+                .collect();
+            (b.name().to_string(), cols)
+        })
+        .collect();
     SeriesTable {
         series: sizes
             .iter()
@@ -414,23 +454,32 @@ pub fn fig7(size: ProblemSize) -> SeriesTable {
 /// Fig. 8: the optimized proposal vs the EMSHR and L0 baselines (all
 /// 2 Kbit, fully associative).
 pub fn fig8(size: ProblemSize) -> SeriesTable {
-    let base = baseline_cycles(size, Transformations::all());
-    let orgs = [
-        DCacheOrganization::nvm_vwb_default(),
-        DCacheOrganization::nvm_emshr_default(),
-        DCacheOrganization::nvm_l0_default(),
+    let combos = [
+        (DCacheOrganization::SramBaseline, Transformations::all()),
+        (
+            DCacheOrganization::nvm_vwb_default(),
+            Transformations::all(),
+        ),
+        (
+            DCacheOrganization::nvm_emshr_default(),
+            Transformations::all(),
+        ),
+        (
+            DCacheOrganization::nvm_l0_default(),
+            Transformations::all(),
+        ),
     ];
-    let mut rows = Vec::new();
-    for &(b, cycles) in &base {
-        let cols: Vec<f64> = orgs
-            .iter()
-            .map(|&org| {
-                let r = run_benchmark(org, b, size, Transformations::all());
-                penalty_pct(cycles, r.cycles())
-            })
-            .collect();
-        rows.push((b.name().to_string(), cols));
-    }
+    let chunks = sweep_combos(&combos, size);
+    let rows = PolyBench::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let cols = (1..combos.len())
+                .map(|c| penalty_pct(chunks[0][i], chunks[c][i]))
+                .collect();
+            (b.name().to_string(), cols)
+        })
+        .collect();
     SeriesTable {
         series: vec!["Our Proposal".into(), "EMSHR".into(), "L0-Cache".into()],
         rows,
@@ -453,18 +502,29 @@ pub struct Fig9Row {
 /// Fig. 9: effect of the code transformations on the SRAM baseline vs on
 /// the proposal (performance *gain*, not penalty).
 pub fn fig9(size: ProblemSize) -> Vec<Fig9Row> {
+    let chunks = sweep_combos(
+        &[
+            (DCacheOrganization::SramBaseline, Transformations::none()),
+            (DCacheOrganization::SramBaseline, Transformations::all()),
+            (
+                DCacheOrganization::nvm_vwb_default(),
+                Transformations::none(),
+            ),
+            (
+                DCacheOrganization::nvm_vwb_default(),
+                Transformations::all(),
+            ),
+        ],
+        size,
+    );
+    let gain = |plain: u64, opt: u64| (plain as f64 - opt as f64) / plain as f64 * 100.0;
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 2];
-    for &b in &PolyBench::ALL {
-        let gain = |org: DCacheOrganization| -> f64 {
-            let plain = run_benchmark(org, b, size, Transformations::none());
-            let opt = run_benchmark(org, b, size, Transformations::all());
-            (plain.cycles() as f64 - opt.cycles() as f64) / plain.cycles() as f64 * 100.0
-        };
+    for (i, b) in PolyBench::ALL.iter().enumerate() {
         let row = Fig9Row {
             name: b.name().to_string(),
-            baseline_gain_pct: gain(DCacheOrganization::SramBaseline),
-            proposal_gain_pct: gain(DCacheOrganization::nvm_vwb_default()),
+            baseline_gain_pct: gain(chunks[0][i], chunks[1][i]),
+            proposal_gain_pct: gain(chunks[2][i], chunks[3][i]),
         };
         sums[0] += row.baseline_gain_pct;
         sums[1] += row.proposal_gain_pct;
@@ -481,6 +541,10 @@ pub fn fig9(size: ProblemSize) -> Vec<Fig9Row> {
 
 /// Re-exported contribution row alias used by the figures printer.
 pub type ContributionRow = Fig6Row;
+
+/// Keeps the org-major grid builder visible to callers that sweep one
+/// transformation set over several organizations (examples, extensions).
+pub use parallel::grid as org_grid;
 
 #[cfg(test)]
 mod tests {

@@ -8,6 +8,7 @@
 //! area and even energy").
 
 use crate::experiments::{run_benchmark, SeriesTable};
+use crate::parallel::SweepRunner;
 use sttcache::{
     l2_config, nvm_dl1_config, nvm_il1_config, penalty_pct, sram_dl1_config, sram_il1_config,
     DCacheOrganization, DlOneTechnology, Platform, PlatformConfig, VwbConfig, VwbFrontEnd,
@@ -86,10 +87,9 @@ fn run_unified(
 /// fetch model and shared L2.
 pub fn ext_icache(size: ProblemSize) -> SeriesTable {
     use DlOneTechnology::{Sram, SttMram};
-    let mut rows = Vec::new();
-    for &b in &EXT_MIX {
+    let rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
         let base = run_unified(b, size, Sram, Sram, None);
-        rows.push((
+        (
             b.name().to_string(),
             vec![
                 penalty_pct(base, run_unified(b, size, SttMram, Sram, None)),
@@ -99,8 +99,8 @@ pub fn ext_icache(size: ProblemSize) -> SeriesTable {
                     run_unified(b, size, SttMram, SttMram, Some(VwbConfig::default())),
                 ),
             ],
-        ));
-    }
+        )
+    });
     SeriesTable {
         series: vec!["NVM DL1".into(), "NVM IL1".into(), "NVM both + VWB".into()],
         rows,
@@ -115,8 +115,7 @@ pub fn ext_icache(size: ProblemSize) -> SeriesTable {
 /// implicit claim: a hardware prefetcher inside the NVM DL1 cannot touch
 /// the NVM *read-hit* latency, which is where the penalty lives.
 pub fn ext_hw_prefetch(size: ProblemSize) -> SeriesTable {
-    let mut rows = Vec::new();
-    for &b in &EXT_MIX {
+    let rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
         let base = run_benchmark(
             DCacheOrganization::SramBaseline,
             b,
@@ -148,15 +147,15 @@ pub fn ext_hw_prefetch(size: ProblemSize) -> SeriesTable {
             Transformations::only_prefetch(),
         )
         .cycles();
-        rows.push((
+        (
             b.name().to_string(),
             vec![
                 penalty_pct(base, drop_in),
                 penalty_pct(base, hw),
                 penalty_pct(base, vwb),
             ],
-        ));
-    }
+        )
+    });
     SeriesTable {
         series: vec![
             "NVM drop-in".into(),
@@ -189,8 +188,7 @@ pub fn ext_aware(size: ProblemSize) -> SeriesTable {
         }
         b.build().expect("aware dl1 config is valid")
     };
-    let mut rows = Vec::new();
-    for &b in &EXT_MIX {
+    let rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
         let base = run_benchmark(
             DCacheOrganization::SramBaseline,
             b,
@@ -212,15 +210,15 @@ pub fn ext_aware(size: ProblemSize) -> SeriesTable {
             }),
         ));
         let nominal = run_dl1(dl1_with(2, None));
-        rows.push((
+        (
             b.name().to_string(),
             vec![
                 penalty_pct(base, all_slow),
                 penalty_pct(base, aware),
                 penalty_pct(base, nominal),
             ],
-        ));
-    }
+        )
+    });
     SeriesTable {
         series: vec![
             "all-slow writes".into(),
@@ -249,8 +247,7 @@ pub fn ext_nvm_l2(size: ProblemSize) -> SeriesTable {
         .write_buffer_entries(8)
         .build()
         .expect("nvm l2 config is valid");
-    let mut rows = Vec::new();
-    for &b in &EXT_MIX {
+    let rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
         let base = run_benchmark(
             DCacheOrganization::SramBaseline,
             b,
@@ -271,8 +268,8 @@ pub fn ext_nvm_l2(size: ProblemSize) -> SeriesTable {
             )
             .cycles(),
         );
-        rows.push((b.name().to_string(), vec![nvm_l2_pen, nvm_l1_pen]));
-    }
+        (b.name().to_string(), vec![nvm_l2_pen, nvm_l1_pen])
+    });
     SeriesTable {
         series: vec!["NVM L2 (SRAM L1)".into(), "NVM L1 (SRAM L2)".into()],
         rows,
@@ -304,8 +301,7 @@ pub struct SleepRow {
 /// NVM write speed). The rows report the sleep-entry cost at the end of
 /// each kernel.
 pub fn ext_normally_off(size: ProblemSize) -> Vec<SleepRow> {
-    let mut rows = Vec::new();
-    for &b in &EXT_MIX {
+    SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
         // SRAM platform: hand-built so we keep the hierarchy after the run.
         let (sram_dirty, sram_cycles) = {
             let tail = Cache::new(l2_config().expect("canonical l2"), MainMemory::new(100));
@@ -332,15 +328,14 @@ pub fn ext_normally_off(size: ProblemSize) -> Vec<SleepRow> {
             let (flushed, done) = vwb.flush_dirty(end);
             (flushed, done - end)
         };
-        rows.push(SleepRow {
+        SleepRow {
             name: b.name().to_string(),
             sram_dirty_lines: sram_dirty,
             sram_flush_cycles: sram_cycles,
             nvm_dirty_lines: nvm_dirty,
             nvm_flush_cycles: nvm_cycles,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// One benchmark's energy comparison.
@@ -374,9 +369,7 @@ fn dl1_energy_uj(r: &sttcache::RunResult, clock_ghz: f64) -> f64 {
 /// saving — exactly why the paper argues for attacking the runtime penalty
 /// first.
 pub fn ext_energy(size: ProblemSize) -> Vec<EnergyRow> {
-    let mut rows = Vec::new();
-    let mut sums = (0.0, 0.0, 0.0, 0.0);
-    for &b in &EXT_MIX {
+    let mut rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
         let sram = run_benchmark(
             DCacheOrganization::SramBaseline,
             b,
@@ -389,18 +382,20 @@ pub fn ext_energy(size: ProblemSize) -> Vec<EnergyRow> {
             size,
             Transformations::none(),
         );
-        let row = EnergyRow {
+        EnergyRow {
             name: b.name().to_string(),
             sram_uj: sram.energy.total_uj(),
             nvm_uj: nvm.energy.total_uj(),
             sram_dl1_uj: dl1_energy_uj(&sram, 1.0),
             nvm_dl1_uj: dl1_energy_uj(&nvm, 1.0),
-        };
+        }
+    });
+    let mut sums = (0.0, 0.0, 0.0, 0.0);
+    for row in &rows {
         sums.0 += row.sram_uj;
         sums.1 += row.nvm_uj;
         sums.2 += row.sram_dl1_uj;
         sums.3 += row.nvm_dl1_uj;
-        rows.push(row);
     }
     rows.push(EnergyRow {
         name: "TOTAL".into(),

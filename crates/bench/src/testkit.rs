@@ -1,0 +1,193 @@
+//! Hermetic property-testing kit: a seeded [SplitMix64] generator plus a
+//! small case-loop harness, replacing the `proptest`/`rand` dependencies
+//! so the whole workspace builds with zero network access.
+//!
+//! Every case runs with a seed derived deterministically from a base
+//! seed and the case index. On failure the harness prints the exact
+//! reproducing seed; re-run with `STTCACHE_TEST_SEED=<seed>` to execute
+//! only that case.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The fixed base seed: property tests are reproducible run-to-run by
+/// default (set `STTCACHE_TEST_SEED` to explore a different stream).
+pub const DEFAULT_SEED: u64 = 0x5EED_CACE_2015_0001;
+
+/// A SplitMix64 pseudo-random generator — 64 bits of state, passes
+/// BigCrush, and is trivially seedable from a case index.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[lo, hi)`. Panics if the range is empty.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        // Plain modulo: the bias is negligible at test-case range sizes.
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// A uniform `u8` in `[lo, hi)`.
+    pub fn u8_in(&mut self, lo: u8, hi: u8) -> u8 {
+        self.u64_in(lo as u64, hi as u64) as u8
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniformly chosen element of `items`. Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize_in(0, items.len())]
+    }
+
+    /// A random-length vector built by calling `f` per element, with the
+    /// length uniform in `[min_len, max_len)`.
+    pub fn vec_of<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// The base seed: `STTCACHE_TEST_SEED` (decimal or `0x`-prefixed hex) if
+/// set, else [`DEFAULT_SEED`].
+pub fn base_seed() -> Option<u64> {
+    let raw = std::env::var("STTCACHE_TEST_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("STTCACHE_TEST_SEED '{raw}' is not a u64")))
+}
+
+/// The per-case seed: one extra SplitMix64 scramble of (base, index) so
+/// consecutive cases land in unrelated parts of the stream.
+fn case_seed(base: u64, case: usize) -> u64 {
+    Rng::new(base ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F)).next_u64()
+}
+
+/// Runs `cases` seeded property cases, panicking with the reproducing
+/// seed on the first failure.
+///
+/// When `STTCACHE_TEST_SEED` is set, exactly one case runs, seeded with
+/// that value verbatim — the reproduction mode the failure message
+/// points at.
+pub fn run_cases(name: &str, cases: usize, f: impl Fn(&mut Rng)) {
+    if let Some(seed) = base_seed() {
+        let mut rng = Rng::new(seed);
+        f(&mut rng);
+        return;
+    }
+    for case in 0..cases {
+        let seed = case_seed(DEFAULT_SEED, case);
+        let mut rng = Rng::new(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            eprintln!(
+                "property '{name}' failed at case {case}/{cases} (seed {seed:#018x}).\n\
+                 reproduce with: STTCACHE_TEST_SEED={seed:#x} cargo test -q {name}"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // First three outputs for seed 1234567, from the reference C
+        // implementation.
+        let mut rng = Rng::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+        assert_eq!(rng.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(42);
+        for _ in 0..10_000 {
+            let v = rng.u64_in(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.f64_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_cases_executes_every_case() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        run_cases("counting", 17, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn pick_and_vec_of_cover_inputs() {
+        let mut rng = Rng::new(99);
+        let items = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+        let v = rng.vec_of(3, 8, |r| r.bool());
+        assert!((3..8).contains(&v.len()));
+    }
+}

@@ -8,6 +8,7 @@
 //! ```
 
 use sttcache::{penalty_pct, DCacheOrganization, Platform, PlatformConfig, SttError, VwbConfig};
+use sttcache_bench::SweepRunner;
 use sttcache_cpu::Engine;
 use sttcache_mem::CacheConfig;
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
@@ -47,23 +48,31 @@ fn main() -> Result<(), SttError> {
         "{:>10} {:>12} {:>8} {:>12}",
         "VWB bits", "promo cyc", "banks", "avg penalty"
     );
-    let mut best: Option<(f64, String)> = None;
+    let mut space = Vec::new();
     for &bits in &[1024usize, 2048, 4096] {
         for &promo in &[2u64, 4] {
             for &banks in &[2usize, 4, 8] {
-                let mut cfg = PlatformConfig::new(DCacheOrganization::NvmVwb(VwbConfig {
-                    capacity_bits: bits,
-                    promotion_cycles: promo,
-                    ..VwbConfig::default()
-                }));
-                cfg.dl1_override = Some(nvm_dl1_with_banks(banks));
-                let p = average_penalty_of(&cfg)?;
-                println!("{bits:>10} {promo:>12} {banks:>8} {p:>11.2}%");
-                let label = format!("{bits} bit VWB, {promo}-cycle promotion, {banks} banks");
-                if best.as_ref().is_none_or(|(bp, _)| p < *bp) {
-                    best = Some((p, label));
-                }
+                space.push((bits, promo, banks));
             }
+        }
+    }
+    // The 18-point design space runs on the sweep engine; rows print in
+    // submission order regardless of worker count.
+    let penalties = SweepRunner::current().map_ok(&space, |_, &(bits, promo, banks)| {
+        let mut cfg = PlatformConfig::new(DCacheOrganization::NvmVwb(VwbConfig {
+            capacity_bits: bits,
+            promotion_cycles: promo,
+            ..VwbConfig::default()
+        }));
+        cfg.dl1_override = Some(nvm_dl1_with_banks(banks));
+        average_penalty_of(&cfg).expect("swept configurations are valid")
+    });
+    let mut best: Option<(f64, String)> = None;
+    for (&(bits, promo, banks), &p) in space.iter().zip(&penalties) {
+        println!("{bits:>10} {promo:>12} {banks:>8} {p:>11.2}%");
+        let label = format!("{bits} bit VWB, {promo}-cycle promotion, {banks} banks");
+        if best.as_ref().is_none_or(|(bp, _)| p < *bp) {
+            best = Some((p, label));
         }
     }
     let (p, label) = best.expect("sweep is non-empty");

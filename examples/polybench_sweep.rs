@@ -2,24 +2,17 @@
 //! with and without the code transformations — the data behind the
 //! paper's Figs. 1, 3, 5 and 8 in one table.
 //!
+//! The whole kernel × organization grid is sharded across worker threads
+//! by the bench crate's sweep engine; `--serial` (or `STTCACHE_THREADS=1`)
+//! reproduces the exact same table single-threaded.
+//!
 //! ```text
-//! cargo run --release --example polybench_sweep [--small]
+//! cargo run --release --example polybench_sweep [--small] [--serial]
 //! ```
 
-use sttcache::{penalty_pct, DCacheOrganization, Platform, SttError};
-use sttcache_cpu::Engine;
+use sttcache::{penalty_pct, DCacheOrganization, SttError};
+use sttcache_bench::parallel::{self, SweepRunner};
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
-
-fn run(
-    org: DCacheOrganization,
-    bench: PolyBench,
-    size: ProblemSize,
-    t: Transformations,
-) -> Result<u64, SttError> {
-    let platform = Platform::new(org)?;
-    let kernel = bench.kernel(size);
-    Ok(platform.run(|e: &mut dyn Engine| kernel.run(e, t)).cycles())
-}
 
 fn main() -> Result<(), SttError> {
     let size = if std::env::args().any(|a| a == "--small") {
@@ -27,6 +20,9 @@ fn main() -> Result<(), SttError> {
     } else {
         ProblemSize::Mini
     };
+    if std::env::args().any(|a| a == "--serial") {
+        parallel::set_jobs(1);
+    }
 
     let orgs = [
         DCacheOrganization::NvmDropIn,
@@ -34,40 +30,41 @@ fn main() -> Result<(), SttError> {
         DCacheOrganization::nvm_l0_default(),
         DCacheOrganization::nvm_emshr_default(),
     ];
+
+    // One grid, seven benchmark-ordered chunks: the untransformed
+    // baseline, the four untransformed organizations, then the optimized
+    // baseline/proposal pair. Chunk layout is independent of worker count.
+    let mut points = parallel::grid(
+        &[DCacheOrganization::SramBaseline],
+        size,
+        Transformations::none(),
+    );
+    points.extend(parallel::grid(&orgs, size, Transformations::none()));
+    points.extend(parallel::grid(
+        &[
+            DCacheOrganization::SramBaseline,
+            DCacheOrganization::nvm_vwb_default(),
+        ],
+        size,
+        Transformations::all(),
+    ));
+    let cycles = SweepRunner::current().grid_cycles(&points);
+    let chunks: Vec<&[u64]> = cycles.chunks(PolyBench::ALL.len()).collect();
+    let (base, base_opt, opt) = (chunks[0], chunks[5], chunks[6]);
+
     println!(
         "{:<12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "benchmark", "SRAM cyc", "drop-in", "VWB", "L0", "EMSHR", "VWB+opts"
     );
-
     let mut avgs = [0.0f64; 5];
-    for bench in PolyBench::ALL {
-        let base = run(
-            DCacheOrganization::SramBaseline,
-            bench,
-            size,
-            Transformations::none(),
-        )?;
-        let mut cols = Vec::new();
-        for org in orgs {
-            let cycles = run(org, bench, size, Transformations::none())?;
-            cols.push(penalty_pct(base, cycles));
-        }
+    for (i, bench) in PolyBench::ALL.iter().enumerate() {
+        let mut cols: Vec<f64> = (1..=orgs.len())
+            .map(|c| penalty_pct(base[i], chunks[c][i]))
+            .collect();
         // Optimized proposal vs the equally optimized SRAM baseline.
-        let base_opt = run(
-            DCacheOrganization::SramBaseline,
-            bench,
-            size,
-            Transformations::all(),
-        )?;
-        let opt = run(
-            DCacheOrganization::nvm_vwb_default(),
-            bench,
-            size,
-            Transformations::all(),
-        )?;
-        cols.push(penalty_pct(base_opt, opt));
+        cols.push(penalty_pct(base_opt[i], opt[i]));
 
-        print!("{:<12} {base:>12}", bench.name());
+        print!("{:<12} {:>12}", bench.name(), base[i]);
         for v in &cols {
             print!(" {v:>9.1}%");
         }

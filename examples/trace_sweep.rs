@@ -8,6 +8,7 @@
 //! ```
 
 use sttcache::{penalty_pct, DCacheOrganization, Platform, SttError};
+use sttcache_bench::SweepRunner;
 use sttcache_cpu::{Engine, Trace, TraceRecorder};
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
@@ -40,28 +41,28 @@ fn main() -> Result<(), SttError> {
         bytes.len() as f64 / trace.len() as f64
     );
 
-    // 3. Replay through every organization.
-    let base = {
-        let platform = Platform::new(DCacheOrganization::SramBaseline)?;
-        platform.run(|e: &mut dyn Engine| trace.replay(e)).cycles()
-    };
-    println!(
-        "\n{:<16} {:>12} {:>10}",
-        "organization", "cycles", "penalty"
-    );
-    println!("{:<16} {base:>12} {:>9.1}%", "SRAM baseline", 0.0);
-    for org in [
+    // 3. Replay through every organization, one sweep worker per replay.
+    let orgs = [
+        DCacheOrganization::SramBaseline,
         DCacheOrganization::NvmDropIn,
         DCacheOrganization::nvm_vwb_default(),
         DCacheOrganization::nvm_l0_default(),
         DCacheOrganization::nvm_emshr_default(),
-    ] {
-        let platform = Platform::new(org)?;
-        let cycles = platform.run(|e: &mut dyn Engine| trace.replay(e)).cycles();
+    ];
+    let cycles = SweepRunner::current().map_ok(&orgs, |_, &org| {
+        let platform = Platform::new(org).expect("canonical configuration");
+        platform.run(|e: &mut dyn Engine| trace.replay(e)).cycles()
+    });
+    let base = cycles[0];
+    println!(
+        "\n{:<16} {:>12} {:>10}",
+        "organization", "cycles", "penalty"
+    );
+    for (org, c) in orgs.iter().zip(&cycles) {
         println!(
-            "{:<16} {cycles:>12} {:>9.1}%",
+            "{:<16} {c:>12} {:>9.1}%",
             org.name(),
-            penalty_pct(base, cycles)
+            penalty_pct(base, *c)
         );
     }
     Ok(())

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Hermetic CI: build, test and lint fully offline, then smoke-check that
+# the figures binary still reproduces the committed reference run
+# byte-for-byte (serially and in parallel).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+smoke="$(mktemp)"
+trap 'rm -f "$smoke"' EXIT
+
+./target/release/figures all > "$smoke"
+diff -u figures_output.txt "$smoke"
+
+./target/release/figures all --serial > "$smoke"
+diff -u figures_output.txt "$smoke"
+
+echo "ci: build, tests, clippy and figures smoke all green"

@@ -1,10 +1,14 @@
 //! Property-based tests on the memory hierarchy and front-ends: the timed
 //! cache is compared against an untimed reference model over random access
 //! sequences, and timing/stat invariants are checked for every structure.
+//!
+//! Randomness comes from the in-repo seeded harness
+//! (`sttcache_bench::testkit`): every failure prints its reproducing
+//! seed, and `STTCACHE_TEST_SEED=<seed>` re-runs exactly that case.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use sttcache::{nvm_dl1_config, VwbConfig, VwbFrontEnd};
+use sttcache_bench::testkit::{run_cases, Rng};
 use sttcache_cpu::DataPort;
 use sttcache_mem::{Addr, Cache, CacheConfig, MainMemory, MemoryLevel};
 
@@ -55,17 +59,16 @@ impl RefCache {
 
 /// Random (address, is_write) sequences over a small footprint so sets
 /// collide and evictions happen.
-fn access_seq() -> impl Strategy<Value = Vec<(u64, bool)>> {
-    prop::collection::vec((0u64..(1 << 18), any::<bool>()), 1..400)
+fn access_seq(rng: &mut Rng) -> Vec<(u64, bool)> {
+    rng.vec_of(1, 400, |r| (r.u64_in(0, 1 << 18), r.bool()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The timed cache's contents and hit/miss decisions match the untimed
-    /// LRU reference exactly.
-    #[test]
-    fn cache_matches_reference_model(seq in access_seq()) {
+/// The timed cache's contents and hit/miss decisions match the untimed
+/// LRU reference exactly.
+#[test]
+fn cache_matches_reference_model() {
+    run_cases("cache_matches_reference_model", 64, |rng| {
+        let seq = access_seq(rng);
         let cfg = CacheConfig::builder()
             .capacity_bytes(4 * 1024)
             .associativity(2)
@@ -85,20 +88,23 @@ proptest! {
                 cache.read(Addr(addr), now)
             };
             let got_hit = cache.stats().misses() == before.misses();
-            prop_assert_eq!(got_hit, expect_hit, "addr {:#x} write {}", addr, is_write);
-            prop_assert!(out.complete_at > now);
+            assert_eq!(got_hit, expect_hit, "addr {addr:#x} write {is_write}");
+            assert!(out.complete_at > now);
             now = out.complete_at + 20; // quiesce banks/buffers between ops
         }
         // Final contents agree.
         for addr in (0..(1u64 << 18)).step_by(64) {
-            prop_assert_eq!(cache.contains(Addr(addr)), reference.contains(addr));
+            assert_eq!(cache.contains(Addr(addr)), reference.contains(addr));
         }
-    }
+    });
+}
 
-    /// Completion times never precede issue, and later issues of the same
-    /// access never complete earlier (monotonicity under contention).
-    #[test]
-    fn completion_is_monotonic(seq in access_seq()) {
+/// Completion times never precede issue, and later issues of the same
+/// access never complete earlier (monotonicity under contention).
+#[test]
+fn completion_is_monotonic() {
+    run_cases("completion_is_monotonic", 64, |rng| {
+        let seq = access_seq(rng);
         let mut cache = Cache::new(CacheConfig::default(), MainMemory::new(100));
         let mut now = 0;
         for (addr, is_write) in seq {
@@ -107,16 +113,19 @@ proptest! {
             } else {
                 cache.read(Addr(addr), now)
             };
-            prop_assert!(out.complete_at > now);
-            prop_assert!(out.complete_at <= now + 10_000, "unbounded stall");
+            assert!(out.complete_at > now);
+            assert!(out.complete_at <= now + 10_000, "unbounded stall");
             now = out.complete_at;
         }
-    }
+    });
+}
 
-    /// Hit + miss counters always reconcile with total accesses, and
-    /// fills never exceed misses.
-    #[test]
-    fn stats_reconcile(seq in access_seq()) {
+/// Hit + miss counters always reconcile with total accesses, and
+/// fills never exceed misses.
+#[test]
+fn stats_reconcile() {
+    run_cases("stats_reconcile", 64, |rng| {
+        let seq = access_seq(rng);
         let mut cache = Cache::new(CacheConfig::default(), MainMemory::new(100));
         let mut now = 0;
         for (addr, is_write) in &seq {
@@ -128,35 +137,41 @@ proptest! {
             now = out.complete_at;
         }
         let s = cache.stats();
-        prop_assert_eq!(s.accesses(), seq.len() as u64);
-        prop_assert_eq!(s.read_hits + s.read_misses(), s.reads);
-        prop_assert!(s.fills <= s.misses());
-        prop_assert!(s.writebacks <= s.fills + 1);
-    }
+        assert_eq!(s.accesses(), seq.len() as u64);
+        assert_eq!(s.read_hits + s.read_misses(), s.reads);
+        assert!(s.fills <= s.misses());
+        assert!(s.writebacks <= s.fills + 1);
+    });
+}
 
-    /// The VWB front-end serves the same addresses as a bare DL1 would —
-    /// every read completes, and a read issued after a prior read of the
-    /// same line at a quiescent time is a 1-cycle buffer hit.
-    #[test]
-    fn vwb_rereads_hit_in_one_cycle(addrs in prop::collection::vec(0u64..(1 << 14), 1..64)) {
+/// The VWB front-end serves the same addresses as a bare DL1 would —
+/// every read completes, and a read issued after a prior read of the
+/// same line at a quiescent time is a 1-cycle buffer hit.
+#[test]
+fn vwb_rereads_hit_in_one_cycle() {
+    run_cases("vwb_rereads_hit_in_one_cycle", 64, |rng| {
+        let addrs = rng.vec_of(1, 64, |r| r.u64_in(0, 1 << 14));
         let dl1 = Cache::new(nvm_dl1_config().expect("canonical"), MainMemory::new(100));
         let mut vwb = VwbFrontEnd::new(VwbConfig::default(), dl1).expect("canonical");
         let mut now = 0;
         for addr in addrs {
             let t1 = vwb.read(Addr(addr), now);
-            prop_assert!(t1 > now);
+            assert!(t1 > now);
             // Quiesce, then re-read: must be a VWB hit at hit latency.
             let quiet = t1 + 50;
             let t2 = vwb.read(Addr(addr), quiet);
-            prop_assert_eq!(t2, quiet + 1, "addr {:#x}", addr);
+            assert_eq!(t2, quiet + 1, "addr {addr:#x}");
             now = t2;
         }
-    }
+    });
+}
 
-    /// VWB statistics reconcile: hits never exceed accesses and every miss
-    /// triggered exactly one promotion.
-    #[test]
-    fn vwb_stats_reconcile(seq in access_seq()) {
+/// VWB statistics reconcile: hits never exceed accesses and every miss
+/// triggered exactly one promotion.
+#[test]
+fn vwb_stats_reconcile() {
+    run_cases("vwb_stats_reconcile", 64, |rng| {
+        let seq = access_seq(rng);
         let dl1 = Cache::new(nvm_dl1_config().expect("canonical"), MainMemory::new(100));
         let mut vwb = VwbFrontEnd::new(VwbConfig::default(), dl1).expect("canonical");
         let mut now = 0;
@@ -168,21 +183,25 @@ proptest! {
             };
         }
         let s = vwb.stats();
-        prop_assert!(s.read_hits <= s.reads);
-        prop_assert!(s.write_hits <= s.writes);
-        prop_assert_eq!(s.promotions, s.reads - s.read_hits);
-        prop_assert!(s.dirty_evictions <= s.promotions);
-    }
+        assert!(s.read_hits <= s.reads);
+        assert!(s.write_hits <= s.writes);
+        assert_eq!(s.promotions, s.reads - s.read_hits);
+        assert!(s.dirty_evictions <= s.promotions);
+    });
+}
 
-    /// Penalty percentages are order-preserving and zero at the baseline.
-    #[test]
-    fn penalty_properties(base in 1u64..1_000_000, extra in 0u64..1_000_000) {
+/// Penalty percentages are order-preserving and zero at the baseline.
+#[test]
+fn penalty_properties() {
+    run_cases("penalty_properties", 64, |rng| {
+        let base = rng.u64_in(1, 1_000_000);
+        let extra = rng.u64_in(0, 1_000_000);
         let p = sttcache::penalty_pct(base, base + extra);
-        prop_assert!(p >= 0.0);
-        prop_assert_eq!(sttcache::penalty_pct(base, base), 0.0);
+        assert!(p >= 0.0);
+        assert_eq!(sttcache::penalty_pct(base, base), 0.0);
         let p2 = sttcache::penalty_pct(base, base + extra + 1);
-        prop_assert!(p2 > p);
-    }
+        assert!(p2 > p);
+    });
 }
 
 /// An untimed FIFO reference: eviction by insertion order, untouched by
@@ -227,15 +246,14 @@ impl RefFifo {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The FIFO-configured timed cache matches the untimed FIFO reference
-    /// on hit/miss decisions (reads only: FIFO victim choice is
-    /// insertion-order-only, so writes behave identically).
-    #[test]
-    fn fifo_cache_matches_reference(seq in prop::collection::vec(0u64..(1 << 16), 1..300)) {
+/// The FIFO-configured timed cache matches the untimed FIFO reference
+/// on hit/miss decisions (reads only: FIFO victim choice is
+/// insertion-order-only, so writes behave identically).
+#[test]
+fn fifo_cache_matches_reference() {
+    run_cases("fifo_cache_matches_reference", 48, |rng| {
         use sttcache_mem::ReplacementPolicy;
+        let seq = rng.vec_of(1, 300, |r| r.u64_in(0, 1 << 16));
         let cfg = CacheConfig::builder()
             .capacity_bytes(2 * 1024)
             .associativity(2)
@@ -252,20 +270,20 @@ proptest! {
             let before = cache.stats().misses();
             let out = cache.read(Addr(addr), now);
             let got_hit = cache.stats().misses() == before;
-            prop_assert_eq!(got_hit, expect_hit, "addr {:#x}", addr);
+            assert_eq!(got_hit, expect_hit, "addr {addr:#x}");
             now = out.complete_at + 20;
         }
-    }
+    });
+}
 
-    /// Every replacement policy yields a working cache: correct hit/miss
-    /// accounting and bounded completion times over random streams.
-    #[test]
-    fn all_policies_stay_consistent(
-        seq in prop::collection::vec((0u64..(1 << 16), any::<bool>()), 1..200),
-        policy_idx in 0usize..4,
-    ) {
+/// Every replacement policy yields a working cache: correct hit/miss
+/// accounting and bounded completion times over random streams.
+#[test]
+fn all_policies_stay_consistent() {
+    run_cases("all_policies_stay_consistent", 48, |rng| {
         use sttcache_mem::ReplacementPolicy;
-        let policy = ReplacementPolicy::ALL[policy_idx];
+        let seq = rng.vec_of(1, 200, |r| (r.u64_in(0, 1 << 16), r.bool()));
+        let policy = *rng.pick(&ReplacementPolicy::ALL);
         let cfg = CacheConfig::builder()
             .capacity_bytes(2 * 1024)
             .associativity(4)
@@ -282,13 +300,13 @@ proptest! {
             } else {
                 cache.read(Addr(*addr), now)
             };
-            prop_assert!(out.complete_at > now);
+            assert!(out.complete_at > now);
             now = out.complete_at + 5;
         }
         let s = cache.stats();
-        prop_assert_eq!(s.accesses(), seq.len() as u64, "{}", policy);
-        prop_assert!(s.fills <= s.misses());
-    }
+        assert_eq!(s.accesses(), seq.len() as u64, "{policy}");
+        assert!(s.fills <= s.misses());
+    });
 }
 
 /// Deterministic cross-check of the reference model itself.

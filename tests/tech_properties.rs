@@ -1,109 +1,164 @@
 //! Property-based tests on the technology models: physical monotonicity
 //! and calibration invariants over the whole configuration space.
+//!
+//! Randomness comes from the in-repo seeded harness
+//! (`sttcache_bench::testkit`); failures print their reproducing seed.
 
-use proptest::prelude::*;
+use sttcache_bench::testkit::{run_cases, Rng};
 use sttcache_tech::{
     ArrayConfig, ArrayModel, CellKind, CellModel, EnduranceModel, MtjDevice, MtjStack, TechNode,
 };
 
-fn capacities() -> impl Strategy<Value = usize> {
-    // 4 KB .. 4 MB, powers of two.
-    (12u32..=22).prop_map(|p| 1usize << p)
+/// 4 KB .. 4 MB, powers of two.
+fn capacity(rng: &mut Rng) -> usize {
+    1usize << rng.u32_in(12, 23)
 }
 
-fn cells() -> impl Strategy<Value = CellKind> {
-    prop::sample::select(CellKind::ALL.to_vec())
+fn cell(rng: &mut Rng) -> CellKind {
+    *rng.pick(&CellKind::ALL)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Doubling the capacity never makes an array faster, smaller or less
-    /// leaky.
-    #[test]
-    fn capacity_monotonicity(cap in capacities(), cell in cells()) {
+/// Doubling the capacity never makes an array faster, smaller or less
+/// leaky.
+#[test]
+fn capacity_monotonicity() {
+    run_cases("capacity_monotonicity", 128, |rng| {
+        let cap = capacity(rng);
+        let cell = cell(rng);
         let small = ArrayModel::new(
-            ArrayConfig::builder().capacity_bytes(cap).cell(cell).build().expect("valid"),
+            ArrayConfig::builder()
+                .capacity_bytes(cap)
+                .cell(cell)
+                .build()
+                .expect("valid"),
         );
         let big = ArrayModel::new(
-            ArrayConfig::builder().capacity_bytes(cap * 2).cell(cell).build().expect("valid"),
+            ArrayConfig::builder()
+                .capacity_bytes(cap * 2)
+                .cell(cell)
+                .build()
+                .expect("valid"),
         );
-        prop_assert!(big.read_latency_ns() >= small.read_latency_ns());
-        prop_assert!(big.write_latency_ns() >= small.write_latency_ns());
-        prop_assert!(big.leakage_mw() >= small.leakage_mw());
-        prop_assert!(big.area_mm2() > small.area_mm2());
-    }
+        assert!(big.read_latency_ns() >= small.read_latency_ns());
+        assert!(big.write_latency_ns() >= small.write_latency_ns());
+        assert!(big.leakage_mw() >= small.leakage_mw());
+        assert!(big.area_mm2() > small.area_mm2());
+    });
+}
 
-    /// Banking never slows an array down.
-    #[test]
-    fn banking_never_hurts_latency(cap in capacities(), cell in cells()) {
+/// Banking never slows an array down.
+#[test]
+fn banking_never_hurts_latency() {
+    run_cases("banking_never_hurts_latency", 128, |rng| {
+        let cap = capacity(rng);
+        let cell = cell(rng);
         let one = ArrayModel::new(
-            ArrayConfig::builder().capacity_bytes(cap).cell(cell).banks(1).build().expect("valid"),
+            ArrayConfig::builder()
+                .capacity_bytes(cap)
+                .cell(cell)
+                .banks(1)
+                .build()
+                .expect("valid"),
         );
         let four = ArrayModel::new(
-            ArrayConfig::builder().capacity_bytes(cap).cell(cell).banks(4).build().expect("valid"),
+            ArrayConfig::builder()
+                .capacity_bytes(cap)
+                .cell(cell)
+                .banks(4)
+                .build()
+                .expect("valid"),
         );
-        prop_assert!(four.read_latency_ns() <= one.read_latency_ns());
-    }
+        assert!(four.read_latency_ns() <= one.read_latency_ns());
+    });
+}
 
-    /// Cycle conversion is the ceiling of latency x clock and is at least
-    /// one cycle.
-    #[test]
-    fn cycle_conversion(cap in capacities(), cell in cells(), clock in 0.5f64..4.0) {
+/// Cycle conversion is the ceiling of latency x clock and is at least
+/// one cycle.
+#[test]
+fn cycle_conversion() {
+    run_cases("cycle_conversion", 128, |rng| {
+        let cap = capacity(rng);
+        let cell = cell(rng);
+        let clock = rng.f64_in(0.5, 4.0);
         let m = ArrayModel::new(
-            ArrayConfig::builder().capacity_bytes(cap).cell(cell).build().expect("valid"),
+            ArrayConfig::builder()
+                .capacity_bytes(cap)
+                .cell(cell)
+                .build()
+                .expect("valid"),
         );
         let cycles = m.read_cycles(clock);
-        prop_assert!(cycles >= 1);
+        assert!(cycles >= 1);
         let lower = (m.read_latency_ns() * clock).floor() as u64;
-        prop_assert!(cycles >= lower);
-        prop_assert!(cycles <= lower + 1);
-    }
+        assert!(cycles >= lower);
+        assert!(cycles <= lower + 1);
+    });
+}
 
-    /// Energy grows with access width for every technology.
-    #[test]
-    fn energy_grows_with_width(cell in cells(), bits in 8usize..4096) {
+/// Energy grows with access width for every technology.
+#[test]
+fn energy_grows_with_width() {
+    run_cases("energy_grows_with_width", 128, |rng| {
+        let cell = cell(rng);
+        let bits = rng.usize_in(8, 4096);
         let m = ArrayModel::new(ArrayConfig::builder().cell(cell).build().expect("valid"));
-        prop_assert!(m.read_energy_pj(bits * 2) > m.read_energy_pj(bits));
-        prop_assert!(m.write_energy_pj(bits * 2) > m.write_energy_pj(bits));
-    }
+        assert!(m.read_energy_pj(bits * 2) > m.read_energy_pj(bits));
+        assert!(m.write_energy_pj(bits * 2) > m.write_energy_pj(bits));
+    });
+}
 
-    /// Higher TMR never slows sensing; lower TMR never speeds it up — the
-    /// paper's stability/read-latency trade-off.
-    #[test]
-    fn tmr_sensing_tradeoff(tmr_lo in 0.2f64..1.0, delta in 0.1f64..2.0) {
+/// Higher TMR never slows sensing; lower TMR never speeds it up — the
+/// paper's stability/read-latency trade-off.
+#[test]
+fn tmr_sensing_tradeoff() {
+    run_cases("tmr_sensing_tradeoff", 128, |rng| {
+        let tmr_lo = rng.f64_in(0.2, 1.0);
+        let delta = rng.f64_in(0.1, 2.0);
         let tmr_hi = (tmr_lo + delta).min(3.9);
         let lo = MtjDevice::new(MtjStack::PerpendicularDual, 2500.0, tmr_lo, 60.0, 35.0)
             .expect("valid device");
         let hi = MtjDevice::new(MtjStack::PerpendicularDual, 2500.0, tmr_hi, 60.0, 35.0)
             .expect("valid device");
-        prop_assert!(hi.sensing_time_ns() <= lo.sensing_time_ns());
-    }
+        assert!(hi.sensing_time_ns() <= lo.sensing_time_ns());
+    });
+}
 
-    /// Lifetime scales linearly with endurance and inversely with write
-    /// rate.
-    #[test]
-    fn lifetime_scaling(rate in 1e3f64..1e9, lines in 64usize..8192) {
+/// Lifetime scales linearly with endurance and inversely with write
+/// rate.
+#[test]
+fn lifetime_scaling() {
+    run_cases("lifetime_scaling", 128, |rng| {
+        let rate = rng.f64_in(1e3, 1e9);
+        let lines = rng.usize_in(64, 8192);
         let stt = EnduranceModel::new(CellModel::new(CellKind::SttMram), lines);
         let a = stt.lifetime(rate, 1.0);
         let b = stt.lifetime(rate * 2.0, 1.0);
-        prop_assert!((a.seconds / b.seconds - 2.0).abs() < 1e-6);
-    }
+        assert!((a.seconds / b.seconds - 2.0).abs() < 1e-6);
+    });
+}
 
-    /// Node scaling: a smaller node is never slower at the same flavour.
-    #[test]
-    fn node_delay_scaling(cap in capacities()) {
+/// Node scaling: a smaller node is never slower at the same flavour.
+#[test]
+fn node_delay_scaling() {
+    run_cases("node_delay_scaling", 128, |rng| {
+        let cap = capacity(rng);
         let n32 = ArrayModel::new(
-            ArrayConfig::builder().capacity_bytes(cap).node(TechNode::hp_32nm()).build()
+            ArrayConfig::builder()
+                .capacity_bytes(cap)
+                .node(TechNode::hp_32nm())
+                .build()
                 .expect("valid"),
         );
         let n22 = ArrayModel::new(
-            ArrayConfig::builder().capacity_bytes(cap).node(TechNode::hp_22nm()).build()
+            ArrayConfig::builder()
+                .capacity_bytes(cap)
+                .node(TechNode::hp_22nm())
+                .build()
                 .expect("valid"),
         );
-        prop_assert!(n22.read_latency_ns() <= n32.read_latency_ns());
-        prop_assert!(n22.leakage_mw() >= n32.leakage_mw());
-    }
+        assert!(n22.read_latency_ns() <= n32.read_latency_ns());
+        assert!(n22.leakage_mw() >= n32.leakage_mw());
+    });
 }
 
 /// The calibration anchor must hold exactly regardless of property

@@ -1,53 +1,62 @@
 //! Property-based tests on the trace infrastructure: binary round-trips
 //! over arbitrary event streams, and replay equivalence — a recorded
 //! kernel replayed through a platform must produce the identical timing.
+//!
+//! Randomness comes from the in-repo seeded harness
+//! (`sttcache_bench::testkit`); failures print their reproducing seed.
 
-use proptest::prelude::*;
 use sttcache::{DCacheOrganization, Platform};
+use sttcache_bench::testkit::{run_cases, Rng};
 use sttcache_cpu::{Engine, Trace, TraceEvent, TraceRecorder};
 use sttcache_mem::Addr;
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
-fn arb_event() -> impl Strategy<Value = TraceEvent> {
-    prop_oneof![
-        (any::<u64>(), 1u8..=64).prop_map(|(a, b)| TraceEvent::Load {
-            addr: Addr(a),
-            bytes: b
-        }),
-        (any::<u64>(), 1u8..=64).prop_map(|(a, b)| TraceEvent::Store {
-            addr: Addr(a),
-            bytes: b
-        }),
-        any::<u64>().prop_map(|a| TraceEvent::Prefetch { addr: Addr(a) }),
-        (1u32..10_000).prop_map(|ops| TraceEvent::Compute { ops }),
-        any::<bool>().prop_map(|taken| TraceEvent::Branch { taken }),
-    ]
+fn arb_event(rng: &mut Rng) -> TraceEvent {
+    match rng.usize_in(0, 5) {
+        0 => TraceEvent::Load {
+            addr: Addr(rng.next_u64()),
+            bytes: rng.u8_in(1, 65),
+        },
+        1 => TraceEvent::Store {
+            addr: Addr(rng.next_u64()),
+            bytes: rng.u8_in(1, 65),
+        },
+        2 => TraceEvent::Prefetch {
+            addr: Addr(rng.next_u64()),
+        },
+        3 => TraceEvent::Compute {
+            ops: rng.u32_in(1, 10_000),
+        },
+        _ => TraceEvent::Branch { taken: rng.bool() },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Arbitrary event streams survive the binary format bit-exactly.
-    #[test]
-    fn binary_roundtrip(events in prop::collection::vec(arb_event(), 0..300)) {
+/// Arbitrary event streams survive the binary format bit-exactly.
+#[test]
+fn binary_roundtrip() {
+    run_cases("binary_roundtrip", 128, |rng| {
+        let events = rng.vec_of(0, 300, arb_event);
         let trace: Trace = events.into_iter().collect();
         let mut buf = Vec::new();
         trace.write_to(&mut buf).expect("vec write");
         let back = Trace::read_from(&mut buf.as_slice()).expect("read back");
-        prop_assert_eq!(trace, back);
-    }
+        assert_eq!(trace, back);
+    });
+}
 
-    /// Replaying a trace into a recorder reproduces it (replay is a
-    /// faithful engine driver).
-    #[test]
-    fn replay_identity(events in prop::collection::vec(arb_event(), 0..200)) {
+/// Replaying a trace into a recorder reproduces it (replay is a
+/// faithful engine driver).
+#[test]
+fn replay_identity() {
+    run_cases("replay_identity", 128, |rng| {
+        let events = rng.vec_of(0, 200, arb_event);
         let trace: Trace = events.into_iter().collect();
         let mut rec = TraceRecorder::new();
         trace.replay(&mut rec);
         let rerecorded = rec.into_trace();
         // Compute events may coalesce, so compare the summaries and the
         // total compute volume instead of exact event lists.
-        prop_assert_eq!(trace.summary(), rerecorded.summary());
+        assert_eq!(trace.summary(), rerecorded.summary());
         let volume = |t: &Trace| -> u64 {
             t.events()
                 .iter()
@@ -57,16 +66,17 @@ proptest! {
                 })
                 .sum()
         };
-        prop_assert_eq!(volume(&trace), volume(&rerecorded));
-    }
+        assert_eq!(volume(&trace), volume(&rerecorded));
+    });
+}
 
-    /// Truncating a serialized trace anywhere inside the payload never
-    /// panics — it errors.
-    #[test]
-    fn truncation_is_an_error_not_a_panic(
-        events in prop::collection::vec(arb_event(), 1..50),
-        cut in 0usize..64,
-    ) {
+/// Truncating a serialized trace anywhere inside the payload never
+/// panics — it errors.
+#[test]
+fn truncation_is_an_error_not_a_panic() {
+    run_cases("truncation_is_an_error_not_a_panic", 128, |rng| {
+        let events = rng.vec_of(1, 50, arb_event);
+        let cut = rng.usize_in(0, 64);
         let trace: Trace = events.into_iter().collect();
         let mut buf = Vec::new();
         trace.write_to(&mut buf).expect("vec write");
@@ -74,8 +84,8 @@ proptest! {
         let truncated = &buf[..buf.len() - 1 - cut];
         // Either a clean error, or (if the cut removed whole trailing
         // events but the header count disagrees) still an error.
-        prop_assert!(Trace::read_from(&mut &truncated[..]).is_err());
-    }
+        assert!(Trace::read_from(&mut &truncated[..]).is_err());
+    });
 }
 
 /// Recording a kernel and replaying the trace through a platform gives the
