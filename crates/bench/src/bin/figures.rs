@@ -3,6 +3,7 @@
 //! ```text
 //! figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|all]
 //!         [--small] [--csv] [--jobs N | --serial]
+//!         [--no-trace-cache] [--profile] [--profile-json PATH]
 //! ```
 //!
 //! Defaults to `all` at the mini problem size; `--small` runs the larger
@@ -12,14 +13,22 @@
 //! worker count and `--serial` forces one worker. Output is byte-identical
 //! at every worker count — results merge by grid index, not completion
 //! order.
+//!
+//! Grid points execute through the record-once/replay-many trace cache
+//! (`STTCACHE_TRACE_CACHE_BYTES` caps its memory); `--no-trace-cache`
+//! reverts to direct kernel execution — same output, slower. `--profile`
+//! prints per-phase wall-clock (record/replay/direct), cache hit/miss
+//! counts and per-figure timings to stderr, and `--profile-json PATH`
+//! writes the same data as JSON; stdout stays byte-identical either way.
 
-use sttcache_bench::{figures, parallel};
+use sttcache_bench::{figures, parallel, profile, trace_cache, SweepRunner};
 use sttcache_workloads::ProblemSize;
 
 fn usage() -> ! {
     eprintln!(
         "usage: figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|all] \
-         [--small] [--csv] [--jobs N | --serial]"
+         [--small] [--csv] [--jobs N | --serial] [--no-trace-cache] \
+         [--profile] [--profile-json PATH]"
     );
     std::process::exit(2);
 }
@@ -35,6 +44,8 @@ fn main() {
     // Worker-count flags apply to every sweep this process runs.
     let mut what: Option<&str> = None;
     let mut csv = false;
+    let mut profile_text = false;
+    let mut profile_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -50,6 +61,12 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 parallel::set_jobs(n);
             }
+            "--no-trace-cache" => trace_cache::set_enabled(false),
+            "--profile" => profile_text = true,
+            "--profile-json" => {
+                i += 1;
+                profile_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("unknown flag '{other}'");
@@ -60,6 +77,7 @@ fn main() {
         i += 1;
     }
     let what = what.unwrap_or("all");
+    let profiling = profile_text || profile_json.is_some();
 
     if csv {
         if figures::print_csv(what, size) {
@@ -69,21 +87,52 @@ fn main() {
         std::process::exit(2);
     }
 
-    match what {
-        "table1" => figures::print_table1(),
-        "fig1" => figures::print_fig1(size),
-        "fig3" => figures::print_fig3(size),
-        "fig4" => figures::print_fig4(size),
-        "fig5" => figures::print_fig5(size),
-        "fig6" => figures::print_fig6(size),
-        "fig7" => figures::print_fig7(size),
-        "fig8" => figures::print_fig8(size),
-        "fig9" => figures::print_fig9(size),
-        "ext" => figures::print_extensions(size),
-        "all" => figures::print_all(size),
-        other => {
-            eprintln!("unknown figure '{other}'");
-            usage();
+    let start = std::time::Instant::now();
+    let timed: Vec<(&'static str, f64)> = match what {
+        "all" if profiling => figures::print_all_timed(size),
+        "all" => {
+            figures::print_all(size);
+            Vec::new()
+        }
+        single => {
+            let printer = figures::artifacts()
+                .into_iter()
+                .find(|(name, _)| *name == single)
+                .map(|(_, print)| print)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown figure '{single}'");
+                    usage();
+                });
+            let t0 = std::time::Instant::now();
+            printer(size);
+            vec![(
+                // `artifacts` names are 'static; re-borrow the matching one.
+                figures::artifacts()
+                    .iter()
+                    .find(|(name, _)| *name == single)
+                    .expect("found above")
+                    .0,
+                t0.elapsed().as_secs_f64(),
+            )]
+        }
+    };
+
+    if profiling {
+        let report = profile::ProfileReport {
+            figures: timed,
+            total_seconds: start.elapsed().as_secs_f64(),
+            workers: SweepRunner::current().workers(),
+            cache_enabled: trace_cache::enabled(),
+            phases: profile::snapshot(),
+        };
+        if profile_text {
+            eprint!("{}", report.render_text());
+        }
+        if let Some(path) = profile_json {
+            if let Err(e) = std::fs::write(&path, report.render_json()) {
+                eprintln!("cannot write profile JSON to {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -17,8 +17,7 @@ use sttcache::{
     DCacheOrganization, DlOneTechnology, IcacheConfig, Platform, PlatformConfig, RunResult,
     VwbConfig,
 };
-use sttcache_bench::{parallel, SweepRunner};
-use sttcache_cpu::Engine;
+use sttcache_bench::{parallel, profile, trace_cache, SweepRunner};
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 struct Options {
@@ -28,13 +27,14 @@ struct Options {
     opts: Transformations,
     icache: Option<IcacheConfig>,
     baseline: bool,
+    profile: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sim --bench <name> [--org sram|nvm|vwb|l0|emshr] [--size mini|small]\n\
          \x20          [--opts none|all|v+p+o subset] [--vwb-bits N] [--icache sram|nvm]\n\
-         \x20          [--baseline] [--jobs N | --serial]\n\
+         \x20          [--baseline] [--jobs N | --serial] [--no-trace-cache] [--profile]\n\
          benchmarks: {}",
         PolyBench::ALL.map(|b| b.name()).join(", ")
     );
@@ -73,6 +73,7 @@ fn parse_args() -> Options {
     let mut vwb_bits = 2048usize;
     let mut icache = None;
     let mut baseline = false;
+    let mut profile = false;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -104,6 +105,8 @@ fn parse_args() -> Options {
                 });
             }
             "--baseline" => baseline = true,
+            "--no-trace-cache" => trace_cache::set_enabled(false),
+            "--profile" => profile = true,
             "--serial" => parallel::set_jobs(1),
             "--jobs" => {
                 let n: usize = next(&mut i).parse().unwrap_or_else(|_| usage());
@@ -139,11 +142,13 @@ fn parse_args() -> Options {
         opts,
         icache,
         baseline,
+        profile,
     }
 }
 
 fn main() {
     let o = parse_args();
+    let start = std::time::Instant::now();
     let mut cfg = PlatformConfig::new(o.org);
     cfg.icache = o.icache;
     if let Err(e) = Platform::with_config(cfg.clone()) {
@@ -161,9 +166,7 @@ fn main() {
         configs.push(base_cfg);
     }
     let results: Vec<RunResult> = SweepRunner::current().map_ok(&configs, |_, cfg| {
-        let platform = Platform::with_config(cfg.clone()).expect("configuration validated above");
-        let kernel = o.bench.kernel(o.size);
-        platform.run(|e: &mut dyn Engine| kernel.run(e, o.opts))
+        trace_cache::run_config(cfg, o.bench, o.size, o.opts)
     });
 
     let result = &results[0];
@@ -182,5 +185,16 @@ fn main() {
             "penalty.vs_sram_pct",
             sttcache::penalty_pct(base.cycles(), result.cycles())
         );
+    }
+
+    if o.profile {
+        let report = profile::ProfileReport {
+            figures: Vec::new(),
+            total_seconds: start.elapsed().as_secs_f64(),
+            workers: SweepRunner::current().workers(),
+            cache_enabled: trace_cache::enabled(),
+            phases: profile::snapshot(),
+        };
+        eprint!("{}", report.render_text());
     }
 }

@@ -7,11 +7,11 @@
 //! the sweep (see `crates/bench/src/parallel.rs`).
 
 use crate::parallel::{self, GridPoint, SweepRunner};
+use crate::trace_cache;
 use sttcache::{
-    average_penalty, penalty_pct, DCacheOrganization, PenaltyRow, Platform, PlatformConfig,
+    average_penalty, penalty_pct, DCacheOrganization, PenaltyRow, PlatformConfig,
     RunResult, VwbConfig,
 };
-use sttcache_cpu::Engine;
 use sttcache_mem::CacheConfig;
 use sttcache_tech::{table_one, TableOneRow};
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
@@ -28,6 +28,11 @@ pub struct BenchResult {
 /// Runs one benchmark on one platform organization with the given
 /// transformations.
 ///
+/// Executes through the shared trace cache (see
+/// [`trace_cache`](crate::trace_cache)): the kernel's event stream is
+/// recorded once per (kernel, size, transformation) key and replayed for
+/// every organization, with results identical to direct execution.
+///
 /// # Panics
 ///
 /// Panics if the organization's configuration is invalid (the canonical
@@ -38,9 +43,7 @@ pub fn run_benchmark(
     size: ProblemSize,
     t: Transformations,
 ) -> RunResult {
-    let platform = Platform::new(org).expect("canonical platform configuration is valid");
-    let kernel = bench.kernel(size);
-    platform.run(|e: &mut dyn Engine| kernel.run(e, t))
+    trace_cache::run_config(&PlatformConfig::new(org), bench, size, t)
 }
 
 /// Builds the grid for a list of (organization, transformation) combos:
@@ -210,7 +213,7 @@ pub struct Fig4Row {
 /// latency class's contribution; shares are normalized to 100 %.
 pub fn fig4(size: ProblemSize) -> Vec<Fig4Row> {
     // NVM DL1 geometry with one latency class reverted to SRAM speed.
-    let with_latencies = |read: u64, write: u64| -> Platform {
+    let with_latencies = |read: u64, write: u64| -> PlatformConfig {
         let dl1 = CacheConfig::builder()
             .capacity_bytes(64 * 1024)
             .associativity(2)
@@ -222,7 +225,7 @@ pub fn fig4(size: ProblemSize) -> Vec<Fig4Row> {
             .expect("counterfactual dl1 config is valid");
         let mut cfg = PlatformConfig::new(DCacheOrganization::nvm_vwb_default());
         cfg.dl1_override = Some(dl1);
-        Platform::with_config(cfg).expect("counterfactual platform is valid")
+        cfg
     };
 
     // One sweep item per benchmark: the three runs a decomposition needs
@@ -236,10 +239,8 @@ pub fn fig4(size: ProblemSize) -> Vec<Fig4Row> {
             size,
             Transformations::none(),
         );
-        let kernel_r = b.kernel(size);
-        let r = read_only.run(|e: &mut dyn Engine| kernel_r.run(e, Transformations::none()));
-        let kernel_w = b.kernel(size);
-        let w = write_only.run(|e: &mut dyn Engine| kernel_w.run(e, Transformations::none()));
+        let r = trace_cache::run_config(&read_only, b, size, Transformations::none());
+        let w = trace_cache::run_config(&write_only, b, size, Transformations::none());
         let p_read = penalty_pct(sram.cycles(), r.cycles()).max(0.0);
         let p_write = penalty_pct(sram.cycles(), w.cycles()).max(0.0);
         if p_read + p_write < 0.25 {

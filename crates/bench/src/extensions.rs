@@ -9,11 +9,12 @@
 
 use crate::experiments::{run_benchmark, SeriesTable};
 use crate::parallel::SweepRunner;
+use crate::trace_cache;
 use sttcache::{
     l2_config, nvm_dl1_config, nvm_il1_config, penalty_pct, sram_dl1_config, sram_il1_config,
-    DCacheOrganization, DlOneTechnology, Platform, PlatformConfig, VwbConfig, VwbFrontEnd,
+    DCacheOrganization, DlOneTechnology, PlatformConfig, VwbConfig, VwbFrontEnd,
 };
-use sttcache_cpu::{Core, CoreConfig, Engine, FetchUnit, MemPort};
+use sttcache_cpu::{Core, CoreConfig, FetchUnit, MemPort};
 use sttcache_mem::{AsymmetricWrite, Cache, CacheConfig, MainMemory, NextLinePrefetcher, Shared};
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
@@ -27,11 +28,7 @@ pub const EXT_MIX: [PolyBench; 4] = [
 ];
 
 fn run_with_config(cfg: &PlatformConfig, bench: PolyBench, size: ProblemSize) -> u64 {
-    let platform = Platform::with_config(cfg.clone()).expect("extension configuration is valid");
-    let kernel = bench.kernel(size);
-    platform
-        .run(|e: &mut dyn Engine| kernel.run(e, Transformations::none()))
-        .cycles()
+    trace_cache::run_config(cfg, bench, size, Transformations::none()).cycles()
 }
 
 /// Runs a kernel on a hand-built platform whose IL1 and DL1 miss into a
@@ -60,20 +57,19 @@ fn run_unified(
     .expect("canonical il1");
     let il1 = Cache::new(il1_cfg, l2.clone());
     let dl1 = Cache::new(dl1_cfg, l2.clone());
-    let kernel = bench.kernel(size);
 
     match vwb {
         Some(cfg) => {
             let fe = VwbFrontEnd::new(cfg, dl1).expect("canonical vwb over shared l2");
             let mut core = Core::new(CoreConfig::default(), fe);
             core.attach_fetch_unit(FetchUnit::new(Box::new(il1), 16 * 1024));
-            kernel.run(&mut core, Transformations::none());
+            trace_cache::drive(&mut core, bench, size, Transformations::none());
             core.report().cycles
         }
         None => {
             let mut core = Core::new(CoreConfig::default(), MemPort::new(dl1));
             core.attach_fetch_unit(FetchUnit::new(Box::new(il1), 16 * 1024));
-            kernel.run(&mut core, Transformations::none());
+            trace_cache::drive(&mut core, bench, size, Transformations::none());
             core.report().cycles
         }
     }
@@ -136,8 +132,7 @@ pub fn ext_hw_prefetch(size: ProblemSize) -> SeriesTable {
             let dl1 = Cache::new(nvm_dl1_config().expect("canonical dl1"), tail);
             let pf = NextLinePrefetcher::new(dl1);
             let mut core = Core::new(CoreConfig::default(), MemPort::new(pf));
-            let kernel = b.kernel(size);
-            kernel.run(&mut core, Transformations::none());
+            trace_cache::drive(&mut core, b, size, Transformations::none());
             core.report().cycles
         };
         let vwb = run_benchmark(
@@ -307,7 +302,7 @@ pub fn ext_normally_off(size: ProblemSize) -> Vec<SleepRow> {
             let tail = Cache::new(l2_config().expect("canonical l2"), MainMemory::new(100));
             let dl1 = Cache::new(sram_dl1_config().expect("canonical sram dl1"), tail);
             let mut core = Core::new(CoreConfig::default(), MemPort::new(dl1));
-            b.kernel(size).run(&mut core, Transformations::none());
+            trace_cache::drive(&mut core, b, size, Transformations::none());
             let end = core.now();
             let mut dl1 = core.into_port().into_inner();
             let dirty = dl1.dirty_lines();
@@ -322,7 +317,7 @@ pub fn ext_normally_off(size: ProblemSize) -> Vec<SleepRow> {
             let vwb =
                 VwbFrontEnd::new(VwbConfig::default(), dl1).expect("canonical vwb configuration");
             let mut core = Core::new(CoreConfig::default(), vwb);
-            b.kernel(size).run(&mut core, Transformations::none());
+            trace_cache::drive(&mut core, b, size, Transformations::none());
             let end = core.now();
             let mut vwb = core.into_port();
             let (flushed, done) = vwb.flush_dirty(end);

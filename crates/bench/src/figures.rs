@@ -247,16 +247,45 @@ pub fn print_csv(which: &str, size: ProblemSize) -> bool {
     true
 }
 
+/// One printable artifact: its CLI name and printer.
+pub type Artifact = (&'static str, fn(ProblemSize));
+
+/// The artifacts `print_all` emits, in order: `(name, printer)`.
+///
+/// One list so the plain and profiled paths cannot drift apart, and so
+/// `--profile` can time each artifact individually.
+pub fn artifacts() -> [Artifact; 10] {
+    [
+        ("table1", |_| print_table1()),
+        ("fig1", print_fig1),
+        ("fig3", print_fig3),
+        ("fig4", print_fig4),
+        ("fig5", print_fig5),
+        ("fig6", print_fig6),
+        ("fig7", print_fig7),
+        ("fig8", print_fig8),
+        ("fig9", print_fig9),
+        ("ext", print_extensions),
+    ]
+}
+
 /// Prints every table and figure in order.
 pub fn print_all(size: ProblemSize) {
-    print_table1();
-    print_fig1(size);
-    print_fig3(size);
-    print_fig4(size);
-    print_fig5(size);
-    print_fig6(size);
-    print_fig7(size);
-    print_fig8(size);
-    print_fig9(size);
-    print_extensions(size);
+    for (_, print) in artifacts() {
+        print(size);
+    }
+}
+
+/// Prints every table and figure in order, timing each; returns
+/// `(name, seconds)` per artifact. The printed output is identical to
+/// [`print_all`] — the timing is measurement only.
+pub fn print_all_timed(size: ProblemSize) -> Vec<(&'static str, f64)> {
+    artifacts()
+        .iter()
+        .map(|&(name, print)| {
+            let start = std::time::Instant::now();
+            print(size);
+            (name, start.elapsed().as_secs_f64())
+        })
+        .collect()
 }

@@ -18,10 +18,14 @@ pub mod experiments;
 pub mod extensions;
 pub mod figures;
 pub mod parallel;
+pub mod profile;
 pub mod testkit;
+pub mod trace_cache;
 
 pub use experiments::{
     fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, run_benchmark, table1, BenchResult,
     ContributionRow, Fig4Row, Fig6Row, Fig9Row, SeriesTable,
 };
 pub use parallel::{GridPoint, SweepError, SweepRunner};
+pub use profile::{ProfileReport, ProfileSnapshot};
+pub use trace_cache::{TraceCache, TraceCacheStats, TraceKey};

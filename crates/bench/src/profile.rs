@@ -1,0 +1,281 @@
+//! Per-phase wall-clock accounting for `--profile`.
+//!
+//! The trace cache attributes every simulation's time to one of three
+//! phases — *record* (running a kernel into a [`TraceRecorder`]), *replay*
+//! (driving a platform from a cached trace) and *direct* (the uncached
+//! path) — into process-global atomic counters, so the record-once/
+//! replay-many win is measurable from the binaries without plumbing
+//! timers through every sweep. The binaries add per-figure wall-clock on
+//! top and render the whole thing as a human summary (stderr) or JSON
+//! (`--profile-json`), keeping stdout byte-identical to the committed
+//! reference output.
+//!
+//! [`TraceRecorder`]: sttcache_cpu::TraceRecorder
+
+use crate::trace_cache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static RECORD_NS: AtomicU64 = AtomicU64::new(0);
+static RECORD_RUNS: AtomicU64 = AtomicU64::new(0);
+static REPLAY_NS: AtomicU64 = AtomicU64::new(0);
+static REPLAY_RUNS: AtomicU64 = AtomicU64::new(0);
+static DIRECT_NS: AtomicU64 = AtomicU64::new(0);
+static DIRECT_RUNS: AtomicU64 = AtomicU64::new(0);
+
+fn add(ns: &AtomicU64, runs: &AtomicU64, d: Duration) {
+    ns.fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    runs.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Credits one trace-recording run.
+pub fn add_record(d: Duration) {
+    add(&RECORD_NS, &RECORD_RUNS, d);
+}
+
+/// Credits one cached-trace replay.
+pub fn add_replay(d: Duration) {
+    add(&REPLAY_NS, &REPLAY_RUNS, d);
+}
+
+/// Credits one direct (uncached) kernel execution.
+pub fn add_direct(d: Duration) {
+    add(&DIRECT_NS, &DIRECT_RUNS, d);
+}
+
+/// Point-in-time view of the phase counters and the trace cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileSnapshot {
+    /// Seconds spent recording traces.
+    pub record_seconds: f64,
+    /// Number of recordings.
+    pub record_runs: u64,
+    /// Seconds spent replaying cached traces.
+    pub replay_seconds: f64,
+    /// Number of replays.
+    pub replay_runs: u64,
+    /// Seconds spent in direct (uncached) kernel execution.
+    pub direct_seconds: f64,
+    /// Number of direct executions.
+    pub direct_runs: u64,
+    /// Trace-cache counters.
+    pub cache: trace_cache::TraceCacheStats,
+    /// Bytes of trace data resident in the process-wide cache.
+    pub cache_resident_bytes: usize,
+    /// Entries in the process-wide cache.
+    pub cache_entries: usize,
+    /// Simulations answered from the result memo.
+    pub memo_hits: u64,
+    /// Distinct simulations resident in the result memo.
+    pub memo_entries: usize,
+}
+
+/// Snapshots the global phase counters and cache state.
+pub fn snapshot() -> ProfileSnapshot {
+    let secs = |ns: &AtomicU64| ns.load(Ordering::Relaxed) as f64 / 1e9;
+    let (cache_resident_bytes, cache_entries) = trace_cache::global_footprint();
+    ProfileSnapshot {
+        record_seconds: secs(&RECORD_NS),
+        record_runs: RECORD_RUNS.load(Ordering::Relaxed),
+        replay_seconds: secs(&REPLAY_NS),
+        replay_runs: REPLAY_RUNS.load(Ordering::Relaxed),
+        direct_seconds: secs(&DIRECT_NS),
+        direct_runs: DIRECT_RUNS.load(Ordering::Relaxed),
+        cache: trace_cache::global_stats(),
+        cache_resident_bytes,
+        cache_entries,
+        memo_hits: trace_cache::result_memo_hits(),
+        memo_entries: trace_cache::result_memo_entries(),
+    }
+}
+
+impl ProfileSnapshot {
+    /// Simulation seconds across all three phases.
+    pub fn simulation_seconds(&self) -> f64 {
+        self.record_seconds + self.replay_seconds + self.direct_seconds
+    }
+}
+
+/// A finished profiled run: the per-figure wall-clock a binary measured
+/// plus the phase counters, ready to render.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// `(artifact name, seconds)` in emission order.
+    pub figures: Vec<(&'static str, f64)>,
+    /// End-to-end wall-clock of the profiled run in seconds.
+    pub total_seconds: f64,
+    /// Worker threads the sweeps used.
+    pub workers: usize,
+    /// Whether the trace cache was enabled.
+    pub cache_enabled: bool,
+    /// Phase counters at the end of the run.
+    pub phases: ProfileSnapshot,
+}
+
+impl ProfileReport {
+    /// The human-readable summary `--profile` prints to stderr.
+    pub fn render_text(&self) -> String {
+        let p = &self.phases;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profile: {:.3}s total, {} workers, trace cache {}\n",
+            self.total_seconds,
+            self.workers,
+            if self.cache_enabled { "on" } else { "off" }
+        ));
+        out.push_str(&format!(
+            "  phases: record {:.3}s/{} runs, replay {:.3}s/{} runs, \
+             direct {:.3}s/{} runs, aggregate {:.3}s\n",
+            p.record_seconds,
+            p.record_runs,
+            p.replay_seconds,
+            p.replay_runs,
+            p.direct_seconds,
+            p.direct_runs,
+            (self.total_seconds - p.simulation_seconds()).max(0.0),
+        ));
+        out.push_str(&format!(
+            "  trace cache: {} hits, {} misses, {} evictions \
+             ({:.1}% hit rate), {} traces / {} KiB resident\n",
+            p.cache.hits,
+            p.cache.misses,
+            p.cache.evictions,
+            p.cache.hit_rate() * 100.0,
+            p.cache_entries,
+            p.cache_resident_bytes / 1024,
+        ));
+        out.push_str(&format!(
+            "  result memo: {} hits, {} distinct simulations\n",
+            p.memo_hits, p.memo_entries,
+        ));
+        for (name, secs) in &self.figures {
+            out.push_str(&format!("  {name:<8} {secs:>8.3}s\n"));
+        }
+        out
+    }
+
+    /// The machine-readable form `--profile-json` writes (hand-rolled —
+    /// the workspace is dependency-free).
+    pub fn render_json(&self) -> String {
+        let p = &self.phases;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"total_seconds\": {:.6},\n", self.total_seconds));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!(
+            "  \"trace_cache_enabled\": {},\n",
+            self.cache_enabled
+        ));
+        out.push_str("  \"phases\": {\n");
+        out.push_str(&format!(
+            "    \"record_seconds\": {:.6},\n    \"record_runs\": {},\n",
+            p.record_seconds, p.record_runs
+        ));
+        out.push_str(&format!(
+            "    \"replay_seconds\": {:.6},\n    \"replay_runs\": {},\n",
+            p.replay_seconds, p.replay_runs
+        ));
+        out.push_str(&format!(
+            "    \"direct_seconds\": {:.6},\n    \"direct_runs\": {},\n",
+            p.direct_seconds, p.direct_runs
+        ));
+        out.push_str(&format!(
+            "    \"aggregate_seconds\": {:.6}\n  }},\n",
+            (self.total_seconds - p.simulation_seconds()).max(0.0)
+        ));
+        out.push_str("  \"trace_cache\": {\n");
+        out.push_str(&format!(
+            "    \"hits\": {},\n    \"misses\": {},\n    \"evictions\": {},\n",
+            p.cache.hits, p.cache.misses, p.cache.evictions
+        ));
+        out.push_str(&format!(
+            "    \"hit_rate\": {:.6},\n    \"resident_bytes\": {},\n    \"entries\": {}\n  }},\n",
+            p.cache.hit_rate(),
+            p.cache_resident_bytes,
+            p.cache_entries
+        ));
+        out.push_str(&format!(
+            "  \"result_memo\": {{ \"hits\": {}, \"entries\": {} }},\n",
+            p.memo_hits, p.memo_entries
+        ));
+        out.push_str("  \"figures\": [\n");
+        for (i, (name, secs)) in self.figures.iter().enumerate() {
+            let comma = if i + 1 < self.figures.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{name}\", \"seconds\": {secs:.6} }}{comma}\n"
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfileReport {
+        ProfileReport {
+            figures: vec![("table1", 0.001), ("fig1", 0.25)],
+            total_seconds: 1.5,
+            workers: 4,
+            cache_enabled: true,
+            phases: ProfileSnapshot {
+                record_seconds: 0.2,
+                record_runs: 3,
+                replay_seconds: 0.9,
+                replay_runs: 100,
+                direct_seconds: 0.0,
+                direct_runs: 0,
+                cache: trace_cache::TraceCacheStats {
+                    hits: 97,
+                    misses: 3,
+                    evictions: 0,
+                },
+                cache_resident_bytes: 3 * 1024 * 1024,
+                cache_entries: 3,
+                memo_hits: 40,
+                memo_entries: 60,
+            },
+        }
+    }
+
+    #[test]
+    fn text_report_names_every_phase_and_figure() {
+        let text = sample().render_text();
+        for needle in ["record 0.200s", "replay 0.900s", "direct 0.000s", "table1", "fig1"] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_report_is_structurally_sound() {
+        let json = sample().render_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for needle in [
+            "\"total_seconds\": 1.500000",
+            "\"workers\": 4",
+            "\"hit_rate\": 0.970000",
+            "\"name\": \"fig1\"",
+        ] {
+            assert!(json.contains(needle), "missing '{needle}' in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn snapshot_accumulates_phase_time() {
+        let before = snapshot();
+        add_record(Duration::from_millis(5));
+        add_replay(Duration::from_millis(7));
+        add_direct(Duration::from_millis(11));
+        let after = snapshot();
+        assert!(after.record_seconds >= before.record_seconds + 0.004);
+        assert!(after.replay_seconds >= before.replay_seconds + 0.006);
+        assert!(after.direct_seconds >= before.direct_seconds + 0.010);
+        // Other tests in this binary may add phase time concurrently, so
+        // only lower bounds are safe to assert.
+        assert!(after.record_runs > before.record_runs);
+        assert!(after.replay_runs > before.replay_runs);
+        assert!(after.direct_runs > before.direct_runs);
+    }
+}

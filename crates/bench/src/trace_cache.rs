@@ -1,0 +1,565 @@
+//! Record-once/replay-many trace cache for the sweep grid.
+//!
+//! Every figure sweeps a kernel × organization × transformation grid, but
+//! a kernel's architectural event stream depends only on the *kernel*
+//! side of the grid — `(kernel, problem size, transformation set)` — and
+//! never on the cache organization under test. The cache records each
+//! such stream exactly once into a compact [`Trace`] and replays it (via
+//! the monomorphic [`Trace::replay_into`] fast path) for every
+//! organization, skipping the kernel's floating-point arithmetic, array
+//! allocation and per-access virtual dispatch on every grid point after
+//! the first.
+//!
+//! Concurrency: [`SweepRunner`](crate::parallel::SweepRunner) workers that
+//! race on the same key block on a per-key [`OnceLock`] while the first
+//! arrival records, then share the resulting `Arc<Trace>` — each stream
+//! is recorded at most once per process. Memory is bounded by
+//! `STTCACHE_TRACE_CACHE_BYTES` (least-recently-used traces are evicted
+//! past the cap); `--no-trace-cache` or [`set_enabled`]`(false)` bypasses
+//! the cache entirely.
+//!
+//! Replay is cycle-for-cycle and statistic-for-statistic identical to
+//! direct execution (the kernels are deterministic and the recorder's
+//! compute coalescing is timing-neutral), so figure output is byte-
+//! identical with the cache on or off. Setting `STTCACHE_TRACE_CHECK=1`
+//! re-verifies that invariant at runtime: every SRAM-baseline grid point
+//! is also executed directly and the full [`RunResult`]s are compared.
+
+use crate::profile;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+use sttcache::{DCacheOrganization, Platform, PlatformConfig, RunResult};
+use sttcache_cpu::{Engine, Trace, TraceEvent, TraceRecorder};
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+/// Identifies one recorded event stream: the organization-independent
+/// half of a sweep grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// The kernel.
+    pub bench: PolyBench,
+    /// The problem size the kernel ran at.
+    pub size: ProblemSize,
+    /// The code transformations applied to the kernel.
+    pub transforms: Transformations,
+}
+
+impl TraceKey {
+    /// The key for one (kernel, size, transformation-set) stream.
+    pub fn new(bench: PolyBench, size: ProblemSize, transforms: Transformations) -> Self {
+        TraceKey {
+            bench,
+            size,
+            transforms,
+        }
+    }
+
+    /// Human-readable form (diagnostics only).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{:?}/{}",
+            self.bench.name(),
+            self.size,
+            self.transforms.label()
+        )
+    }
+}
+
+/// Hit/miss/eviction counters of a [`TraceCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCacheStats {
+    /// Lookups that found a resident or in-flight trace.
+    pub hits: u64,
+    /// Lookups that had to record.
+    pub misses: u64,
+    /// Traces evicted to stay under the memory cap.
+    pub evictions: u64,
+}
+
+impl TraceCacheStats {
+    /// Hits over total lookups, in [0, 1]; 1 when there were no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cache slot: the shared once-cell workers block on, plus LRU
+/// bookkeeping. `bytes == 0` marks an in-flight recording that is not
+/// yet accounted against the cap (and is never evicted).
+struct Entry {
+    cell: Arc<OnceLock<Arc<Trace>>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<TraceKey, Entry>,
+    resident_bytes: usize,
+    tick: u64,
+    stats: TraceCacheStats,
+}
+
+/// A bounded, thread-shared store of recorded traces.
+///
+/// The process-wide instance behind [`cached_trace`] is what the sweeps
+/// use; independent instances exist so tests can exercise capacity and
+/// concurrency behaviour without touching global state.
+pub struct TraceCache {
+    cap_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+/// In-memory size of a trace: its event array (16 bytes per event).
+fn trace_bytes(trace: &Trace) -> usize {
+    trace.len() * std::mem::size_of::<TraceEvent>()
+}
+
+impl TraceCache {
+    /// A cache capped at `STTCACHE_TRACE_CACHE_BYTES` (default 512 MiB).
+    pub fn from_env() -> Self {
+        let cap = std::env::var("STTCACHE_TRACE_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(512 * 1024 * 1024);
+        TraceCache::with_cap_bytes(cap)
+    }
+
+    /// A cache capped at `cap_bytes` of resident trace data. A cap of 0
+    /// keeps nothing resident but still de-duplicates concurrent
+    /// recordings of the same key.
+    pub fn with_cap_bytes(cap_bytes: usize) -> Self {
+        TraceCache {
+            cap_bytes,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                resident_bytes: 0,
+                tick: 0,
+                stats: TraceCacheStats::default(),
+            }),
+        }
+    }
+
+    /// The configured memory cap in bytes.
+    pub fn cap_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    /// Returns the trace for `key`, recording it with `record` if absent.
+    ///
+    /// Exactly one caller records per key at a time: concurrent callers
+    /// block on the recorder's once-cell and share its result. The
+    /// returned `Arc` stays valid even if the entry is evicted.
+    pub fn get_or_record(&self, key: TraceKey, record: impl FnOnce() -> Trace) -> Arc<Trace> {
+        let cell = {
+            let mut inner = self.inner.lock().expect("trace cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                let cell = entry.cell.clone();
+                inner.stats.hits += 1;
+                cell
+            } else {
+                inner.stats.misses += 1;
+                let cell = Arc::new(OnceLock::new());
+                inner.entries.insert(
+                    key,
+                    Entry {
+                        cell: cell.clone(),
+                        bytes: 0,
+                        last_used: tick,
+                    },
+                );
+                cell
+            }
+        };
+        // Record outside the lock: losers of the race block here (inside
+        // `get_or_init`) instead of serializing the whole cache.
+        let trace = cell.get_or_init(|| Arc::new(record())).clone();
+        self.account(key, &trace);
+        trace
+    }
+
+    /// Charges a freshly recorded trace against the cap (first caller to
+    /// get here wins) and evicts least-recently-used entries past it.
+    fn account(&self, key: TraceKey, trace: &Arc<Trace>) {
+        let mut inner = self.inner.lock().expect("trace cache lock");
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            if entry.bytes == 0 {
+                let bytes = trace_bytes(trace).max(1);
+                entry.bytes = bytes;
+                inner.resident_bytes += bytes;
+            }
+        }
+        while inner.resident_bytes > self.cap_bytes {
+            // LRU victim among accounted entries; the just-used key goes
+            // last so a single over-cap trace still gets returned (and
+            // then dropped) rather than churning other entries first.
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.bytes > 0)
+                .min_by_key(|(k, e)| (**k == key, e.last_used))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let e = inner.entries.remove(&k).expect("victim exists");
+                    inner.resident_bytes -= e.bytes;
+                    inner.stats.evictions += 1;
+                }
+                None => break, // only in-flight entries left
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TraceCacheStats {
+        self.inner.lock().expect("trace cache lock").stats
+    }
+
+    /// Bytes of trace data currently resident (excludes in-flight
+    /// recordings).
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().expect("trace cache lock").resident_bytes
+    }
+
+    /// Number of entries (resident + in-flight).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace cache lock").entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Whether sweeps route through the process-wide cache (`--no-trace-cache`
+/// turns this off).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns the process-wide trace cache on or off. Off, every grid point
+/// executes its kernel directly — the results are identical either way,
+/// only slower.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether the process-wide trace cache is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// The process-wide cache every sweep shares.
+fn global() -> &'static TraceCache {
+    static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+    GLOBAL.get_or_init(TraceCache::from_env)
+}
+
+/// Counter snapshot of the process-wide cache (for `--profile`).
+pub fn global_stats() -> TraceCacheStats {
+    global().stats()
+}
+
+/// Resident bytes and entry count of the process-wide cache.
+pub fn global_footprint() -> (usize, usize) {
+    let g = global();
+    (g.resident_bytes(), g.len())
+}
+
+/// Stream lengths seen per (kernel, size): different transformation sets
+/// of one kernel emit streams within a small factor of each other, so the
+/// last observed length sizes the next recording's buffer up front and
+/// skips most of the growth-reallocation cascade of multi-megabyte event
+/// vectors (at worst one reallocation remains).
+fn capacity_hint() -> &'static Mutex<HashMap<(PolyBench, ProblemSize), usize>> {
+    static HINTS: OnceLock<Mutex<HashMap<(PolyBench, ProblemSize), usize>>> = OnceLock::new();
+    HINTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Records one kernel's event stream by running it against a
+/// [`TraceRecorder`] (the only place the sweeps pay for the kernel's real
+/// arithmetic when the cache is on).
+pub fn record_trace(bench: PolyBench, size: ProblemSize, transforms: Transformations) -> Trace {
+    let start = Instant::now();
+    let hint = capacity_hint()
+        .lock()
+        .expect("capacity hint lock")
+        .get(&(bench, size))
+        .copied()
+        .unwrap_or(0);
+    let mut rec = TraceRecorder::with_capacity(hint);
+    bench.kernel(size).run(&mut rec, transforms);
+    let trace = rec.into_trace();
+    capacity_hint()
+        .lock()
+        .expect("capacity hint lock")
+        .insert((bench, size), trace.len());
+    profile::add_record(start.elapsed());
+    trace
+}
+
+/// The shared trace for one grid key, recording it on first use.
+pub fn cached_trace(
+    bench: PolyBench,
+    size: ProblemSize,
+    transforms: Transformations,
+) -> Arc<Trace> {
+    global().get_or_record(TraceKey::new(bench, size, transforms), || {
+        record_trace(bench, size, transforms)
+    })
+}
+
+/// The second cache level: finished simulations. The simulator is fully
+/// deterministic, so one (platform configuration, trace key) pair always
+/// produces the same [`RunResult`] — each organization replays each
+/// stream once and every later request for the same grid point (figures
+/// share many: Fig. 9's grid is entirely a subset of Figs. 1/3/5's) is a
+/// lookup. Keyed by the configuration's `Debug` fingerprint, which
+/// captures the organization and every override.
+fn result_memo() -> &'static Mutex<HashMap<(String, TraceKey), RunResult>> {
+    static MEMO: OnceLock<Mutex<HashMap<(String, TraceKey), RunResult>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Simulations answered from the result memo (process-wide).
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of simulations answered from the result memo so far.
+pub fn result_memo_hits() -> u64 {
+    MEMO_HITS.load(Ordering::Relaxed)
+}
+
+/// Number of distinct simulations resident in the result memo.
+pub fn result_memo_entries() -> usize {
+    result_memo().lock().expect("result memo lock").len()
+}
+
+/// Runs one grid point described by its configuration through the cache
+/// (or directly when the cache is disabled). This is the execution path
+/// every sweep and binary uses.
+///
+/// With the cache enabled the grid point's event stream is recorded once
+/// ([`cached_trace`]), replayed at most once per distinct platform
+/// configuration, and the finished [`RunResult`] is memoized — repeated
+/// grid points across figures cost a map lookup and skip even the
+/// platform's hierarchy construction. All three paths (direct, replay,
+/// memo) produce bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid (the sweeps only pass validated
+/// configurations).
+pub fn run_config(
+    cfg: &PlatformConfig,
+    bench: PolyBench,
+    size: ProblemSize,
+    transforms: Transformations,
+) -> RunResult {
+    if !enabled() {
+        let platform = Platform::with_config(cfg.clone()).expect("sweep configuration is valid");
+        let start = Instant::now();
+        let kernel = bench.kernel(size);
+        let result = platform.run(|e: &mut dyn Engine| kernel.run(e, transforms));
+        profile::add_direct(start.elapsed());
+        return result;
+    }
+    let memo_key = (format!("{cfg:?}"), TraceKey::new(bench, size, transforms));
+    if let Some(hit) = result_memo()
+        .lock()
+        .expect("result memo lock")
+        .get(&memo_key)
+    {
+        MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+        return hit.clone();
+    }
+    let platform = Platform::with_config(cfg.clone()).expect("sweep configuration is valid");
+    let trace = cached_trace(bench, size, transforms);
+    let start = Instant::now();
+    let result = platform.run_trace(&trace);
+    profile::add_replay(start.elapsed());
+    if trace_check_requested() && cfg.organization == DCacheOrganization::SramBaseline {
+        let kernel = bench.kernel(size);
+        let direct = platform.run(|e: &mut dyn Engine| kernel.run(e, transforms));
+        assert_eq!(
+            direct,
+            result,
+            "trace replay diverged from direct execution on {}",
+            TraceKey::new(bench, size, transforms).label()
+        );
+    }
+    result_memo()
+        .lock()
+        .expect("result memo lock")
+        .insert(memo_key, result.clone());
+    result
+}
+
+/// [`run_config`] for an already-built [`Platform`].
+pub fn run_on_platform(
+    platform: &Platform,
+    bench: PolyBench,
+    size: ProblemSize,
+    transforms: Transformations,
+) -> RunResult {
+    run_config(platform.config(), bench, size, transforms)
+}
+
+/// Feeds one grid key's event stream into an arbitrary engine — the
+/// entry point for hand-built hierarchies that do not go through
+/// [`Platform`]. Replays the shared trace when the cache is on, otherwise
+/// runs the kernel directly; both paths drive `e` identically.
+pub fn drive<E: Engine>(
+    e: &mut E,
+    bench: PolyBench,
+    size: ProblemSize,
+    transforms: Transformations,
+) {
+    if enabled() {
+        let trace = cached_trace(bench, size, transforms);
+        let start = Instant::now();
+        trace.replay_into(e);
+        profile::add_replay(start.elapsed());
+    } else {
+        let start = Instant::now();
+        bench.kernel(size).run(e, transforms);
+        profile::add_direct(start.elapsed());
+    }
+}
+
+/// Whether `STTCACHE_TRACE_CHECK=1` asked for the replay-vs-direct
+/// cross-check on SRAM-baseline grid points.
+fn trace_check_requested() -> bool {
+    static CHECK: OnceLock<bool> = OnceLock::new();
+    *CHECK.get_or_init(|| {
+        std::env::var("STTCACHE_TRACE_CHECK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn trace_of(n: usize) -> Trace {
+        (0..n)
+            .map(|i| TraceEvent::Compute { ops: i as u32 + 1 })
+            .collect()
+    }
+
+    fn key(b: PolyBench) -> TraceKey {
+        TraceKey::new(b, ProblemSize::Mini, Transformations::none())
+    }
+
+    #[test]
+    fn records_once_and_hits_after() {
+        let cache = TraceCache::with_cap_bytes(1 << 20);
+        let recordings = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let t = cache.get_or_record(key(PolyBench::Gemm), || {
+                recordings.fetch_add(1, Ordering::SeqCst);
+                trace_of(8)
+            });
+            assert_eq!(t.len(), 8);
+        }
+        assert_eq!(recordings.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 1, 0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_bytes(), 8 * std::mem::size_of::<TraceEvent>());
+    }
+
+    #[test]
+    fn racing_workers_share_one_recording() {
+        let cache = Arc::new(TraceCache::with_cap_bytes(1 << 20));
+        let recordings = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                let recordings = recordings.clone();
+                std::thread::spawn(move || {
+                    let t = cache.get_or_record(key(PolyBench::Atax), || {
+                        recordings.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so losers really block.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        trace_of(4)
+                    });
+                    assert_eq!(t.len(), 4);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        assert_eq!(recordings.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_cap() {
+        let per_trace = 10 * std::mem::size_of::<TraceEvent>();
+        let cache = TraceCache::with_cap_bytes(2 * per_trace);
+        cache.get_or_record(key(PolyBench::Gemm), || trace_of(10));
+        cache.get_or_record(key(PolyBench::Atax), || trace_of(10));
+        // Touch Gemm so Atax becomes the LRU victim.
+        cache.get_or_record(key(PolyBench::Gemm), || unreachable!("resident"));
+        cache.get_or_record(key(PolyBench::Mvt), || trace_of(10));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.resident_bytes() <= cache.cap_bytes());
+        // Gemm survived; Atax re-records.
+        cache.get_or_record(key(PolyBench::Gemm), || unreachable!("mru survives"));
+        let misses_before = cache.stats().misses;
+        cache.get_or_record(key(PolyBench::Atax), || trace_of(10));
+        assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn zero_cap_keeps_nothing_resident_but_still_returns_traces() {
+        let cache = TraceCache::with_cap_bytes(0);
+        let t = cache.get_or_record(key(PolyBench::Gemm), || trace_of(5));
+        assert_eq!(t.len(), 5); // caller's Arc outlives the eviction
+        assert_eq!(cache.resident_bytes(), 0);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hit_rate_spans_the_lookup_history() {
+        let s = TraceCacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(TraceCacheStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = TraceCache::with_cap_bytes(1 << 20);
+        let a = cache.get_or_record(key(PolyBench::Gemm), || trace_of(1));
+        let b = cache.get_or_record(
+            TraceKey::new(PolyBench::Gemm, ProblemSize::Mini, Transformations::all()),
+            || trace_of(2),
+        );
+        let c = cache.get_or_record(
+            TraceKey::new(PolyBench::Gemm, ProblemSize::Small, Transformations::none()),
+            || trace_of(3),
+        );
+        assert_eq!((a.len(), b.len(), c.len()), (1, 2, 3));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+}

@@ -14,7 +14,7 @@ use crate::dl1::{
 use crate::front_end::FrontEnd;
 use crate::vwb::{VwbConfig, VwbFrontEnd, VwbStats};
 use crate::SttError;
-use sttcache_cpu::{Core, CoreConfig, CoreReport, Engine, FetchUnit, MemPort};
+use sttcache_cpu::{Core, CoreConfig, CoreReport, Engine, FetchUnit, MemPort, Trace};
 use sttcache_mem::{Cache, CacheConfig, CacheStats, MainMemory};
 use sttcache_tech::{ArrayModel, CellKind, LeakageIntegrator};
 
@@ -194,8 +194,28 @@ impl Platform {
     /// Runs a workload on a cold platform and collects every statistic.
     ///
     /// The workload drives the core through [`Engine`]; see
-    /// `sttcache-workloads` for the PolyBench kernels.
+    /// `sttcache-workloads` for the PolyBench kernels. To run a
+    /// pre-recorded event stream instead, use [`Platform::run_trace`] —
+    /// it replays through a monomorphic fast path.
     pub fn run(&self, workload: impl FnOnce(&mut dyn Engine)) -> RunResult {
+        self.run_core(|core| workload(core))
+    }
+
+    /// Replays a recorded [`Trace`] on a cold platform.
+    ///
+    /// Statistically and cycle-for-cycle identical to [`Platform::run`]
+    /// with a workload that emits the same event stream, but events are
+    /// dispatched through [`Trace::replay_into`] into the concrete core —
+    /// static calls instead of one virtual call per access. This is the
+    /// record-once/replay-many path the sweep engine's trace cache uses.
+    pub fn run_trace(&self, trace: &Trace) -> RunResult {
+        self.run_core(|core| trace.replay_into(core))
+    }
+
+    /// Shared body of [`Platform::run`] and [`Platform::run_trace`]:
+    /// builds the cold hierarchy, lets `drive` push events into the
+    /// concrete core, then assembles the full [`RunResult`].
+    fn run_core(&self, drive: impl FnOnce(&mut Core<FrontEnd>)) -> RunResult {
         let front_end = self
             .build_front_end()
             .expect("configuration was validated eagerly");
@@ -213,7 +233,7 @@ impl Platform {
                 sttcache_mem::Cache::new(il1_cfg, MainMemory::new(self.config.memory_latency));
             core.attach_fetch_unit(FetchUnit::new(Box::new(il1), ic.code_footprint_bytes));
         }
-        workload(&mut core);
+        drive(&mut core);
         let report = core.report();
         let il1 = core.fetch_unit().map(|f| *f.il1().stats());
         let fe = core.into_port();

@@ -113,14 +113,33 @@ impl Trace {
     }
 
     /// Replays the trace into an engine, in order.
+    ///
+    /// Dynamic-dispatch convenience wrapper over [`Trace::replay_into`];
+    /// use `replay_into` with a concrete engine type on hot paths.
     pub fn replay(&self, e: &mut dyn Engine) {
-        for ev in &self.events {
-            match *ev {
-                TraceEvent::Load { addr, bytes } => e.load(addr, bytes as usize),
-                TraceEvent::Store { addr, bytes } => e.store(addr, bytes as usize),
-                TraceEvent::Prefetch { addr } => e.prefetch(addr),
-                TraceEvent::Compute { ops } => e.compute(ops as u64),
-                TraceEvent::Branch { taken } => e.branch(taken),
+        self.replay_into(e);
+    }
+
+    /// Replays the trace into an engine, in order, monomorphized over the
+    /// engine type.
+    ///
+    /// With a concrete `E` every event dispatch is a static (inlinable)
+    /// call instead of one virtual call per access — the batched fast
+    /// path the sweep engine's trace cache replays through. Events are
+    /// fed in fixed-size chunks so the hot loop's working set stays
+    /// bounded regardless of trace length.
+    pub fn replay_into<E: Engine + ?Sized>(&self, e: &mut E) {
+        /// Events dispatched per batch of the replay loop.
+        const REPLAY_CHUNK: usize = 1024;
+        for chunk in self.events.chunks(REPLAY_CHUNK) {
+            for &ev in chunk {
+                match ev {
+                    TraceEvent::Load { addr, bytes } => e.load(addr, bytes as usize),
+                    TraceEvent::Store { addr, bytes } => e.store(addr, bytes as usize),
+                    TraceEvent::Prefetch { addr } => e.prefetch(addr),
+                    TraceEvent::Compute { ops } => e.compute(ops as u64),
+                    TraceEvent::Branch { taken } => e.branch(taken),
+                }
             }
         }
     }
@@ -169,10 +188,12 @@ impl Trace {
     /// # Errors
     ///
     /// Returns `InvalidData` if the magic, an opcode or a varint is
-    /// malformed, and propagates I/O errors from `r`.
+    /// malformed, `UnexpectedEof` (with the event index and field that
+    /// was being decoded) if the stream is truncated, and propagates any
+    /// other I/O error from `r`. Decoding never panics on corrupt input.
     pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        read_field(&mut r, &mut magic, "header", "magic")?;
         if &magic != MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -180,17 +201,17 @@ impl Trace {
             ));
         }
         let mut count = [0u8; 8];
-        r.read_exact(&mut count)?;
+        read_field(&mut r, &mut count, "header", "event count")?;
         let count = u64::from_le_bytes(count) as usize;
         let mut events = Vec::with_capacity(count.min(1 << 20));
-        for _ in 0..count {
+        for idx in 0..count {
             let mut op = [0u8; 1];
-            r.read_exact(&mut op)?;
+            read_event_field(&mut r, &mut op, idx, "opcode")?;
             let ev = match op[0] {
                 0 | 1 => {
                     let mut bytes = [0u8; 1];
-                    r.read_exact(&mut bytes)?;
-                    let addr = Addr(read_varint(&mut r)?);
+                    read_event_field(&mut r, &mut bytes, idx, "access width")?;
+                    let addr = Addr(read_varint_field(&mut r, idx, "address")?);
                     if op[0] == 0 {
                         TraceEvent::Load {
                             addr,
@@ -204,18 +225,21 @@ impl Trace {
                     }
                 }
                 2 => TraceEvent::Prefetch {
-                    addr: Addr(read_varint(&mut r)?),
+                    addr: Addr(read_varint_field(&mut r, idx, "address")?),
                 },
                 3 => {
-                    let ops = read_varint(&mut r)?;
+                    let ops = read_varint_field(&mut r, idx, "compute count")?;
                     let ops = u32::try_from(ops).map_err(|_| {
-                        io::Error::new(io::ErrorKind::InvalidData, "compute count overflow")
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("event {idx}: compute count {ops} overflows u32"),
+                        )
                     })?;
                     TraceEvent::Compute { ops }
                 }
                 4 => {
                     let mut taken = [0u8; 1];
-                    r.read_exact(&mut taken)?;
+                    read_event_field(&mut r, &mut taken, idx, "branch outcome")?;
                     TraceEvent::Branch {
                         taken: taken[0] != 0,
                     }
@@ -223,7 +247,7 @@ impl Trace {
                 other => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        format!("unknown trace opcode {other}"),
+                        format!("event {idx}: unknown trace opcode {other}"),
                     ))
                 }
             };
@@ -231,6 +255,48 @@ impl Trace {
         }
         Ok(Trace { events })
     }
+}
+
+/// `read_exact` with a descriptive context: truncation reports which
+/// structural field of the trace format was cut short.
+fn read_field<R: Read>(r: &mut R, buf: &mut [u8], scope: &str, field: &str) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("truncated trace: {scope}: {field}"),
+            )
+        } else {
+            e
+        }
+    })
+}
+
+/// [`read_field`] for per-event payloads, tagging the event index.
+fn read_event_field<R: Read>(r: &mut R, buf: &mut [u8], idx: usize, field: &str) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("truncated trace: event {idx}: {field}"),
+            )
+        } else {
+            e
+        }
+    })
+}
+
+/// [`read_varint`] with the event index and field name attached to any
+/// truncation or overlong-encoding error.
+fn read_varint_field<R: Read>(r: &mut R, idx: usize, field: &str) -> io::Result<u64> {
+    read_varint(r).map_err(|e| {
+        let kind = e.kind();
+        if kind == io::ErrorKind::UnexpectedEof || kind == io::ErrorKind::InvalidData {
+            io::Error::new(kind, format!("event {idx}: {field}: {e}"))
+        } else {
+            e
+        }
+    })
 }
 
 impl FromIterator<TraceEvent> for Trace {
@@ -281,6 +347,15 @@ impl TraceRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
         TraceRecorder::default()
+    }
+
+    /// Creates an empty recorder with room for `events` events, avoiding
+    /// growth reallocations when the stream length is known approximately
+    /// (e.g. from a previous recording of the same kernel).
+    pub fn with_capacity(events: usize) -> Self {
+        TraceRecorder {
+            events: Vec::with_capacity(events),
+        }
     }
 
     /// Events recorded so far.
@@ -395,6 +470,92 @@ mod tests {
         sample().write_to(&mut buf).unwrap();
         buf.truncate(buf.len() - 1);
         assert!(Trace::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    /// Decodes a truncated prefix and returns the error message; panics
+    /// if the truncation was (incorrectly) accepted.
+    fn truncation_error(buf: &[u8], keep: usize) -> String {
+        Trace::read_from(&mut &buf[..keep])
+            .expect_err("truncated input must not decode")
+            .to_string()
+    }
+
+    #[test]
+    fn truncation_in_the_header_names_the_field() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        // Inside the magic.
+        let msg = truncation_error(&buf, 3);
+        assert!(msg.contains("magic"), "{msg}");
+        // Inside the event count.
+        let msg = truncation_error(&buf, 12);
+        assert!(msg.contains("event count"), "{msg}");
+    }
+
+    #[test]
+    fn truncation_at_every_field_boundary_names_event_and_field() {
+        // One event of every kind, with a multi-byte varint address so
+        // the cut can land strictly inside a varint.
+        let trace = Trace::from_iter([
+            TraceEvent::Load {
+                addr: Addr(0x1_0000),
+                bytes: 8,
+            },
+            TraceEvent::Store {
+                addr: Addr(0x2_0000),
+                bytes: 4,
+            },
+            TraceEvent::Prefetch {
+                addr: Addr(0x3_0000),
+            },
+            TraceEvent::Compute { ops: 1_000_000 },
+            TraceEvent::Branch { taken: true },
+        ]);
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let header = 16; // magic + count
+        let expect = |keep: usize, event: &str, field: &str| {
+            let msg = truncation_error(&buf, keep);
+            assert!(
+                msg.contains(event) && msg.contains(field),
+                "cut at {keep}: expected '{event}'/'{field}' in '{msg}'"
+            );
+        };
+        // Load: opcode | width | 3-byte varint address.
+        expect(header, "event 0", "opcode");
+        expect(header + 1, "event 0", "access width");
+        expect(header + 2, "event 0", "address");
+        expect(header + 4, "event 0", "address"); // mid-varint
+        let load_end = header + 5;
+        // Store mirrors load.
+        expect(load_end, "event 1", "opcode");
+        expect(load_end + 1, "event 1", "access width");
+        expect(load_end + 3, "event 1", "address");
+        let store_end = load_end + 5;
+        // Prefetch: opcode | 3-byte varint address.
+        expect(store_end, "event 2", "opcode");
+        expect(store_end + 2, "event 2", "address");
+        let prefetch_end = store_end + 4;
+        // Compute: opcode | 3-byte varint count.
+        expect(prefetch_end, "event 3", "opcode");
+        expect(prefetch_end + 2, "event 3", "compute count");
+        let compute_end = prefetch_end + 4;
+        // Branch: opcode | outcome byte.
+        expect(compute_end, "event 4", "opcode");
+        expect(compute_end + 1, "event 4", "branch outcome");
+        // Sanity: keeping everything decodes.
+        assert_eq!(compute_end + 2, buf.len());
+        assert_eq!(Trace::read_from(&mut buf.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn replay_into_matches_dyn_replay() {
+        let t = sample();
+        let mut via_dyn = TraceRecorder::new();
+        t.replay(&mut via_dyn);
+        let mut via_mono = TraceRecorder::new();
+        t.replay_into(&mut via_mono);
+        assert_eq!(via_dyn.into_trace(), via_mono.into_trace());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use sttcache::{penalty_pct, DCacheOrganization, Platform, SttError};
 use sttcache_bench::SweepRunner;
-use sttcache_cpu::{Engine, Trace, TraceRecorder};
+use sttcache_cpu::{Trace, TraceRecorder};
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 fn main() -> Result<(), SttError> {
@@ -42,6 +42,8 @@ fn main() -> Result<(), SttError> {
     );
 
     // 3. Replay through every organization, one sweep worker per replay.
+    //    `Platform::run_trace` is the monomorphic replay path the trace
+    //    cache uses — identical timing to `run` with a `dyn Engine`.
     let orgs = [
         DCacheOrganization::SramBaseline,
         DCacheOrganization::NvmDropIn,
@@ -51,7 +53,7 @@ fn main() -> Result<(), SttError> {
     ];
     let cycles = SweepRunner::current().map_ok(&orgs, |_, &org| {
         let platform = Platform::new(org).expect("canonical configuration");
-        platform.run(|e: &mut dyn Engine| trace.replay(e)).cycles()
+        platform.run_trace(&trace).cycles()
     });
     let base = cycles[0];
     println!(

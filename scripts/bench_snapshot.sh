@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Capture a performance snapshot of the full figures sweep: per-figure
+# wall-clock, per-phase record/replay split, trace-cache hit rate and
+# worker count, written as JSON (default: BENCH_sweep.json at the repo
+# root — the committed snapshot).
+#
+# usage: scripts/bench_snapshot.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_sweep.json}"
+cargo build --release --offline -p sttcache-bench --bin figures
+./target/release/figures all --profile-json "$out" > /dev/null
+echo "bench_snapshot: wrote $out"

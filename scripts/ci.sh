@@ -18,4 +18,19 @@ diff -u figures_output.txt "$smoke"
 ./target/release/figures all --serial > "$smoke"
 diff -u figures_output.txt "$smoke"
 
-echo "ci: build, tests, clippy and figures smoke all green"
+# The trace cache must be invisible in the output: byte-identical with
+# the cache off, and with every baseline replay cross-checked against
+# direct execution.
+./target/release/figures all --no-trace-cache > "$smoke"
+diff -u figures_output.txt "$smoke"
+
+STTCACHE_TRACE_CHECK=1 ./target/release/figures all > "$smoke"
+diff -u figures_output.txt "$smoke"
+
+# The profiled snapshot path stays runnable.
+snapshot="$(mktemp)"
+trap 'rm -f "$smoke" "$snapshot"' EXIT
+scripts/bench_snapshot.sh "$snapshot" > /dev/null
+grep -q '"trace_cache_enabled": true' "$snapshot"
+
+echo "ci: build, tests, clippy, figures smoke and trace-cache checks all green"

@@ -114,6 +114,95 @@ fn trace_replay_reproduces_direct_timing() {
     }
 }
 
+/// The empty trace is a fixed point: it round-trips through the binary
+/// format and replays as a no-op into any engine.
+#[test]
+fn empty_trace_roundtrips_and_replays_as_noop() {
+    let trace = Trace::default();
+    let mut buf = Vec::new();
+    trace.write_to(&mut buf).expect("vec write");
+    let back = Trace::read_from(&mut buf.as_slice()).expect("read back");
+    assert_eq!(trace, back);
+    assert!(back.is_empty());
+
+    let mut rec = TraceRecorder::new();
+    trace.replay(&mut rec);
+    assert!(rec.into_trace().is_empty());
+
+    // An empty trace replayed through a platform costs nothing but the
+    // fixed pipeline drain.
+    let empty_cycles = Platform::new(DCacheOrganization::SramBaseline)
+        .expect("canonical configuration")
+        .run_trace(&trace)
+        .cycles();
+    let idle_cycles = Platform::new(DCacheOrganization::SramBaseline)
+        .expect("canonical configuration")
+        .run(|_: &mut dyn Engine| {})
+        .cycles();
+    assert_eq!(empty_cycles, idle_cycles);
+}
+
+/// Maximum-width addresses (all 64 bits set) survive the varint encoding
+/// bit-exactly alongside ordinary events.
+#[test]
+fn max_width_addresses_roundtrip() {
+    run_cases("max_width_addresses_roundtrip", 64, |rng| {
+        let mut events = rng.vec_of(0, 50, arb_event);
+        events.push(TraceEvent::Load {
+            addr: Addr(u64::MAX),
+            bytes: 64,
+        });
+        events.push(TraceEvent::Store {
+            addr: Addr(u64::MAX),
+            bytes: 1,
+        });
+        events.push(TraceEvent::Prefetch {
+            addr: Addr(u64::MAX),
+        });
+        events.push(TraceEvent::Compute { ops: u32::MAX });
+        let trace: Trace = events.into_iter().collect();
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).expect("vec write");
+        let back = Trace::read_from(&mut buf.as_slice()).expect("read back");
+        assert_eq!(trace, back);
+    });
+}
+
+/// The monomorphic chunked replay (`replay_into` via `Platform::run_trace`)
+/// and the `dyn Engine` path time out identically on arbitrary streams.
+#[test]
+fn monomorphic_replay_matches_dyn_replay_on_platforms() {
+    run_cases("monomorphic_replay_matches_dyn_replay", 32, |rng| {
+        let events = rng.vec_of(0, 200, arb_event);
+        let trace: Trace = events.into_iter().collect();
+        let org = DCacheOrganization::NvmDropIn;
+        let via_dyn = Platform::new(org)
+            .expect("canonical configuration")
+            .run(|e: &mut dyn Engine| trace.replay(e));
+        let via_mono = Platform::new(org)
+            .expect("canonical configuration")
+            .run_trace(&trace);
+        assert_eq!(via_dyn, via_mono);
+    });
+}
+
+/// Recording the same kernel twice yields bit-identical traces — the
+/// workloads are deterministic, which is what makes a shared trace cache
+/// sound in the first place.
+#[test]
+fn kernel_recording_is_deterministic() {
+    for bench in [PolyBench::Gemm, PolyBench::Atax, PolyBench::Jacobi2d] {
+        for t in [Transformations::none(), Transformations::all()] {
+            let record = || {
+                let mut rec = TraceRecorder::new();
+                bench.kernel(ProblemSize::Mini).run(&mut rec, t);
+                rec.into_trace()
+            };
+            assert_eq!(record(), record(), "{} with {t}", bench.name());
+        }
+    }
+}
+
 /// The binary format is compact: well under 16 bytes per event for
 /// realistic kernels.
 #[test]
