@@ -1,0 +1,179 @@
+//! Differential oracle checker and adversarial trace fuzzer.
+//!
+//! ```text
+//! sttcache-check [--quick] [--seed N] [--cases N] [--events N]
+//!                [--kind NAME] [--shrink] [--list-kinds]
+//! ```
+//!
+//! Every generated trace runs on all five L1 D-cache organizations with
+//! the runtime invariant gate on; each run is mirrored into the
+//! functional shadow oracle, drained, and cross-checked, and the
+//! timing-independent signatures of all organizations must match the
+//! SRAM baseline's exactly.
+//!
+//! `--quick` (the default with no `--seed`) runs a fixed-seed battery —
+//! deterministic, a few seconds, suitable for CI. `--seed N` runs
+//! `--cases` randomized cases per adversary family derived from `N`.
+//! On failure the offending `(kind, seed, events)` triple is printed for
+//! replay; `--shrink` additionally minimizes the first failing trace and
+//! prints the surviving events. Exit status 1 on any failure.
+
+use sttcache_bench::check::{self, Adversary};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sttcache-check [--quick] [--seed N] [--cases N] [--events N] \
+         [--kind NAME] [--shrink] [--list-kinds]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: Option<u64> = None;
+    let mut cases = 4usize;
+    let mut events = 4000usize;
+    let mut kinds: Vec<Adversary> = Adversary::ALL.to_vec();
+    let mut shrink = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => seed = None,
+            "--seed" => {
+                i += 1;
+                let n: u64 = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an unsigned integer");
+                    usage()
+                });
+                seed = Some(n);
+            }
+            "--cases" => {
+                i += 1;
+                cases = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--cases needs a positive integer");
+                        usage()
+                    });
+            }
+            "--events" => {
+                i += 1;
+                events = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--events needs a positive integer");
+                        usage()
+                    });
+            }
+            "--kind" => {
+                i += 1;
+                let kind = args
+                    .get(i)
+                    .and_then(|v| Adversary::from_name(v))
+                    .unwrap_or_else(|| {
+                        eprintln!("--kind needs one of the names from --list-kinds");
+                        usage()
+                    });
+                kinds = vec![kind];
+            }
+            "--shrink" => shrink = true,
+            "--list-kinds" => {
+                for k in Adversary::ALL {
+                    println!("{}", k.name());
+                }
+                return;
+            }
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    // One (kind, seed) plan per case: the quick battery uses the fixed
+    // seeds; a randomized run derives per-case seeds from the base seed.
+    let mut plan: Vec<(Adversary, u64)> = Vec::new();
+    match seed {
+        None => {
+            for s in check::quick_seeds() {
+                for &k in &kinds {
+                    plan.push((k, s));
+                }
+            }
+        }
+        Some(base) => {
+            for c in 0..cases as u64 {
+                let s = base.wrapping_add(c.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                for &k in &kinds {
+                    plan.push((k, s));
+                }
+            }
+        }
+    }
+
+    let total = plan.len();
+    let mut failures = Vec::new();
+    for (n, (kind, s)) in plan.into_iter().enumerate() {
+        match check::run_case(kind, s, events) {
+            Ok(()) => println!(
+                "[{:>3}/{total}] {:<17} seed {s:#018x}  ok",
+                n + 1,
+                kind.name()
+            ),
+            Err(f) => {
+                println!(
+                    "[{:>3}/{total}] {:<17} seed {s:#018x}  FAILED ({} finding(s))",
+                    n + 1,
+                    kind.name(),
+                    f.failures.len()
+                );
+                failures.push(f);
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("{total} traces x 5 organizations: all oracle, drain and invariant checks passed");
+        return;
+    }
+
+    eprintln!();
+    for f in &failures {
+        eprintln!(
+            "FAILURE: kind {} seed {:#018x} events {} (replay: sttcache-check --kind {} --seed {} --events {} --cases 1)",
+            f.kind.name(),
+            f.seed,
+            f.events,
+            f.kind.name(),
+            f.seed,
+            f.events
+        );
+        for msg in &f.failures {
+            eprintln!("  {msg}");
+        }
+    }
+    if shrink {
+        let first = &failures[0];
+        eprintln!();
+        eprintln!(
+            "shrinking kind {} seed {:#018x} …",
+            first.kind.name(),
+            first.seed
+        );
+        let minimal = check::shrink_failure(first);
+        eprintln!("minimal reproducer: {} event(s)", minimal.len());
+        for e in minimal.events().iter().take(64) {
+            eprintln!("  {e:?}");
+        }
+        if minimal.len() > 64 {
+            eprintln!("  … and {} more", minimal.len() - 64);
+        }
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,606 @@
+//! The differential correctness checker.
+//!
+//! Three layers, combined by [`check_trace`]:
+//!
+//! 1. **Functional shadow oracle** — every run is mirrored into a
+//!    [`ShadowOracle`] through a [`TeeEngine`], giving a timing-free
+//!    golden model of what the program touched and wrote. After the run
+//!    the whole organization is drained ([`FrontEnd::flush_dirty`]) and
+//!    cross-examined: no dirty state may survive, and every line still
+//!    resident anywhere in the hierarchy must cover bytes the program
+//!    actually accessed (no *phantom* lines).
+//! 2. **Runtime invariants** — the checker turns on the
+//!    [`sttcache_mem::invariants`] gate for the duration of the run and
+//!    harvests every structured violation the components reported.
+//! 3. **Differential comparison** — the same trace runs on all five
+//!    L1 organizations; their timing-independent
+//!    [`FunctionalSignature`]s must be identical, with the SRAM baseline
+//!    as the reference. A cache organization may change *when* things
+//!    happen, never *what* happens.
+//!
+//! The adversarial generators ([`Adversary`]) produce traces aimed at
+//! the corners where timing models rot: bank ping-pong, MSHR
+//! saturation, aliasing write bursts, line-straddling access widths.
+//! [`shrink_events`] minimizes a failing trace by greedy chunk removal
+//! so a report names the shortest reproducer found.
+
+use crate::testkit::{Rng, DEFAULT_SEED};
+use sttcache::{DCacheOrganization, FrontEnd, Platform};
+use sttcache_cpu::{Core, Engine, TeeEngine, Trace, TraceEvent, TraceRecorder};
+use sttcache_mem::{invariants, InvariantViolation, ShadowOracle};
+
+/// An [`Engine`] that mirrors every architectural event into a
+/// [`ShadowOracle`]. Hang it on the second leg of a [`TeeEngine`] so a
+/// timing core and the functional model see one identical event stream.
+#[derive(Debug, Default)]
+pub struct OracleMirror {
+    oracle: ShadowOracle,
+    load_hash: u64,
+}
+
+impl OracleMirror {
+    /// A mirror over a fresh, empty oracle.
+    pub fn new() -> Self {
+        OracleMirror::default()
+    }
+
+    /// The oracle accumulated so far.
+    pub fn oracle(&self) -> &ShadowOracle {
+        &self.oracle
+    }
+
+    /// Running hash over every load's value checksum, in program order.
+    /// Two runs of the same trace must agree on it exactly.
+    pub fn load_hash(&self) -> u64 {
+        self.load_hash
+    }
+}
+
+impl Engine for OracleMirror {
+    fn load(&mut self, addr: sttcache_mem::Addr, bytes: usize) {
+        let h = self.oracle.load(addr.0, bytes);
+        self.load_hash = (self.load_hash.rotate_left(5) ^ h).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn store(&mut self, addr: sttcache_mem::Addr, bytes: usize) {
+        self.oracle.store(addr.0, bytes);
+    }
+
+    fn prefetch(&mut self, addr: sttcache_mem::Addr) {
+        self.oracle.touch(addr.0);
+    }
+
+    fn compute(&mut self, _ops: u64) {}
+
+    fn branch(&mut self, _taken: bool) {}
+}
+
+/// The timing-independent fingerprint of one run: event counts plus the
+/// oracle's memory-image and load-value hashes. Identical traces must
+/// produce identical signatures on every cache organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionalSignature {
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Prefetch hints issued.
+    pub prefetches: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// [`ShadowOracle::image_hash`] of the final memory image.
+    pub image_hash: u64,
+    /// [`OracleMirror::load_hash`] over every load in order.
+    pub load_hash: u64,
+}
+
+/// The outcome of checking one trace on one organization.
+#[derive(Debug)]
+pub struct OrgCheck {
+    /// The organization's display name.
+    pub organization: &'static str,
+    /// Cycles the core reported for the run.
+    pub cycles: u64,
+    /// Lines written back by the end-of-run drain.
+    pub flushed_lines: usize,
+    /// The run's functional signature.
+    pub signature: FunctionalSignature,
+    /// Oracle/drain mismatches (phantom lines, surviving dirty state,
+    /// event-count divergence). Empty on a clean run.
+    pub mismatches: Vec<String>,
+    /// Structured invariant violations harvested from the run.
+    pub violations: Vec<InvariantViolation>,
+    /// Violations beyond the retention cap (0 unless a run misbehaved
+    /// catastrophically).
+    pub dropped_violations: usize,
+}
+
+impl OrgCheck {
+    /// Whether the organization passed every layer of the check.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty() && self.violations.is_empty() && self.dropped_violations == 0
+    }
+}
+
+/// The five canonical L1 organizations, SRAM baseline first (it is the
+/// differential reference).
+pub fn all_organizations() -> [DCacheOrganization; 5] {
+    [
+        DCacheOrganization::SramBaseline,
+        DCacheOrganization::NvmDropIn,
+        DCacheOrganization::nvm_vwb_default(),
+        DCacheOrganization::nvm_l0_default(),
+        DCacheOrganization::nvm_emshr_default(),
+    ]
+}
+
+/// Runs `trace` on one organization with the invariant gate on, drains
+/// the hierarchy, and verifies it against the shadow oracle.
+pub fn check_trace_on(organization: DCacheOrganization, trace: &Trace) -> OrgCheck {
+    let gate_was_on = invariants::enabled();
+    invariants::set_enabled(true);
+    let _ = invariants::take_violations(); // start from a clean slate
+
+    let platform = Platform::new(organization).expect("canonical organization validates");
+    let fe: FrontEnd = platform
+        .front_end()
+        .expect("validated configuration builds");
+    let core = Core::new(platform.config().core, fe);
+    let mut tee = TeeEngine::new(core, OracleMirror::new());
+    trace.replay_into(&mut tee);
+    let (mut core, mirror) = tee.into_inner();
+    let report = core.report();
+    let now = core.now();
+    let mut fe = core.into_port();
+    let (flushed_lines, done) = fe.flush_dirty(now);
+    fe.check_drained(done);
+
+    let mut mismatches = Vec::new();
+    let dirty = fe.dirty_line_count();
+    if dirty != 0 {
+        mismatches.push(format!("{dirty} dirty lines survived flush_dirty"));
+    }
+    for (base, len) in fe.resident_lines() {
+        if !mirror.oracle().intersects_accessed(base.0, len) {
+            mismatches.push(format!(
+                "phantom resident line {base} ({len} B): the program never touched it"
+            ));
+        }
+    }
+    let (t_loads, t_stores, t_prefetches, t_branches) = trace.summary();
+    if (report.loads, report.stores, report.prefetches, report.branches)
+        != (t_loads, t_stores, t_prefetches, t_branches)
+    {
+        mismatches.push(format!(
+            "core event counts {}L/{}S/{}P/{}B diverged from the trace's {}L/{}S/{}P/{}B",
+            report.loads,
+            report.stores,
+            report.prefetches,
+            report.branches,
+            t_loads,
+            t_stores,
+            t_prefetches,
+            t_branches
+        ));
+    }
+    if mirror.oracle().loads() != t_loads || mirror.oracle().stores() != t_stores {
+        mismatches.push(format!(
+            "oracle saw {} loads / {} stores, trace holds {t_loads} / {t_stores}",
+            mirror.oracle().loads(),
+            mirror.oracle().stores()
+        ));
+    }
+
+    let (violations, total) = invariants::take_violations();
+    let dropped_violations = total - violations.len();
+    invariants::set_enabled(gate_was_on);
+
+    OrgCheck {
+        organization: organization.name(),
+        cycles: report.cycles,
+        flushed_lines,
+        signature: FunctionalSignature {
+            loads: report.loads,
+            stores: report.stores,
+            prefetches: report.prefetches,
+            branches: report.branches,
+            instructions: report.instructions,
+            image_hash: mirror.oracle().image_hash(),
+            load_hash: mirror.load_hash(),
+        },
+        mismatches,
+        violations,
+        dropped_violations,
+    }
+}
+
+/// One trace checked differentially across every organization.
+#[derive(Debug)]
+pub struct DifferentialReport {
+    /// Human-readable label of the trace under test.
+    pub label: String,
+    /// Per-organization outcomes, SRAM baseline first.
+    pub reports: Vec<OrgCheck>,
+    /// Every failure, each prefixed by the organization it came from.
+    /// Empty when the trace passed everywhere.
+    pub failures: Vec<String>,
+}
+
+impl DifferentialReport {
+    /// Whether every organization passed and all signatures agree.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `trace` on all five organizations and cross-checks them: each
+/// must pass its own oracle/invariant check, and every functional
+/// signature must equal the SRAM baseline's.
+pub fn check_trace(label: &str, trace: &Trace) -> DifferentialReport {
+    let reports: Vec<OrgCheck> = all_organizations()
+        .into_iter()
+        .map(|org| check_trace_on(org, trace))
+        .collect();
+    let mut failures = Vec::new();
+    for r in &reports {
+        for m in &r.mismatches {
+            failures.push(format!("[{}] {m}", r.organization));
+        }
+        for v in &r.violations {
+            failures.push(format!("[{}] invariant: {v}", r.organization));
+        }
+        if r.dropped_violations > 0 {
+            failures.push(format!(
+                "[{}] … and {} more violations past the retention cap",
+                r.organization, r.dropped_violations
+            ));
+        }
+    }
+    let base = &reports[0];
+    for r in &reports[1..] {
+        if r.signature != base.signature {
+            failures.push(format!(
+                "[{}] functional signature diverged from {}: {:?} vs {:?}",
+                r.organization, base.organization, r.signature, base.signature
+            ));
+        }
+    }
+    DifferentialReport {
+        label: label.to_string(),
+        reports,
+        failures,
+    }
+}
+
+/// An adversarial trace family, each aimed at one corner of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adversary {
+    /// Alternating lines that collide on one DL1 bank.
+    BankPingPong,
+    /// Prefetch bursts of distinct same-set lines to saturate the MSHRs.
+    MshrSaturation,
+    /// Store bursts over aliasing tags of one set (dirty-eviction storm).
+    AliasWriteBurst,
+    /// Narrow accesses straddling 32 B and 64 B line boundaries.
+    LineStraddle,
+    /// Dense prefetch hints racing demand loads for the same lines.
+    PrefetchStorm,
+    /// Unbiased random mix of every event kind.
+    RandomMix,
+}
+
+impl Adversary {
+    /// Every adversary family.
+    pub const ALL: [Adversary; 6] = [
+        Adversary::BankPingPong,
+        Adversary::MshrSaturation,
+        Adversary::AliasWriteBurst,
+        Adversary::LineStraddle,
+        Adversary::PrefetchStorm,
+        Adversary::RandomMix,
+    ];
+
+    /// Stable command-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Adversary::BankPingPong => "bank-ping-pong",
+            Adversary::MshrSaturation => "mshr-saturation",
+            Adversary::AliasWriteBurst => "alias-write-burst",
+            Adversary::LineStraddle => "line-straddle",
+            Adversary::PrefetchStorm => "prefetch-storm",
+            Adversary::RandomMix => "random-mix",
+        }
+    }
+
+    /// Parses a [`name`](Self::name) back into the adversary.
+    pub fn from_name(s: &str) -> Option<Adversary> {
+        Adversary::ALL.into_iter().find(|a| a.name() == s)
+    }
+}
+
+/// NVM DL1 geometry the generators aim at (line bytes, sets, banks,
+/// MSHR entries).
+fn nvm_geometry() -> (u64, u64, u64, usize) {
+    let cfg = sttcache::nvm_dl1_config().expect("canonical NVM DL1 config");
+    (
+        cfg.line_bytes() as u64,
+        cfg.sets() as u64,
+        cfg.banks() as u64,
+        cfg.mshr_entries(),
+    )
+}
+
+/// Generates one deterministic adversarial trace of about `events`
+/// architectural events. Same `(kind, seed, events)` — same trace.
+pub fn adversarial_trace(kind: Adversary, seed: u64, events: usize) -> Trace {
+    let mut rng = Rng::new(seed ^ (kind as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rec = TraceRecorder::with_capacity(events);
+    let (line, sets, banks, mshrs) = nvm_geometry();
+    match kind {
+        Adversary::BankPingPong => {
+            // A pool of lines that all land on one bank (bank index is the
+            // low line bits), hammered back to back so every access queues
+            // behind the previous one's bank occupancy.
+            let bank = rng.u64_in(0, banks - 1);
+            let pool: Vec<u64> = (0..8).map(|k| (k * banks + bank) * line).collect();
+            for i in 0..events {
+                let base = pool[rng.usize_in(0, pool.len() - 1)];
+                let addr = sttcache_mem::Addr(base + rng.u64_in(0, line - 8));
+                match i % 8 {
+                    6 => rec.store(addr, 4),
+                    7 => rec.branch(rng.bool()),
+                    _ => rec.load(addr, 4),
+                }
+            }
+        }
+        Adversary::MshrSaturation => {
+            // Bursts of prefetches to distinct lines of one set (stride
+            // sets·line), two past the MSHR capacity, then demand loads
+            // racing the in-flight fills.
+            let set_stride = sets * line;
+            let burst = mshrs + 2;
+            let mut tag = 0u64;
+            let mut i = 0usize;
+            while i < events {
+                let set = rng.u64_in(0, sets - 1) * line;
+                for _ in 0..burst {
+                    tag += 1;
+                    rec.prefetch(sttcache_mem::Addr(set + tag * set_stride));
+                    i += 1;
+                }
+                rec.load(sttcache_mem::Addr(set + tag * set_stride), 8);
+                rec.compute(rng.u64_in(1, 3));
+                i += 2;
+            }
+        }
+        Adversary::AliasWriteBurst => {
+            // Stores across many tags of one set: constant replacement
+            // with dirty victims, exercising write-back and eviction paths.
+            let set = rng.u64_in(0, sets - 1) * line;
+            let set_stride = sets * line;
+            for i in 0..events {
+                let tag = rng.u64_in(0, 15);
+                let addr = sttcache_mem::Addr(set + tag * set_stride + rng.u64_in(0, line - 8));
+                if i % 5 == 4 {
+                    rec.load(addr, 8);
+                } else {
+                    rec.store(addr, 8);
+                }
+            }
+        }
+        Adversary::LineStraddle => {
+            // Narrow accesses planted right on 32 B and 64 B boundaries so
+            // widths 1..=16 straddle the line of at least one level.
+            for i in 0..events {
+                let boundary = rng.u64_in(1, 4096) * 32;
+                let width = rng.usize_in(1, 16);
+                let addr = sttcache_mem::Addr(boundary.saturating_sub(rng.u64_in(1, 15)));
+                if i % 3 == 0 {
+                    rec.store(addr, width);
+                } else {
+                    rec.load(addr, width);
+                }
+            }
+        }
+        Adversary::PrefetchStorm => {
+            // Dense hints over a megabyte, with demand loads trailing into
+            // the same lines while their fills may still be in flight.
+            let lines = (1u64 << 20) / line;
+            let mut recent = 0u64;
+            for i in 0..events {
+                let l = rng.u64_in(0, lines - 1) * line;
+                if i % 4 == 3 {
+                    rec.load(sttcache_mem::Addr(recent), 8);
+                } else {
+                    rec.prefetch(sttcache_mem::Addr(l));
+                    recent = l;
+                }
+            }
+        }
+        Adversary::RandomMix => {
+            let span = 1u64 << 22;
+            for _ in 0..events {
+                match rng.u64_in(0, 9) {
+                    0..=3 => rec.load(
+                        sttcache_mem::Addr(rng.u64_in(0, span)),
+                        rng.usize_in(1, 16),
+                    ),
+                    4..=6 => rec.store(
+                        sttcache_mem::Addr(rng.u64_in(0, span)),
+                        rng.usize_in(1, 16),
+                    ),
+                    7 => rec.prefetch(sttcache_mem::Addr(rng.u64_in(0, span))),
+                    8 => rec.compute(rng.u64_in(1, 8)),
+                    _ => rec.branch(rng.bool()),
+                }
+            }
+        }
+    }
+    rec.into_trace()
+}
+
+/// One failing fuzz case, with everything needed to replay it.
+#[derive(Debug)]
+pub struct CheckFailure {
+    /// The adversary family that produced the trace.
+    pub kind: Adversary,
+    /// The generator seed.
+    pub seed: u64,
+    /// The requested event count.
+    pub events: usize,
+    /// Every failure message from the differential check.
+    pub failures: Vec<String>,
+}
+
+/// Generates and differentially checks one adversarial trace.
+///
+/// # Errors
+///
+/// Returns the structured [`CheckFailure`] when any organization fails
+/// its oracle/invariant check or diverges from the SRAM baseline.
+pub fn run_case(kind: Adversary, seed: u64, events: usize) -> Result<(), CheckFailure> {
+    let trace = adversarial_trace(kind, seed, events);
+    let report = check_trace(&format!("{}#{seed:#x}", kind.name()), &trace);
+    if report.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CheckFailure {
+            kind,
+            seed,
+            events,
+            failures: report.failures,
+        })
+    }
+}
+
+/// The fixed seeds `--quick` runs (plus [`testkit::base_seed`]'s
+/// override when `STTCACHE_TEST_SEED` is set).
+///
+/// [`testkit::base_seed`]: crate::testkit::base_seed
+pub fn quick_seeds() -> Vec<u64> {
+    let mut seeds = vec![DEFAULT_SEED, DEFAULT_SEED ^ 0x9E37_79B9_7F4A_7C15];
+    if let Some(s) = crate::testkit::base_seed() {
+        seeds.push(s);
+    }
+    seeds
+}
+
+/// Greedy chunk-removal minimization (ddmin-style): repeatedly removes
+/// event chunks, keeping any removal under which `still_fails` holds,
+/// halving the chunk size until single events survive. Returns the
+/// shortest failing event list found. `still_fails(&events)` must be
+/// true for the input.
+pub fn shrink_events(
+    events: &[TraceEvent],
+    still_fails: impl Fn(&[TraceEvent]) -> bool,
+) -> Vec<TraceEvent> {
+    let mut kept: Vec<TraceEvent> = events.to_vec();
+    let mut chunk = (kept.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < kept.len() {
+            let end = (i + chunk).min(kept.len());
+            let mut candidate = Vec::with_capacity(kept.len() - (end - i));
+            candidate.extend_from_slice(&kept[..i]);
+            candidate.extend_from_slice(&kept[end..]);
+            if !candidate.is_empty() && still_fails(&candidate) {
+                kept = candidate; // removal kept the failure: don't advance
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    kept
+}
+
+/// Rebuilds a [`Trace`] from a raw event list (shrink support).
+pub fn trace_from_events(events: &[TraceEvent]) -> Trace {
+    let mut rec = TraceRecorder::with_capacity(events.len());
+    for e in events {
+        match *e {
+            TraceEvent::Load { addr, bytes } => rec.load(addr, bytes as usize),
+            TraceEvent::Store { addr, bytes } => rec.store(addr, bytes as usize),
+            TraceEvent::Prefetch { addr } => rec.prefetch(addr),
+            TraceEvent::Compute { ops } => rec.compute(ops as u64),
+            TraceEvent::Branch { taken } => rec.branch(taken),
+        }
+    }
+    rec.into_trace()
+}
+
+/// Minimizes a failing adversarial trace with [`shrink_events`] against
+/// the full differential check. Expensive (each probe replays the five
+/// organizations); meant for `sttcache-check --shrink` on a repro.
+pub fn shrink_failure(failure: &CheckFailure) -> Trace {
+    let trace = adversarial_trace(failure.kind, failure.seed, failure.events);
+    let minimal = shrink_events(trace.events(), |evs| {
+        !check_trace("shrink-probe", &trace_from_events(evs))
+            .failures
+            .is_empty()
+    });
+    trace_from_events(&minimal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sttcache_mem::Addr;
+
+    #[test]
+    fn mirror_counts_and_hashes_are_order_sensitive() {
+        let mut a = OracleMirror::new();
+        a.store(Addr(0x100), 8);
+        a.load(Addr(0x100), 8);
+        let mut b = OracleMirror::new();
+        b.load(Addr(0x100), 8);
+        b.store(Addr(0x100), 8);
+        assert_eq!(a.oracle().loads(), 1);
+        assert_eq!(a.oracle().stores(), 1);
+        // Load-before-store reads unwritten memory: different value hash.
+        assert_ne!(a.load_hash(), b.load_hash());
+    }
+
+    #[test]
+    fn adversarial_traces_are_deterministic() {
+        for kind in Adversary::ALL {
+            let t1 = adversarial_trace(kind, 7, 300);
+            let t2 = adversarial_trace(kind, 7, 300);
+            assert_eq!(t1, t2, "{} not deterministic", kind.name());
+            assert!(!t1.is_empty());
+            assert_ne!(t1, adversarial_trace(kind, 8, 300));
+        }
+    }
+
+    #[test]
+    fn adversary_names_round_trip() {
+        for kind in Adversary::ALL {
+            assert_eq!(Adversary::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(Adversary::from_name("nope"), None);
+    }
+
+    #[test]
+    fn small_random_trace_passes_differentially() {
+        let trace = adversarial_trace(Adversary::RandomMix, DEFAULT_SEED, 400);
+        let report = check_trace("unit", &trace);
+        assert!(report.passed(), "failures: {:#?}", report.failures);
+        assert_eq!(report.reports.len(), 5);
+        assert_eq!(report.reports[0].organization, "SRAM baseline");
+    }
+
+    #[test]
+    fn shrink_finds_a_single_culprit_event() {
+        let trace = adversarial_trace(Adversary::RandomMix, 42, 200);
+        let is_store = |e: &TraceEvent| matches!(e, TraceEvent::Store { .. });
+        assert!(trace.events().iter().any(is_store));
+        let minimal = shrink_events(trace.events(), |evs| evs.iter().any(is_store));
+        assert_eq!(minimal.len(), 1);
+        assert!(is_store(&minimal[0]));
+    }
+}

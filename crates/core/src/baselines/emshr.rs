@@ -152,6 +152,36 @@ impl<N: MemoryLevel> EmshrFrontEnd<N> {
             .is_some()
     }
 
+    /// Flushes every coalesced-dirty retained entry back into the DL1.
+    /// Entries stay resident and become clean. Returns the number of
+    /// lines written and the completion cycle.
+    pub fn flush_dirty(&mut self, now: Cycle) -> (usize, Cycle) {
+        let line_bytes = self.dl1.config().line_bytes();
+        let dirty: Vec<sttcache_mem::LineAddr> = self
+            .buffer
+            .iter()
+            .filter(|e| e.dirty)
+            .map(|e| e.line)
+            .collect();
+        let mut done = now;
+        for line in &dirty {
+            done = self.dl1.write(line.base(line_bytes), done).complete_at;
+            self.buffer.clean(*line);
+        }
+        (dirty.len(), done)
+    }
+
+    /// Number of dirty retained entries (drain verification).
+    pub fn dirty_entries(&self) -> usize {
+        self.buffer.iter().filter(|e| e.dirty).count()
+    }
+
+    /// Base addresses of the lines currently retained.
+    pub fn resident_lines(&self) -> Vec<Addr> {
+        let line_bytes = self.dl1.config().line_bytes();
+        self.buffer.iter().map(|e| e.line.base(line_bytes)).collect()
+    }
+
     /// Captures a just-missed line into the data-bearing MSHR.
     fn capture(&mut self, addr: Addr, ready_at: Cycle, dirty: bool) {
         let line_bytes = self.dl1.config().line_bytes();

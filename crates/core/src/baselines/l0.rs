@@ -154,6 +154,37 @@ impl<N: MemoryLevel> L0FrontEnd<N> {
             .is_some()
     }
 
+    /// Writes every dirty L0 entry back into the DL1 (the L0 is volatile,
+    /// so power-gating must drain it). Entries stay resident and become
+    /// clean. Returns the number of lines written and the completion
+    /// cycle.
+    pub fn flush_dirty(&mut self, now: Cycle) -> (usize, Cycle) {
+        let line_bytes = self.dl1.config().line_bytes();
+        let dirty: Vec<sttcache_mem::LineAddr> = self
+            .buffer
+            .iter()
+            .filter(|e| e.dirty)
+            .map(|e| e.line)
+            .collect();
+        let mut done = now;
+        for line in &dirty {
+            done = self.dl1.write(line.base(line_bytes), done).complete_at;
+            self.buffer.clean(*line);
+        }
+        (dirty.len(), done)
+    }
+
+    /// Number of dirty entries currently held (drain verification).
+    pub fn dirty_entries(&self) -> usize {
+        self.buffer.iter().filter(|e| e.dirty).count()
+    }
+
+    /// Base addresses of the lines currently resident in the L0.
+    pub fn resident_lines(&self) -> Vec<Addr> {
+        let line_bytes = self.dl1.config().line_bytes();
+        self.buffer.iter().map(|e| e.line.base(line_bytes)).collect()
+    }
+
     /// Fetches a line from the DL1 and installs it: the requester gets the
     /// critical word when the DL1 read completes; the entry is usable once
     /// the narrow-interface fill finishes.

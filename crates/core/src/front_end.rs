@@ -96,6 +96,109 @@ impl FrontEnd {
             FrontEnd::Emshr(e) => e.reset_stats(),
         }
     }
+
+    /// The DL1 behind whatever buffer structure this front-end has.
+    fn dl1(&self) -> &Hierarchy {
+        match self {
+            FrontEnd::Plain(p) => p.level(),
+            FrontEnd::Vwb(v) => v.dl1(),
+            FrontEnd::L0(l) => l.dl1(),
+            FrontEnd::Emshr(e) => e.dl1(),
+        }
+    }
+
+    /// Drains every dirty line in the whole organization to backing
+    /// memory: first the front buffer (VWB/L0/EMSHR) into the DL1, then
+    /// the DL1 into the L2, then the L2 into memory. Lines stay resident
+    /// and become clean. Returns the total lines written back and the
+    /// cycle at which the last write-back was accepted.
+    pub fn flush_dirty(&mut self, now: Cycle) -> (usize, Cycle) {
+        let (front, mut done) = match self {
+            FrontEnd::Plain(_) => (0, now),
+            FrontEnd::Vwb(v) => v.flush_dirty(now),
+            FrontEnd::L0(l) => l.flush_dirty(now),
+            FrontEnd::Emshr(e) => e.flush_dirty(now),
+        };
+        let dl1 = match self {
+            FrontEnd::Plain(p) => p.level_mut(),
+            FrontEnd::Vwb(v) => v.dl1_mut(),
+            FrontEnd::L0(l) => l.dl1_mut(),
+            FrontEnd::Emshr(e) => e.dl1_mut(),
+        };
+        let (n1, t1) = dl1.flush_dirty(done);
+        let (n2, t2) = dl1.next_level_mut().flush_dirty(t1);
+        done = t2;
+        (front + n1 + n2, done)
+    }
+
+    /// Dirty state still held anywhere in the organization (front buffer
+    /// entries plus DL1 and L2 dirty lines). Zero after a completed
+    /// [`flush_dirty`](Self::flush_dirty).
+    pub fn dirty_line_count(&self) -> usize {
+        let front = match self {
+            FrontEnd::Plain(_) => 0,
+            FrontEnd::Vwb(v) => v.dirty_entries(),
+            FrontEnd::L0(l) => l.dirty_entries(),
+            FrontEnd::Emshr(e) => e.dirty_entries(),
+        };
+        front + self.dl1().dirty_lines() + self.dl1().next_level().dirty_lines()
+    }
+
+    /// Base address and line size of every line resident anywhere in the
+    /// organization, for phantom-line verification against a functional
+    /// oracle.
+    pub fn resident_lines(&self) -> Vec<(Addr, usize)> {
+        let mut lines: Vec<(Addr, usize)> = Vec::new();
+        let dl1_bytes = self.dl1().config().line_bytes();
+        match self {
+            FrontEnd::Plain(_) => {}
+            FrontEnd::Vwb(v) => {
+                lines.extend(v.resident_lines().into_iter().map(|a| (a, dl1_bytes)));
+            }
+            FrontEnd::L0(l) => {
+                lines.extend(l.resident_lines().into_iter().map(|a| (a, dl1_bytes)));
+            }
+            FrontEnd::Emshr(e) => {
+                lines.extend(e.resident_lines().into_iter().map(|a| (a, dl1_bytes)));
+            }
+        }
+        lines.extend(
+            self.dl1()
+                .resident_lines()
+                .into_iter()
+                .map(|a| (a, dl1_bytes)),
+        );
+        let l2 = self.dl1().next_level();
+        let l2_bytes = l2.config().line_bytes();
+        lines.extend(l2.resident_lines().into_iter().map(|a| (a, l2_bytes)));
+        lines
+    }
+
+    /// End-of-run verification, reported through
+    /// [`sttcache_mem::invariants`]: no leaked MSHR allocation and no
+    /// dirty line may remain at any level once the organization has been
+    /// drained with [`flush_dirty`](Self::flush_dirty).
+    pub fn check_drained(&self, now: Cycle) {
+        if let FrontEnd::Vwb(v) = self {
+            v.check_invariants(now);
+        }
+        let front_dirty = match self {
+            FrontEnd::Plain(_) => 0,
+            FrontEnd::Vwb(v) => v.dirty_entries(),
+            FrontEnd::L0(l) => l.dirty_entries(),
+            FrontEnd::Emshr(e) => e.dirty_entries(),
+        };
+        if front_dirty > 0 {
+            sttcache_mem::invariants::report(
+                "front-end",
+                now,
+                None,
+                format!("{front_dirty} dirty buffer entries remain after drain"),
+            );
+        }
+        self.dl1().check_drained(now);
+        self.dl1().next_level().check_drained(now);
+    }
 }
 
 impl DataPort for FrontEnd {

@@ -191,6 +191,22 @@ impl Platform {
         })
     }
 
+    /// Builds a cold front-end for this configuration — the same
+    /// hierarchy [`Platform::run`] constructs internally, handed out for
+    /// harnesses that need to drive the core themselves and inspect or
+    /// drain the hierarchy afterwards (the differential checker in
+    /// `sttcache-bench` does exactly this).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a platform built through [`Platform::new`] or
+    /// [`Platform::with_config`] (the configuration is validated
+    /// eagerly); the `Result` keeps the signature honest for future
+    /// configuration surfaces.
+    pub fn front_end(&self) -> Result<FrontEnd, SttError> {
+        self.build_front_end()
+    }
+
     /// Runs a workload on a cold platform and collects every statistic.
     ///
     /// The workload drives the core through [`Engine`]; see

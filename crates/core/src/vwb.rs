@@ -242,7 +242,55 @@ impl<N: MemoryLevel> VwbFrontEnd<N> {
             done = self.dl1.write(line.base(line_bytes), done).complete_at;
             self.buffer.clean(*line);
         }
+        if sttcache_mem::invariants::enabled() {
+            self.check_invariants(done);
+            if done < now {
+                sttcache_mem::invariants::report(
+                    "vwb",
+                    now,
+                    None,
+                    format!("flush_dirty completed in the past (at {done})"),
+                );
+            }
+            if let Some(stale) = self.buffer.iter().find(|e| e.dirty) {
+                sttcache_mem::invariants::report(
+                    "vwb",
+                    done,
+                    Some(stale.line.0),
+                    "stale dirty entry after flush_dirty".into(),
+                );
+            }
+        }
         (dirty.len(), done)
+    }
+
+    /// Number of dirty entries currently held (drain verification).
+    pub fn dirty_entries(&self) -> usize {
+        self.buffer.iter().filter(|e| e.dirty).count()
+    }
+
+    /// Base addresses of the lines currently resident in the VWB.
+    pub fn resident_lines(&self) -> Vec<Addr> {
+        let line_bytes = self.dl1.config().line_bytes();
+        self.buffer.iter().map(|e| e.line.base(line_bytes)).collect()
+    }
+
+    /// Structural check, reported through [`sttcache_mem::invariants`]:
+    /// the buffer never holds more entries than
+    /// [`VwbConfig::entries`] allows.
+    pub fn check_invariants(&self, now: Cycle) {
+        if self.buffer.len() > self.buffer.capacity() {
+            sttcache_mem::invariants::report(
+                "vwb",
+                now,
+                None,
+                format!(
+                    "{} entries exceed capacity {}",
+                    self.buffer.len(),
+                    self.buffer.capacity()
+                ),
+            );
+        }
     }
 
     /// Resets the VWB's and the whole hierarchy's statistics (contents
@@ -287,6 +335,9 @@ impl<N: MemoryLevel> VwbFrontEnd<N> {
                 let base = evicted.line.base(line_bytes);
                 let _ = self.dl1.write(base, out.complete_at);
             }
+        }
+        if sttcache_mem::invariants::enabled() {
+            self.check_invariants(out.complete_at);
         }
         out.complete_at
     }

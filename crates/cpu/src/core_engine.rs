@@ -157,6 +157,16 @@ impl<P: DataPort> Engine for Core<P> {
         self.loads += 1;
         let issue = self.now;
         let data_ready = self.port.read(addr, issue);
+        if sttcache_mem::invariants::enabled() && data_ready < issue {
+            // A port must never deliver data before the request was
+            // issued; saturating arithmetic below would silently mask it.
+            sttcache_mem::invariants::report(
+                "core",
+                issue,
+                Some(addr.0),
+                format!("load data ready at {data_ready}, before issue"),
+            );
+        }
         // The load occupies one issue cycle; anything beyond that is stall,
         // of which `load_overlap_cycles` are hidden under independent work.
         let raw_stall = data_ready.saturating_sub(issue + 1);
@@ -171,6 +181,14 @@ impl<P: DataPort> Engine for Core<P> {
         self.stores += 1;
         let issue_at = self.store_buffer.admit(self.now);
         let complete = self.port.write(addr, issue_at);
+        if sttcache_mem::invariants::enabled() && complete < issue_at {
+            sttcache_mem::invariants::report(
+                "core",
+                issue_at,
+                Some(addr.0),
+                format!("store completed at {complete}, before issue"),
+            );
+        }
         self.store_buffer.record_completion(complete);
         // The core resumes after the (possibly stalled) one-cycle issue.
         self.now = issue_at.max(self.now) + 1;

@@ -74,6 +74,21 @@ impl StoreBuffer {
     /// Records the port-completion cycle of the store admitted last.
     pub fn record_completion(&mut self, complete_at: Cycle) {
         self.completions.push_back(complete_at);
+        if sttcache_mem::invariants::enabled() && self.completions.len() > self.capacity {
+            // Entries drain in admission (FIFO) order, so more live
+            // completions than entries means an admit/record pairing was
+            // broken somewhere upstream.
+            sttcache_mem::invariants::report(
+                "store-buffer",
+                complete_at,
+                None,
+                format!(
+                    "{} in-flight stores exceed capacity {}",
+                    self.completions.len(),
+                    self.capacity
+                ),
+            );
+        }
     }
 
     /// The cycle by which every buffered store has completed (`now` if the

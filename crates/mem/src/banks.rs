@@ -59,6 +59,20 @@ impl BankSchedule {
         let start = self.free_at[bank].max(now);
         self.conflict_cycles += start - now;
         self.free_at[bank] = start + occupancy;
+        if crate::invariants::enabled() && self.free_at[bank] < now + occupancy {
+            // The schedule lost time: the reservation we just made ends
+            // before `now + occupancy`, so the conflict accounting above
+            // cannot be consistent with the bank's busy window.
+            crate::invariants::report(
+                "banks",
+                now,
+                None,
+                format!(
+                    "bank {bank} free_at {} < now {now} + occupancy {occupancy}",
+                    self.free_at[bank]
+                ),
+            );
+        }
         start
     }
 

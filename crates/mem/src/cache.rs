@@ -144,6 +144,59 @@ impl<N: MemoryLevel> Cache<N> {
             .free_at(self.line_of(addr).bank(self.config.banks()))
     }
 
+    /// The MSHR file (for drain verification and occupancy checks).
+    pub fn mshrs(&self) -> &MshrFile {
+        &self.mshrs
+    }
+
+    /// The eviction write buffer (for drain verification).
+    pub fn write_buffer(&self) -> &WriteBuffer {
+        &self.write_buffer
+    }
+
+    /// Base addresses of every resident line, for post-run verification
+    /// against a functional oracle: a drained hierarchy may only hold
+    /// lines the program actually touched.
+    pub fn resident_lines(&self) -> Vec<Addr> {
+        let sets_count = self.config.sets();
+        let line_bytes = self.config.line_bytes();
+        let mut lines = Vec::new();
+        for (set_index, set) in self.sets.iter().enumerate() {
+            for (tag, _) in set.iter_valid() {
+                lines.push(LineAddr::from_parts(tag, set_index, sets_count).base(line_bytes));
+            }
+        }
+        lines
+    }
+
+    /// Runs the per-set structural checks and the MSHR occupancy check,
+    /// reporting through [`invariants`](crate::invariants). Called on the
+    /// hot paths when the gate is on; harnesses may also call it directly.
+    pub fn check_invariants(&self, now: Cycle) {
+        for (i, set) in self.sets.iter().enumerate() {
+            set.check_invariants(i, now);
+        }
+        self.mshrs.check_invariants(now);
+        self.write_buffer.check_invariants(now);
+    }
+
+    /// End-of-run verification of this level: reports leaked MSHR
+    /// allocations and any dirty line that survived draining. Levels
+    /// below are checked by the caller (the front-end's drain verifier
+    /// walks the hierarchy).
+    pub fn check_drained(&self, now: Cycle) {
+        self.mshrs.check_drained(now);
+        let dirty = self.dirty_lines();
+        if dirty > 0 {
+            crate::invariants::report(
+                "cache",
+                now,
+                None,
+                format!("{dirty} dirty lines remain after drain"),
+            );
+        }
+    }
+
     /// Number of dirty lines currently held.
     pub fn dirty_lines(&self) -> usize {
         self.sets
@@ -289,6 +342,36 @@ impl<N: MemoryLevel> Cache<N> {
         self.stats.bank_conflict_cycles = self.banks.conflict_cycles();
         self.stats.mshr_merges = self.mshrs.merges();
     }
+
+    /// Post-access checks run when the invariant gate is on: the touched
+    /// set must be structurally valid, every MSHR allocation made during
+    /// the access must have been completed before it returned, and time
+    /// must not run backwards.
+    fn check_access(&self, addr: Addr, now: Cycle, complete_at: Cycle) {
+        if complete_at < now {
+            crate::invariants::report(
+                "cache",
+                now,
+                Some(addr.0),
+                format!("access completed in the past (at {complete_at})"),
+            );
+        }
+        let line = self.line_of(addr);
+        let set_index = line.set_index(self.config.sets());
+        self.sets[set_index].check_invariants(set_index, complete_at);
+        if self.mshrs.unfinished_allocations() > 0 {
+            crate::invariants::report(
+                "mshr",
+                now,
+                Some(addr.0),
+                format!(
+                    "{} allocation(s) left incomplete after an access returned",
+                    self.mshrs.unfinished_allocations()
+                ),
+            );
+        }
+        self.write_buffer.check_invariants(now);
+    }
 }
 
 impl<N: MemoryLevel> MemoryLevel for Cache<N> {
@@ -323,6 +406,9 @@ impl<N: MemoryLevel> MemoryLevel for Cache<N> {
             }
         };
         self.sync_component_stats();
+        if crate::invariants::enabled() {
+            self.check_access(addr, now, outcome.complete_at);
+        }
         outcome
     }
 
@@ -362,14 +448,29 @@ impl<N: MemoryLevel> MemoryLevel for Cache<N> {
                 // ("the data in the cache location is loaded in the block
                 // from the L2/main memory and this is followed by the write
                 // hit operation", §IV).
-                let (ready, served_by) = self.fill_miss(line, now);
+                let (mut ready, served_by) = self.fill_miss(line, now);
+                // A merged fill can complete without the line resident:
+                // fills install eagerly at a future timestamp, so later
+                // same-set misses in program order may already have
+                // evicted the line this request merged into. Physically
+                // the merged requester arrives after that eviction and
+                // has to re-fetch the line like any fresh miss. The
+                // retry makes progress: a merge always returns a ready
+                // time strictly past the probe time, and once the probe
+                // reaches it the stale entry is reclaimed and the fill
+                // installs the line.
+                let way = loop {
+                    match self.sets[line.set_index(sets)].lookup(tag) {
+                        LookupResult::Hit(way) => break way,
+                        LookupResult::Miss { .. } => {
+                            let (r, _) = self.fill_miss(line, ready);
+                            ready = r;
+                        }
+                    }
+                };
                 let bank = line.bank(self.config.banks());
                 let wc = self.next_write_cycles();
                 let start = self.banks.reserve(bank, ready, wc);
-                let way = match self.sets[line.set_index(sets)].lookup(tag) {
-                    LookupResult::Hit(way) => way,
-                    LookupResult::Miss { .. } => unreachable!("line was just filled"),
-                };
                 self.sets[line.set_index(sets)].touch(way, start, true);
                 AccessOutcome {
                     complete_at: start + wc,
@@ -386,6 +487,9 @@ impl<N: MemoryLevel> MemoryLevel for Cache<N> {
             }
         };
         self.sync_component_stats();
+        if crate::invariants::enabled() {
+            self.check_access(addr, now, outcome.complete_at);
+        }
         outcome
     }
 
@@ -428,6 +532,27 @@ mod tests {
                 .unwrap(),
             MainMemory::new(100),
         )
+    }
+
+    #[test]
+    fn merged_write_refetches_an_evicted_line() {
+        // Regression for a panic the trace fuzzer found: back-to-back
+        // same-set write misses at the same cycle. The default config is
+        // 2-way, so writes C and D (issued while A's fill is still in
+        // flight) evict A; the second write to A then *merges* with A's
+        // stale MSHR entry and used to find the line absent after
+        // fill_miss returned ("line was just filled").
+        let mut c = dl1();
+        let sets = c.config().sets() as u64;
+        let stride = sets * c.config().line_bytes() as u64;
+        let a = Addr(0);
+        c.write(a, 0); // allocate A; fill lands far in the future
+        c.write(Addr(stride), 0); // B
+        c.write(Addr(2 * stride), 0); // C — evicts A or B
+        c.write(Addr(3 * stride), 0); // D — the other one is gone too
+        let out = c.write(a, 1); // merges with A's in-flight entry
+        assert!(out.complete_at > 1);
+        assert!(c.contains(a), "the re-fetch must install the line");
     }
 
     #[test]

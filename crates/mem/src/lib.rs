@@ -44,8 +44,10 @@ mod banks;
 mod cache;
 mod config;
 mod error;
+pub mod invariants;
 mod memory;
 mod mshr;
+mod oracle;
 mod prefetcher;
 mod replacement;
 mod set;
@@ -54,6 +56,8 @@ mod stats;
 mod write_buffer;
 
 pub use addr::{Addr, Cycle, LineAddr};
+pub use invariants::InvariantViolation;
+pub use oracle::ShadowOracle;
 pub use banks::BankSchedule;
 pub use cache::{AccessOutcome, Cache, ServedBy};
 pub use config::{AsymmetricWrite, CacheConfig, CacheConfigBuilder, WritePolicy};

@@ -8,6 +8,7 @@
 //! on this file by also *retaining* filled entries so they can serve reads.
 
 use crate::addr::{Cycle, LineAddr};
+use crate::invariants;
 
 /// One in-flight (or retained) miss entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +96,9 @@ impl MshrFile {
     /// reclaimed lazily here.
     pub fn probe_or_allocate(&mut self, line: LineAddr, now: Cycle) -> MshrOutcome {
         self.entries.retain(|e| e.ready_at > now || e.ready_at == 0);
+        if invariants::enabled() {
+            self.check_reclaimed(now);
+        }
         if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
             e.targets += 1;
             self.merges += 1;
@@ -166,6 +170,73 @@ impl MshrFile {
     pub fn reset_stats(&mut self) {
         self.merges = 0;
         self.full_events = 0;
+    }
+
+    /// Allocations whose fill time was never recorded (`ready_at == 0`).
+    ///
+    /// Between [`probe_or_allocate`](Self::probe_or_allocate) and
+    /// [`complete`](Self::complete) this is legitimately non-zero, but at
+    /// any quiescent point — after a cache access returns, or at end of
+    /// run — a non-zero value is a leaked entry: it survives lazy
+    /// reclamation forever while being invisible to
+    /// [`occupancy`](Self::occupancy).
+    pub fn unfinished_allocations(&self) -> usize {
+        self.entries.iter().filter(|e| e.ready_at == 0).count()
+    }
+
+    /// Structural check, reported through
+    /// [`invariants`](crate::invariants): the file never holds more than
+    /// `capacity` entries. Safe to call at any time (retired entries may
+    /// legitimately linger until the next lazy reclamation, so outliving
+    /// `ready_at` is only checked on the reclamation path itself).
+    pub fn check_invariants(&self, now: Cycle) {
+        if self.entries.len() > self.capacity {
+            invariants::report(
+                "mshr",
+                now,
+                None,
+                format!(
+                    "{} entries exceed capacity {}",
+                    self.entries.len(),
+                    self.capacity
+                ),
+            );
+        }
+    }
+
+    /// Reclamation-path check: immediately after retiring entries at
+    /// `now`, none with `0 < ready_at <= now` may remain (an entry that
+    /// outlived its `ready_at` would serve stale in-flight state).
+    fn check_reclaimed(&self, now: Cycle) {
+        self.check_invariants(now);
+        for e in &self.entries {
+            if e.ready_at != 0 && e.ready_at <= now {
+                invariants::report(
+                    "mshr",
+                    now,
+                    Some(e.line.0),
+                    format!("entry outlived its ready_at {}", e.ready_at),
+                );
+            }
+        }
+    }
+
+    /// End-of-run leak check: reports a violation for every allocation
+    /// that was never [`complete`](Self::complete)d. Called by the drain
+    /// verifier after a run has fully retired; at that point a dangling
+    /// `ready_at == 0` entry can only be a fill-path bug.
+    pub fn check_drained(&self, now: Cycle) {
+        for e in self.entries.iter().filter(|e| e.ready_at == 0) {
+            invariants::report(
+                "mshr",
+                now,
+                Some(e.line.0),
+                format!(
+                    "leaked allocation: {} (targets {}) never completed",
+                    e.line, e.targets
+                ),
+            );
+        }
     }
 }
 
@@ -239,6 +310,95 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn allocate_at_exactly_capacity_then_full() {
+        // Filling the file to exactly `capacity` distinct lines must
+        // succeed; the very next distinct line must see Full with the
+        // earliest retirement as the retry time.
+        let mut m = MshrFile::new(4);
+        for i in 0..4u64 {
+            assert_eq!(
+                m.probe_or_allocate(LineAddr(i), 0),
+                MshrOutcome::Allocated,
+                "entry {i} of a 4-entry file must allocate"
+            );
+            m.complete(LineAddr(i), 100 + i);
+        }
+        assert_eq!(m.occupancy(0), 4);
+        assert_eq!(
+            m.probe_or_allocate(LineAddr(99), 0),
+            MshrOutcome::Full { retry_at: 100 }
+        );
+        // A merge into a full file still succeeds (no allocation needed).
+        assert_eq!(
+            m.probe_or_allocate(LineAddr(2), 0),
+            MshrOutcome::Merged { ready_at: 102 }
+        );
+    }
+
+    #[test]
+    fn same_line_race_counts_every_merge() {
+        // N back-to-back accesses to one in-flight line: 1 allocation,
+        // N-1 merges, regardless of whether complete() has run yet.
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.probe_or_allocate(LineAddr(7), 0), MshrOutcome::Allocated);
+        // Race before the fill time is known (ready_at still 0).
+        assert_eq!(
+            m.probe_or_allocate(LineAddr(7), 1),
+            MshrOutcome::Merged { ready_at: 0 }
+        );
+        m.complete(LineAddr(7), 50);
+        for now in 2..6 {
+            assert_eq!(
+                m.probe_or_allocate(LineAddr(7), now),
+                MshrOutcome::Merged { ready_at: 50 }
+            );
+        }
+        assert_eq!(m.merges(), 5);
+        assert_eq!(m.full_events(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching allocation")]
+    fn complete_on_retired_line_panics() {
+        // The contract: complete() pairs with the probe_or_allocate that
+        // returned Allocated. Completing a line whose entry already has a
+        // fill time (i.e. "absent" as an allocation) is a caller bug.
+        let mut m = MshrFile::new(2);
+        m.probe_or_allocate(LineAddr(5), 0);
+        m.complete(LineAddr(5), 10);
+        m.complete(LineAddr(5), 20);
+    }
+
+    #[test]
+    fn leak_is_visible_to_unfinished_allocations_not_occupancy() {
+        let mut m = MshrFile::new(2);
+        m.probe_or_allocate(LineAddr(1), 0);
+        // Never completed: invisible to occupancy at any cycle, immortal
+        // under lazy reclamation, but counted as unfinished.
+        assert_eq!(m.occupancy(1_000_000), 0);
+        m.probe_or_allocate(LineAddr(2), 1_000_000);
+        assert!(m.contains(LineAddr(1), 1_000_000));
+        assert_eq!(m.unfinished_allocations(), 2);
+        m.complete(LineAddr(1), 1_000_010);
+        m.complete(LineAddr(2), 1_000_010);
+        assert_eq!(m.unfinished_allocations(), 0);
+    }
+
+    #[test]
+    fn check_drained_reports_leaked_allocation() {
+        crate::invariants::take_violations();
+        let mut m = MshrFile::new(2);
+        m.probe_or_allocate(LineAddr(0x40), 0);
+        m.check_drained(123);
+        let (list, total) = crate::invariants::take_violations();
+        assert_eq!(total, 1);
+        assert_eq!(list[0].component, "mshr");
+        assert_eq!(list[0].cycle, 123);
+        assert_eq!(list[0].addr, Some(0x40));
+        assert!(list[0].detail.contains("leaked"), "{}", list[0].detail);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Functional shadow-memory oracle: a flat byte-addressed golden model.
+//!
+//! The simulator is timing-only — no cache level stores data payloads, the
+//! functional values live in the workload itself. The oracle closes that
+//! gap for verification: every load/store/prefetch an engine issues is
+//! mirrored into a `ShadowOracle`, which stamps a *deterministic* value
+//! pattern on each store (derived from the store sequence number and the
+//! byte address, so it is identical for every cache organization replaying
+//! the same trace) and remembers which memory it has touched.
+//!
+//! After a run the hierarchy is drained (`flush_dirty` at every level) and
+//! checked against the oracle:
+//!
+//! * the final byte image — and therefore its [`image_hash`] — must be
+//!   identical across all organizations replaying the same trace
+//!   (`ShadowOracle::image_hash`);
+//! * every line still resident in any cache or victim buffer must cover at
+//!   least one byte the program actually touched
+//!   ([`intersects_accessed`]) — a "phantom line" means the timing model
+//!   invented an access;
+//! * no dirty state may remain anywhere once draining completes (checked
+//!   by the harness via the levels' own `dirty_lines` reporting).
+//!
+//! [`image_hash`]: ShadowOracle::image_hash
+//! [`intersects_accessed`]: ShadowOracle::intersects_accessed
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Backing pages are 4 KiB: small enough that sparse traces stay sparse,
+/// large enough that PolyBench footprints need only a handful.
+const PAGE_BYTES: u64 = 4096;
+
+/// Touched-memory bookkeeping granularity: the smallest line size any
+/// configuration uses (the SRAM DL1's 32 B lines), so a chunk never spans
+/// two lines of any level.
+const CHUNK_BYTES: u64 = 32;
+
+/// Flat byte-addressed golden memory with deterministic store values and
+/// touched-range tracking.
+#[derive(Debug, Default)]
+pub struct ShadowOracle {
+    pages: HashMap<u64, Box<[u8]>>,
+    /// Monotone store sequence number; the value stamped by store `n` at
+    /// byte `a` is `mix(n, a)`, so the final image depends only on the
+    /// access trace, never on timing.
+    store_seq: u64,
+    /// 32 B-granular chunks read, written or prefetched.
+    accessed: BTreeSet<u64>,
+    /// 32 B-granular chunks written.
+    written: BTreeSet<u64>,
+    loads: u64,
+    stores: u64,
+}
+
+/// SplitMix64 finalizer — the same mixer the bench test-kit uses, kept
+/// dependency-free here.
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShadowOracle {
+    /// An empty oracle: all of memory reads as zero, nothing touched.
+    pub fn new() -> Self {
+        ShadowOracle::default()
+    }
+
+    /// Mirrors a store of `bytes` bytes at `addr`, stamping the
+    /// deterministic value pattern for this store's sequence number.
+    pub fn store(&mut self, addr: u64, bytes: usize) {
+        self.store_seq += 1;
+        let seq = self.store_seq;
+        for i in 0..bytes as u64 {
+            let a = addr.wrapping_add(i);
+            let value = mix(seq ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)) as u8;
+            self.write_byte(a, value);
+        }
+        self.mark(addr, bytes, true);
+        self.stores += 1;
+    }
+
+    /// Mirrors a load of `bytes` bytes at `addr`; returns a checksum of
+    /// the bytes read so differential harnesses can compare load-observed
+    /// values, not just final images.
+    pub fn load(&mut self, addr: u64, bytes: usize) -> u64 {
+        let mut h = FNV_OFFSET;
+        for i in 0..bytes as u64 {
+            h = fnv_step(h, self.read_byte(addr.wrapping_add(i)));
+        }
+        self.mark(addr, bytes, false);
+        self.loads += 1;
+        h
+    }
+
+    /// Mirrors a software prefetch: marks the byte's chunk as touched
+    /// (a prefetched line is legitimately resident) without changing data.
+    pub fn touch(&mut self, addr: u64) {
+        self.mark(addr, 1, false);
+    }
+
+    /// The byte at `addr` (zero if never written).
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        let (page, off) = (addr / PAGE_BYTES, (addr % PAGE_BYTES) as usize);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// A copy of `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64)
+            .map(|i| self.read_byte(addr.wrapping_add(i)))
+            .collect()
+    }
+
+    /// FNV-1a hash of the `len` bytes at `addr` — the golden image of one
+    /// cache line, for byte-for-byte comparison reports.
+    pub fn line_checksum(&self, addr: u64, len: usize) -> u64 {
+        let mut h = FNV_OFFSET;
+        for i in 0..len as u64 {
+            h = fnv_step(h, self.read_byte(addr.wrapping_add(i)));
+        }
+        h
+    }
+
+    /// Order-independent digest of the full written image: hashes every
+    /// written chunk (in address order) together with its contents. Two
+    /// runs of the same trace must produce the same digest regardless of
+    /// cache organization or timing.
+    pub fn image_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &chunk in &self.written {
+            for b in chunk.to_le_bytes() {
+                h = fnv_step(h, b);
+            }
+            for i in 0..CHUNK_BYTES {
+                h = fnv_step(h, self.read_byte(chunk * CHUNK_BYTES + i));
+            }
+        }
+        h
+    }
+
+    /// Whether the byte range `[base, base + len)` overlaps any memory the
+    /// program touched. Every line resident in a drained hierarchy must
+    /// satisfy this; one that does not is a phantom allocation.
+    pub fn intersects_accessed(&self, base: u64, len: usize) -> bool {
+        let first = base / CHUNK_BYTES;
+        let last = base.wrapping_add(len.max(1) as u64 - 1) / CHUNK_BYTES;
+        self.accessed.range(first..=last).next().is_some()
+    }
+
+    /// Number of distinct 32 B chunks touched by any access.
+    pub fn accessed_chunks(&self) -> usize {
+        self.accessed.len()
+    }
+
+    /// Number of distinct 32 B chunks written.
+    pub fn written_chunks(&self) -> usize {
+        self.written.len()
+    }
+
+    /// Loads mirrored so far.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Stores mirrored so far.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    fn write_byte(&mut self, addr: u64, value: u8) {
+        let (page, off) = (addr / PAGE_BYTES, (addr % PAGE_BYTES) as usize);
+        self.pages
+            .entry(page)
+            .or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice())[off] = value;
+    }
+
+    fn mark(&mut self, addr: u64, bytes: usize, written: bool) {
+        let first = addr / CHUNK_BYTES;
+        let last = addr.wrapping_add(bytes.max(1) as u64 - 1) / CHUNK_BYTES;
+        for chunk in first..=last {
+            self.accessed.insert(chunk);
+            if written {
+                self.written.insert(chunk);
+            }
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn fnv_step(h: u64, b: u8) -> u64 {
+    (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let o = ShadowOracle::new();
+        assert_eq!(o.read_byte(0xDEAD_BEEF), 0);
+        assert_eq!(o.read_bytes(12345, 8), vec![0; 8]);
+    }
+
+    #[test]
+    fn same_trace_same_image() {
+        let run = || {
+            let mut o = ShadowOracle::new();
+            o.store(0x100, 8);
+            o.store(0x104, 4);
+            o.load(0x100, 8);
+            (o.read_bytes(0x100, 16), o.image_hash())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn later_store_wins_on_overlap() {
+        let mut a = ShadowOracle::new();
+        a.store(0x200, 8);
+        let first = a.read_bytes(0x200, 8);
+        a.store(0x200, 8);
+        let second = a.read_bytes(0x200, 8);
+        assert_ne!(first, second, "sequence number must change the stamp");
+    }
+
+    #[test]
+    fn load_checksum_reflects_data() {
+        let mut o = ShadowOracle::new();
+        let empty = o.load(0x300, 8);
+        o.store(0x300, 8);
+        let full = o.load(0x300, 8);
+        assert_ne!(empty, full);
+        assert_eq!(full, o.line_checksum(0x300, 8));
+    }
+
+    #[test]
+    fn straddling_access_marks_both_lines() {
+        let mut o = ShadowOracle::new();
+        o.store(CHUNK_BYTES - 2, 4); // bytes 30..34 straddle chunks 0 and 1
+        assert!(o.intersects_accessed(0, 32));
+        assert!(o.intersects_accessed(32, 32));
+        assert!(!o.intersects_accessed(64, 32));
+        assert_eq!(o.written_chunks(), 2);
+    }
+
+    #[test]
+    fn prefetch_marks_accessed_without_writing() {
+        let mut o = ShadowOracle::new();
+        o.touch(0x1000);
+        assert!(o.intersects_accessed(0x1000, 64));
+        assert_eq!(o.written_chunks(), 0);
+        assert_eq!(o.accessed_chunks(), 1);
+    }
+
+    #[test]
+    fn counters_track_mirrored_events() {
+        let mut o = ShadowOracle::new();
+        o.store(0, 4);
+        o.load(0, 4);
+        o.load(8, 4);
+        assert_eq!(o.stores(), 1);
+        assert_eq!(o.loads(), 2);
+    }
+}

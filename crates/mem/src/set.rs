@@ -185,6 +185,42 @@ impl CacheSet {
             .filter(|w| w.valid)
             .map(|w| (w.tag, w.dirty))
     }
+
+    /// Structural validity of the set's tag/replacement state, reported
+    /// through [`invariants`](crate::invariants): no tag may occupy two
+    /// valid ways (a double-fill would make `probe` nondeterministic),
+    /// and no way may have been used before it was inserted. Both checks
+    /// are independent of global access ordering, so they stay sound even
+    /// with overlapping operations (non-blocking prefetch fills stamp
+    /// sets "in the future" relative to the next demand access).
+    pub fn check_invariants(&self, set_index: usize, now: Cycle) {
+        for (i, a) in self.ways.iter().enumerate() {
+            if !a.valid {
+                continue;
+            }
+            if a.last_use < a.inserted_at {
+                crate::invariants::report(
+                    "set",
+                    now,
+                    Some(a.tag),
+                    format!(
+                        "set {set_index} way {i}: used at {} before insertion at {}",
+                        a.last_use, a.inserted_at
+                    ),
+                );
+            }
+            for (j, b) in self.ways.iter().enumerate().skip(i + 1) {
+                if b.valid && b.tag == a.tag {
+                    crate::invariants::report(
+                        "set",
+                        now,
+                        Some(a.tag),
+                        format!("set {set_index}: tag duplicated in ways {i} and {j}"),
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +372,29 @@ mod tests {
     #[should_panic(expected = "at least one way")]
     fn zero_ways_panics() {
         let _ = CacheSet::new(0);
+    }
+
+    #[test]
+    fn check_invariants_flags_duplicate_tags() {
+        crate::invariants::take_violations();
+        let mut set = CacheSet::new(2);
+        set.fill(0, 7, false, 5);
+        set.fill(1, 7, false, 6); // double-fill: same tag in two ways
+        set.check_invariants(3, 10);
+        let (list, _) = crate::invariants::take_violations();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].component, "set");
+        assert_eq!(list[0].cycle, 10);
+        assert_eq!(list[0].addr, Some(7));
+        assert!(list[0].detail.contains("duplicated"), "{}", list[0].detail);
+
+        // A clean set reports nothing.
+        let mut ok = CacheSet::new(2);
+        ok.fill(0, 1, false, 1);
+        ok.fill(1, 2, true, 2);
+        ok.touch(0, 9, false);
+        ok.check_invariants(0, 20);
+        assert_eq!(crate::invariants::take_violations().1, 0);
     }
 
     #[test]

@@ -59,6 +59,9 @@ impl WriteBuffer {
     /// oldest entry (a full-buffer stall).
     pub fn push(&mut self, line: LineAddr, now: Cycle, drain_cycles: u64) -> Cycle {
         self.drain(now);
+        if crate::invariants::enabled() {
+            self.check_reclaimed(now);
+        }
         self.pushes += 1;
         let proceed_at = if self.entries.len() >= self.capacity {
             let oldest = self.entries.front().expect("full buffer is non-empty").1;
@@ -69,7 +72,51 @@ impl WriteBuffer {
             now
         };
         self.entries.push_back((line, proceed_at + drain_cycles));
+        if crate::invariants::enabled() {
+            self.check_invariants(now);
+        }
         proceed_at
+    }
+
+    /// Structural checks, reported through
+    /// [`invariants`](crate::invariants): occupancy never exceeds
+    /// capacity. Sound at any cycle. Entries *leave* in push order by
+    /// construction; their recorded completion times need not be
+    /// monotone, because each models a next-level write charged at push
+    /// time (a later victim can finish its L2 write earlier when it
+    /// lands on an idle bank) — and under lazy reclamation a drained
+    /// entry legitimately lingers until the next push or occupancy
+    /// probe, so neither is checkable here.
+    pub fn check_invariants(&self, now: Cycle) {
+        if self.entries.len() > self.capacity {
+            crate::invariants::report(
+                "write-buffer",
+                now,
+                None,
+                format!(
+                    "{} entries exceed capacity {}",
+                    self.entries.len(),
+                    self.capacity
+                ),
+            );
+        }
+    }
+
+    /// The stronger check that is only sound immediately after
+    /// [`drain`](Self::drain) ran: no resident entry's completion may
+    /// then lie in the past.
+    fn check_reclaimed(&self, now: Cycle) {
+        self.check_invariants(now);
+        if let Some((line, done)) = self.entries.front() {
+            if *done <= now {
+                crate::invariants::report(
+                    "write-buffer",
+                    now,
+                    Some(line.0),
+                    format!("{line} drained at {done} but was not reclaimed"),
+                );
+            }
+        }
     }
 
     /// Whether the buffer currently holds `line` (a read may be serviced

@@ -2,7 +2,10 @@
 # Capture a performance snapshot of the full figures sweep: per-figure
 # wall-clock, per-phase record/replay split, trace-cache hit rate and
 # worker count, written as JSON (default: BENCH_sweep.json at the repo
-# root — the committed snapshot).
+# root — the committed snapshot). Also measures the overhead of the
+# invariant-checker gate (STTCACHE_INVARIANTS) on the same sweep and
+# prints both wall-clocks, so a regression in the "checkers off" cost
+# of the gate is visible in CI logs.
 #
 # usage: scripts/bench_snapshot.sh [output.json]
 set -euo pipefail
@@ -12,3 +15,13 @@ out="${1:-BENCH_sweep.json}"
 cargo build --release --offline -p sttcache-bench --bin figures
 ./target/release/figures all --profile-json "$out" > /dev/null
 echo "bench_snapshot: wrote $out"
+
+# Invariant-gate overhead: the gate is a relaxed atomic load on hot
+# paths, so the disarmed sweep must cost the same as the plain one.
+t_off_start=$(date +%s%N)
+./target/release/figures all > /dev/null
+t_off=$((($(date +%s%N) - t_off_start) / 1000000))
+t_on_start=$(date +%s%N)
+STTCACHE_INVARIANTS=1 ./target/release/figures all > /dev/null
+t_on=$((($(date +%s%N) - t_on_start) / 1000000))
+echo "bench_snapshot: figures all ${t_off} ms (invariants off), ${t_on} ms (invariants armed)"

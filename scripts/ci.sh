@@ -7,7 +7,14 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
+# Second test leg with the runtime invariant checkers armed: every
+# component self-checks on every access and any violation fails the run.
+STTCACHE_INVARIANTS=1 cargo test -q --offline
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Differential fuzzer: adversarial traces on all five organizations,
+# cross-checked against the shadow-memory oracle and the SRAM baseline.
+./target/release/sttcache-check --quick
 
 smoke="$(mktemp)"
 trap 'rm -f "$smoke"' EXIT
@@ -33,4 +40,4 @@ trap 'rm -f "$smoke" "$snapshot"' EXIT
 scripts/bench_snapshot.sh "$snapshot" > /dev/null
 grep -q '"trace_cache_enabled": true' "$snapshot"
 
-echo "ci: build, tests, clippy, figures smoke and trace-cache checks all green"
+echo "ci: build, tests (plain + invariants armed), clippy, differential fuzzer, figures smoke and trace-cache checks all green"

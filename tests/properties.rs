@@ -339,3 +339,110 @@ fn hit_under_fill_waits_for_data() {
     hashes.insert("complete", hit.complete_at);
     assert!(hashes["complete"] >= 100);
 }
+
+/// After `flush_dirty` the VWB holds zero dirty entries, the returned
+/// cycle never precedes the request, and a second flush is a no-op —
+/// over random read/write sequences, with the invariant gate on so the
+/// flush's own post-conditions are exercised too.
+#[test]
+fn vwb_flush_dirty_property() {
+    sttcache_mem::invariants::set_enabled(true);
+    let _ = sttcache_mem::invariants::take_violations();
+    run_cases("vwb_flush_dirty_property", 64, |rng| {
+        let seq = access_seq(rng);
+        let dl1 = Cache::new(nvm_dl1_config().expect("canonical"), MainMemory::new(100));
+        let mut vwb = VwbFrontEnd::new(VwbConfig::default(), dl1).expect("canonical");
+        let mut now = 0;
+        for (addr, is_write) in seq {
+            now = if is_write {
+                vwb.write(Addr(addr), now)
+            } else {
+                vwb.read(Addr(addr), now)
+            };
+        }
+        let (flushed, done) = vwb.flush_dirty(now);
+        assert!(done >= now, "flush completed at {done}, before {now}");
+        assert_eq!(vwb.dirty_entries(), 0, "dirty entries survived the flush");
+        if flushed == 0 {
+            assert_eq!(done, now, "a flush with nothing to do must be free");
+        }
+        let (again, t2) = vwb.flush_dirty(done);
+        assert_eq!(again, 0, "second flush found dirty entries");
+        assert_eq!(t2, done);
+    });
+    let (violations, _) = sttcache_mem::invariants::take_violations();
+    sttcache_mem::invariants::set_enabled(false);
+    assert!(violations.is_empty(), "{violations:#?}");
+}
+
+/// `VwbConfig` boundary cases: a capacity of exactly one DL1 line is the
+/// smallest valid buffer, one bit less holds nothing, and the modelled
+/// associative-search cost kicks in at eight entries.
+#[test]
+fn vwb_config_boundaries() {
+    let line_bits = nvm_dl1_config().expect("canonical").line_bytes() * 8;
+
+    // Exactly one line: valid, and a working front-end.
+    let one = VwbConfig {
+        capacity_bits: line_bits,
+        ..VwbConfig::default()
+    };
+    assert_eq!(one.entries(line_bits), 1);
+    assert!(one.validate(line_bits).is_ok());
+    let dl1 = Cache::new(nvm_dl1_config().expect("canonical"), MainMemory::new(100));
+    let mut vwb = VwbFrontEnd::new(one, dl1).expect("one-entry VWB is valid");
+    let t = vwb.read(Addr(0), 0);
+    assert_eq!(vwb.read(Addr(8), t + 10), t + 11, "re-read hits the single entry");
+
+    // One bit short of a line: holds nothing, rejected.
+    let short = VwbConfig {
+        capacity_bits: line_bits - 1,
+        ..VwbConfig::default()
+    };
+    assert_eq!(short.entries(line_bits), 0);
+    assert!(short.validate(line_bits).is_err());
+
+    // A zero hit latency is rejected regardless of capacity.
+    let instant = VwbConfig {
+        hit_cycles: 0,
+        ..VwbConfig::default()
+    };
+    assert!(instant.validate(line_bits).is_err());
+
+    // The maximum line size a config can hold is its own capacity.
+    let max_line = VwbConfig::default().capacity_bits;
+    assert_eq!(VwbConfig::default().entries(max_line), 1);
+    assert!(VwbConfig::default().validate(max_line).is_ok());
+    assert!(VwbConfig::default().validate(max_line + 8).is_err());
+}
+
+/// `effective_hit_cycles` only grows once the search cost is modelled,
+/// and then by exactly entries/8.
+#[test]
+fn vwb_search_cost_model() {
+    let line_bits = 512;
+    let plain = VwbConfig::default();
+    assert_eq!(plain.effective_hit_cycles(line_bits), plain.hit_cycles);
+
+    // 4 entries: below the 8-entry threshold, still free.
+    let modelled = VwbConfig {
+        model_search_cost: true,
+        ..VwbConfig::default()
+    };
+    assert_eq!(modelled.entries(line_bits), 4);
+    assert_eq!(modelled.effective_hit_cycles(line_bits), modelled.hit_cycles);
+
+    // 8 and 64 entries: one and eight extra cycles.
+    let eight = VwbConfig {
+        capacity_bits: 8 * line_bits,
+        model_search_cost: true,
+        ..VwbConfig::default()
+    };
+    assert_eq!(eight.effective_hit_cycles(line_bits), eight.hit_cycles + 1);
+    let big = VwbConfig {
+        capacity_bits: 64 * line_bits,
+        model_search_cost: true,
+        ..VwbConfig::default()
+    };
+    assert_eq!(big.effective_hit_cycles(line_bits), big.hit_cycles + 8);
+}
