@@ -119,12 +119,7 @@ pub fn bench_sim(
 ) {
     let label = format!("{}/{}/{}/{}", group, org.name(), bench.name(), t.label());
     h.bench_function(&label, || {
-        let r = sttcache_bench::run_benchmark(
-            org,
-            bench,
-            sttcache_workloads::ProblemSize::Mini,
-            t,
-        );
+        let r = sttcache_bench::run_benchmark(org, bench, sttcache_workloads::ProblemSize::Mini, t);
         black_box(r.cycles())
     });
 }

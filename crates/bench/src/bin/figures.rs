@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures as text.
 //!
 //! ```text
-//! figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|all]
+//! figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|catalog|all]
 //!         [--small] [--csv] [--jobs N | --serial]
 //!         [--no-trace-cache] [--profile] [--profile-json PATH]
 //! ```
@@ -26,7 +26,7 @@ use sttcache_workloads::ProblemSize;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|all] \
+        "usage: figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|catalog|all] \
          [--small] [--csv] [--jobs N | --serial] [--no-trace-cache] \
          [--profile] [--profile-json PATH]"
     );
@@ -93,6 +93,13 @@ fn main() {
         "all" => {
             figures::print_all(size);
             Vec::new()
+        }
+        // The catalog sweep is opt-in only: it is not part of `all`, so
+        // the committed figures output stays stable as the catalog grows.
+        "catalog" => {
+            let t0 = std::time::Instant::now();
+            figures::print_catalog(size);
+            vec![("catalog", t0.elapsed().as_secs_f64())]
         }
         single => {
             let printer = figures::artifacts()

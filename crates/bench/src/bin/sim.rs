@@ -6,7 +6,8 @@
 //!     [--icache nvm] [--baseline] [--jobs N | --serial]
 //! ```
 //!
-//! * `--org`: `sram` | `nvm` | `vwb` | `l0` | `emshr`
+//! * `--org`: any catalog CLI key (`sram` | `nvm` | `vwb` | `l0` |
+//!   `emshr` | `hybrid`; see `sttcache::catalog`)
 //! * `--opts`: `none` | `all` | any `+`-joined subset of `v`, `p`, `o`
 //! * `--baseline`: additionally run the SRAM platform on the same binary
 //!   and print the penalty. The measured and baseline simulations are
@@ -32,10 +33,15 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sim --bench <name> [--org sram|nvm|vwb|l0|emshr] [--size mini|small]\n\
+        "usage: sim --bench <name> [--org {}] [--size mini|small]\n\
          \x20          [--opts none|all|v+p+o subset] [--vwb-bits N] [--icache sram|nvm]\n\
          \x20          [--baseline] [--jobs N | --serial] [--no-trace-cache] [--profile]\n\
          benchmarks: {}",
+        sttcache::catalog::catalog()
+            .iter()
+            .map(|e| e.cli)
+            .collect::<Vec<_>>()
+            .join("|"),
         PolyBench::ALL.map(|b| b.name()).join(", ")
     );
     std::process::exit(2);
@@ -124,16 +130,18 @@ fn parse_args() -> Options {
         i += 1;
     }
 
+    // `--vwb-bits` overrides the catalog's default VWB size; every other
+    // key resolves straight from the catalog.
     let org = match org.as_str() {
-        "sram" => DCacheOrganization::SramBaseline,
-        "nvm" => DCacheOrganization::NvmDropIn,
         "vwb" => DCacheOrganization::NvmVwb(VwbConfig {
             capacity_bits: vwb_bits,
             ..VwbConfig::default()
         }),
-        "l0" => DCacheOrganization::nvm_l0_default(),
-        "emshr" => DCacheOrganization::nvm_emshr_default(),
-        _ => usage(),
+        key => {
+            sttcache::by_cli(key)
+                .unwrap_or_else(|| usage())
+                .organization
+        }
     };
     Options {
         bench: bench.unwrap_or_else(|| usage()),

@@ -12,8 +12,8 @@
 //! 2. **Runtime invariants** — the checker turns on the
 //!    [`sttcache_mem::invariants`] gate for the duration of the run and
 //!    harvests every structured violation the components reported.
-//! 3. **Differential comparison** — the same trace runs on all five
-//!    L1 organizations; their timing-independent
+//! 3. **Differential comparison** — the same trace runs on every
+//!    catalog L1 organization; their timing-independent
 //!    [`FunctionalSignature`]s must be identical, with the SRAM baseline
 //!    as the reference. A cache organization may change *when* things
 //!    happen, never *what* happens.
@@ -124,16 +124,13 @@ impl OrgCheck {
     }
 }
 
-/// The five canonical L1 organizations, SRAM baseline first (it is the
+/// Every catalog L1 organization, SRAM baseline first (it is the
 /// differential reference).
-pub fn all_organizations() -> [DCacheOrganization; 5] {
-    [
-        DCacheOrganization::SramBaseline,
-        DCacheOrganization::NvmDropIn,
-        DCacheOrganization::nvm_vwb_default(),
-        DCacheOrganization::nvm_l0_default(),
-        DCacheOrganization::nvm_emshr_default(),
-    ]
+pub fn all_organizations() -> Vec<DCacheOrganization> {
+    sttcache::catalog::catalog()
+        .into_iter()
+        .map(|e| e.organization)
+        .collect()
 }
 
 /// Runs `trace` on one organization with the invariant gate on, drains
@@ -170,8 +167,12 @@ pub fn check_trace_on(organization: DCacheOrganization, trace: &Trace) -> OrgChe
         }
     }
     let (t_loads, t_stores, t_prefetches, t_branches) = trace.summary();
-    if (report.loads, report.stores, report.prefetches, report.branches)
-        != (t_loads, t_stores, t_prefetches, t_branches)
+    if (
+        report.loads,
+        report.stores,
+        report.prefetches,
+        report.branches,
+    ) != (t_loads, t_stores, t_prefetches, t_branches)
     {
         mismatches.push(format!(
             "core event counts {}L/{}S/{}P/{}B diverged from the trace's {}L/{}S/{}P/{}B",
@@ -235,7 +236,7 @@ impl DifferentialReport {
     }
 }
 
-/// Runs `trace` on all five organizations and cross-checks them: each
+/// Runs `trace` on every catalog organization and cross-checks them: each
 /// must pass its own oracle/invariant check, and every functional
 /// signature must equal the SRAM baseline's.
 pub fn check_trace(label: &str, trace: &Trace) -> DifferentialReport {
@@ -423,14 +424,10 @@ pub fn adversarial_trace(kind: Adversary, seed: u64, events: usize) -> Trace {
             let span = 1u64 << 22;
             for _ in 0..events {
                 match rng.u64_in(0, 9) {
-                    0..=3 => rec.load(
-                        sttcache_mem::Addr(rng.u64_in(0, span)),
-                        rng.usize_in(1, 16),
-                    ),
-                    4..=6 => rec.store(
-                        sttcache_mem::Addr(rng.u64_in(0, span)),
-                        rng.usize_in(1, 16),
-                    ),
+                    0..=3 => rec.load(sttcache_mem::Addr(rng.u64_in(0, span)), rng.usize_in(1, 16)),
+                    4..=6 => {
+                        rec.store(sttcache_mem::Addr(rng.u64_in(0, span)), rng.usize_in(1, 16))
+                    }
                     7 => rec.prefetch(sttcache_mem::Addr(rng.u64_in(0, span))),
                     8 => rec.compute(rng.u64_in(1, 8)),
                     _ => rec.branch(rng.bool()),
@@ -535,8 +532,8 @@ pub fn trace_from_events(events: &[TraceEvent]) -> Trace {
 }
 
 /// Minimizes a failing adversarial trace with [`shrink_events`] against
-/// the full differential check. Expensive (each probe replays the five
-/// organizations); meant for `sttcache-check --shrink` on a repro.
+/// the full differential check. Expensive (each probe replays every
+/// catalog organization); meant for `sttcache-check --shrink` on a repro.
 pub fn shrink_failure(failure: &CheckFailure) -> Trace {
     let trace = adversarial_trace(failure.kind, failure.seed, failure.events);
     let minimal = shrink_events(trace.events(), |evs| {
@@ -590,7 +587,7 @@ mod tests {
         let trace = adversarial_trace(Adversary::RandomMix, DEFAULT_SEED, 400);
         let report = check_trace("unit", &trace);
         assert!(report.passed(), "failures: {:#?}", report.failures);
-        assert_eq!(report.reports.len(), 5);
+        assert_eq!(report.reports.len(), sttcache::catalog::catalog().len());
         assert_eq!(report.reports[0].organization, "SRAM baseline");
     }
 

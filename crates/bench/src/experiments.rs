@@ -9,8 +9,8 @@
 use crate::parallel::{self, GridPoint, SweepRunner};
 use crate::trace_cache;
 use sttcache::{
-    average_penalty, penalty_pct, DCacheOrganization, PenaltyRow, PlatformConfig,
-    RunResult, VwbConfig,
+    average_penalty, penalty_pct, DCacheOrganization, PenaltyRow, PlatformConfig, RunResult,
+    VwbConfig,
 };
 use sttcache_mem::CacheConfig;
 use sttcache_tech::{table_one, TableOneRow};
@@ -387,11 +387,7 @@ pub fn fig6(size: ProblemSize) -> Vec<Fig6Row> {
             o = saved(|t| t.others = false);
         }
         let total = (v + p + o).max(1e-9);
-        (
-            v / total * 100.0,
-            p / total * 100.0,
-            o / total * 100.0,
-        )
+        (v / total * 100.0, p / total * 100.0, o / total * 100.0)
     });
 
     let mut rows = Vec::new();
@@ -465,10 +461,7 @@ pub fn fig8(size: ProblemSize) -> SeriesTable {
             DCacheOrganization::nvm_emshr_default(),
             Transformations::all(),
         ),
-        (
-            DCacheOrganization::nvm_l0_default(),
-            Transformations::all(),
-        ),
+        (DCacheOrganization::nvm_l0_default(), Transformations::all()),
     ];
     let chunks = sweep_combos(&combos, size);
     let rows = PolyBench::ALL

@@ -402,11 +402,60 @@ pub fn ext_energy(size: ProblemSize) -> Vec<EnergyRow> {
     rows
 }
 
+/// Catalog sweep — the full organization catalog on one grid.
+///
+/// One column per non-reference catalog entry (drop-in, VWB, L0, EMSHR,
+/// and the beyond-paper VWB/EMSHR hybrid stack), penalty vs the catalog's
+/// SRAM reference. New catalog organizations appear here automatically —
+/// the sweep enumerates `sttcache::catalog`, it does not keep its own
+/// list.
+pub fn ext_catalog(size: ProblemSize) -> SeriesTable {
+    let entries = sttcache::catalog::catalog();
+    let (reference, rest) = entries
+        .split_first()
+        .expect("the catalog always has the SRAM reference");
+    let rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
+        let base = run_with_config(&PlatformConfig::new(reference.organization), b, size);
+        (
+            b.name().to_string(),
+            rest.iter()
+                .map(|e| {
+                    penalty_pct(
+                        base,
+                        run_with_config(&PlatformConfig::new(e.organization), b, size),
+                    )
+                })
+                .collect(),
+        )
+    });
+    SeriesTable {
+        series: rest.iter().map(|e| e.name.to_string()).collect(),
+        rows,
+    }
+    .append_average()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const SIZE: ProblemSize = ProblemSize::Mini;
+
+    #[test]
+    fn catalog_sweep_covers_every_non_reference_organization() {
+        let t = ext_catalog(SIZE);
+        assert_eq!(t.series.len(), sttcache::catalog::catalog().len() - 1);
+        // The hybrid column exists and must not lose to plain drop-in.
+        let hybrid = t
+            .series
+            .iter()
+            .position(|s| s.contains("hybrid"))
+            .expect("hybrid in catalog sweep");
+        assert!(t.average(hybrid) <= t.average(0) + 0.2);
+        // The VWB recovers most of the drop-in penalty here too.
+        let vwb = t.series.iter().position(|s| s == "NVM + VWB").unwrap();
+        assert!(t.average(vwb) < t.average(0));
+    }
 
     #[test]
     fn nvm_il1_hurts_more_than_nvm_dl1_on_fetch_bound_kernels() {

@@ -197,6 +197,18 @@ pub fn print_extensions(size: ProblemSize) {
     println!();
 }
 
+/// Prints the organization-catalog sweep (every catalog entry, penalty
+/// vs the catalog's SRAM reference). Deliberately *not* in
+/// [`artifacts`]: the committed `figures all` output predates the
+/// catalog and stays byte-identical; `figures catalog` is the opt-in
+/// view that grows a column whenever the catalog grows an entry.
+pub fn print_catalog(size: ProblemSize) {
+    print_series_table(
+        "Catalog: every L1 D-cache organization vs the SRAM reference",
+        &extensions::ext_catalog(size),
+    );
+}
+
 /// Prints one figure as CSV (for the table-shaped artifacts; the
 /// decomposition figures encode their columns explicitly).
 pub fn print_csv(which: &str, size: ProblemSize) -> bool {

@@ -114,9 +114,7 @@ impl SweepRunner {
 
     /// A runner with exactly `n` workers (clamped to at least one).
     pub fn with_workers(n: usize) -> Self {
-        SweepRunner {
-            workers: n.max(1),
-        }
+        SweepRunner { workers: n.max(1) }
     }
 
     /// Worker count from the environment: `STTCACHE_THREADS` if set to a
@@ -317,6 +315,9 @@ mod tests {
         assert_eq!(points.len(), 2 * PolyBench::ALL.len());
         assert_eq!(points[0].org, DCacheOrganization::SramBaseline);
         assert_eq!(points[0].bench, PolyBench::ALL[0]);
-        assert_eq!(points[PolyBench::ALL.len()].org, DCacheOrganization::NvmDropIn);
+        assert_eq!(
+            points[PolyBench::ALL.len()].org,
+            DCacheOrganization::NvmDropIn
+        );
     }
 }

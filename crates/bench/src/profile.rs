@@ -159,7 +159,10 @@ impl ProfileReport {
     pub fn render_json(&self) -> String {
         let p = &self.phases;
         let mut out = String::from("{\n");
-        out.push_str(&format!("  \"total_seconds\": {:.6},\n", self.total_seconds));
+        out.push_str(&format!(
+            "  \"total_seconds\": {:.6},\n",
+            self.total_seconds
+        ));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
         out.push_str(&format!(
             "  \"trace_cache_enabled\": {},\n",
@@ -242,7 +245,13 @@ mod tests {
     #[test]
     fn text_report_names_every_phase_and_figure() {
         let text = sample().render_text();
-        for needle in ["record 0.200s", "replay 0.900s", "direct 0.000s", "table1", "fig1"] {
+        for needle in [
+            "record 0.200s",
+            "replay 0.900s",
+            "direct 0.000s",
+            "table1",
+            "fig1",
+        ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
     }

@@ -475,7 +475,10 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.evictions), (2, 1, 0));
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.resident_bytes(), 8 * std::mem::size_of::<TraceEvent>());
+        assert_eq!(
+            cache.resident_bytes(),
+            8 * std::mem::size_of::<TraceEvent>()
+        );
     }
 
     #[test]

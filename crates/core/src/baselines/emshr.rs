@@ -13,9 +13,9 @@
 //! full STT-MRAM sensing latency.
 
 use crate::buffer::FaBuffer;
+use crate::stage::{BufferStage, BufferStats, Buffered};
 use crate::SttError;
-use sttcache_cpu::DataPort;
-use sttcache_mem::{Addr, Cache, Cycle, MemoryLevel, ServedBy};
+use sttcache_mem::{AccessOutcome, Addr, Cache, Cycle, MemoryLevel, ServedBy};
 
 /// EMSHR configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,24 +43,177 @@ impl EmshrConfig {
     }
 }
 
-/// EMSHR statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct EmshrStats {
-    /// Loads presented.
-    pub reads: u64,
-    /// Loads served from retained entries.
-    pub read_hits: u64,
-    /// Stores presented.
-    pub writes: u64,
-    /// Stores coalesced into retained entries.
-    pub write_coalesced: u64,
-    /// Entries allocated (DL1 misses captured).
-    pub allocations: u64,
-    /// Dirty retained entries flushed to the DL1 on replacement.
-    pub dirty_evictions: u64,
+/// The enhanced MSHR file as a composable [`BufferStage`].
+///
+/// Statistics mapping onto [`BufferStats`]: `fills` counts entries
+/// allocated (DL1 misses captured) and `write_hits` counts stores
+/// coalesced into retained entries.
+#[derive(Debug, Clone)]
+pub struct EmshrStage {
+    pub(crate) config: EmshrConfig,
+    pub(crate) buffer: FaBuffer,
+    pub(crate) stats: BufferStats,
 }
 
-/// The EMSHR front-end over an NVM DL1. Implements [`DataPort`].
+impl EmshrStage {
+    /// Creates the stage for a DL1 line of `line_bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SttError::InvalidBuffer`] when the capacity holds no DL1
+    /// line or the hit latency is zero.
+    pub fn new(config: EmshrConfig, line_bits: usize) -> Result<Self, SttError> {
+        if config.entries(line_bits) == 0 {
+            return Err(SttError::InvalidBuffer {
+                structure: "emshr",
+                reason: format!(
+                    "capacity {} bits holds no {}-bit line",
+                    config.capacity_bits, line_bits
+                ),
+            });
+        }
+        if config.hit_cycles == 0 {
+            return Err(SttError::InvalidBuffer {
+                structure: "emshr",
+                reason: "hit latency must be at least one cycle".into(),
+            });
+        }
+        Ok(EmshrStage {
+            buffer: FaBuffer::new(config.entries(line_bits)),
+            config,
+            stats: BufferStats::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EmshrConfig {
+        &self.config
+    }
+
+    /// Captures a just-missed line into the data-bearing MSHR.
+    fn capture(&mut self, below: &mut dyn MemoryLevel, addr: Addr, ready_at: Cycle, dirty: bool) {
+        let line_bytes = below.line_bytes();
+        let line = addr.line(line_bytes);
+        self.stats.fills += 1;
+        if let Some(evicted) = self.buffer.insert(line, ready_at, ready_at, dirty) {
+            if evicted.dirty {
+                self.stats.dirty_evictions += 1;
+                let base = evicted.line.base(line_bytes);
+                let _ = below.write(base, ready_at);
+            }
+        }
+    }
+}
+
+impl BufferStage for EmshrStage {
+    fn kind(&self) -> &'static str {
+        "emshr"
+    }
+
+    fn read(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
+        self.stats.reads += 1;
+        let line = addr.line(below.line_bytes());
+        if let Some(idx) = self.buffer.find(line) {
+            self.stats.read_hits += 1;
+            let ready = self.buffer.entry(idx).ready_at.max(now);
+            self.buffer.touch(idx, ready, false);
+            return AccessOutcome {
+                complete_at: ready + self.config.hit_cycles,
+                served_by: ServedBy::ThisLevel,
+            };
+        }
+        let out = below.read(addr, now);
+        if out.served_by != ServedBy::ThisLevel {
+            // A genuine DL1 miss: the MSHR held the fill, so retain it.
+            self.capture(below, addr, out.complete_at, false);
+        }
+        out
+    }
+
+    fn write(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
+        self.stats.writes += 1;
+        let line = addr.line(below.line_bytes());
+        if let Some(idx) = self.buffer.find(line) {
+            // Coalesce into the retained entry; it flushes on replacement.
+            self.stats.write_hits += 1;
+            let ready = self.buffer.entry(idx).ready_at.max(now);
+            self.buffer.touch(idx, ready, true);
+            return AccessOutcome {
+                complete_at: ready + self.config.hit_cycles,
+                served_by: ServedBy::ThisLevel,
+            };
+        }
+        let out = below.write(addr, now);
+        if out.served_by != ServedBy::ThisLevel {
+            // A write miss allocated in the DL1; retain it dirty-clean (the
+            // DL1 already holds the written data, so the entry is clean).
+            self.capture(below, addr, out.complete_at, false);
+        }
+        out
+    }
+
+    fn contains(&self, addr: Addr, line_bytes: usize) -> bool {
+        self.buffer.find(addr.line(line_bytes)).is_some()
+    }
+
+    fn flush_dirty(&mut self, below: &mut dyn MemoryLevel, now: Cycle) -> (usize, Cycle) {
+        let line_bytes = below.line_bytes();
+        let dirty: Vec<sttcache_mem::LineAddr> = self
+            .buffer
+            .iter()
+            .filter(|e| e.dirty)
+            .map(|e| e.line)
+            .collect();
+        let mut done = now;
+        for line in &dirty {
+            done = below.write(line.base(line_bytes), done).complete_at;
+            self.buffer.clean(*line);
+        }
+        (dirty.len(), done)
+    }
+
+    fn dirty_entries(&self) -> usize {
+        self.buffer.iter().filter(|e| e.dirty).count()
+    }
+
+    fn resident_lines(&self, line_bytes: usize) -> Vec<Addr> {
+        self.buffer
+            .iter()
+            .map(|e| e.line.base(line_bytes))
+            .collect()
+    }
+
+    fn check_invariants(&self, now: Cycle) {
+        if self.buffer.len() > self.buffer.capacity() {
+            sttcache_mem::invariants::report(
+                "emshr",
+                now,
+                None,
+                format!(
+                    "{} entries exceed capacity {}",
+                    self.buffer.len(),
+                    self.buffer.capacity()
+                ),
+            );
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    fn boxed_clone(&self) -> Box<dyn BufferStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// The EMSHR front-end over an NVM DL1: an [`EmshrStage`] composed with a
+/// [`Cache`] via [`Buffered`]. Implements
+/// [`DataPort`](sttcache_cpu::DataPort).
 ///
 /// # Example
 ///
@@ -79,13 +232,7 @@ pub struct EmshrStats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
-pub struct EmshrFrontEnd<N> {
-    config: EmshrConfig,
-    buffer: FaBuffer,
-    dl1: Cache<N>,
-    stats: EmshrStats,
-}
+pub type EmshrFrontEnd<N> = Buffered<EmshrStage, Cache<N>>;
 
 impl<N: MemoryLevel> EmshrFrontEnd<N> {
     /// Creates an EMSHR front-end over `dl1`.
@@ -96,142 +243,27 @@ impl<N: MemoryLevel> EmshrFrontEnd<N> {
     /// line or the hit latency is zero.
     pub fn new(config: EmshrConfig, dl1: Cache<N>) -> Result<Self, SttError> {
         let line_bits = dl1.config().line_bytes() * 8;
-        if config.entries(line_bits) == 0 {
-            return Err(SttError::InvalidBuffer {
-                structure: "emshr",
-                reason: format!(
-                    "capacity {} bits holds no {}-bit line",
-                    config.capacity_bits, line_bits
-                ),
-            });
-        }
-        if config.hit_cycles == 0 {
-            return Err(SttError::InvalidBuffer {
-                structure: "emshr",
-                reason: "hit latency must be at least one cycle".into(),
-            });
-        }
-        Ok(EmshrFrontEnd {
-            buffer: FaBuffer::new(config.entries(line_bits)),
-            config,
-            dl1,
-            stats: EmshrStats::default(),
-        })
+        Ok(Buffered::compose(EmshrStage::new(config, line_bits)?, dl1))
     }
 
     /// The configuration.
     pub fn config(&self) -> &EmshrConfig {
-        &self.config
+        &self.stage().config
     }
 
     /// Statistics.
-    pub fn stats(&self) -> &EmshrStats {
-        &self.stats
+    pub fn stats(&self) -> &BufferStats {
+        &self.stage().stats
     }
 
     /// The DL1 behind the front-end.
     pub fn dl1(&self) -> &Cache<N> {
-        &self.dl1
+        self.below()
     }
 
     /// Mutable access to the DL1.
     pub fn dl1_mut(&mut self) -> &mut Cache<N> {
-        &mut self.dl1
-    }
-
-    /// Resets the EMSHR's and the hierarchy's statistics (contents kept).
-    pub fn reset_stats(&mut self) {
-        self.stats = EmshrStats::default();
-        self.dl1.reset_stats();
-    }
-
-    /// Whether a retained entry holds the line containing `addr`.
-    pub fn contains(&self, addr: Addr) -> bool {
-        self.buffer
-            .find(addr.line(self.dl1.config().line_bytes()))
-            .is_some()
-    }
-
-    /// Flushes every coalesced-dirty retained entry back into the DL1.
-    /// Entries stay resident and become clean. Returns the number of
-    /// lines written and the completion cycle.
-    pub fn flush_dirty(&mut self, now: Cycle) -> (usize, Cycle) {
-        let line_bytes = self.dl1.config().line_bytes();
-        let dirty: Vec<sttcache_mem::LineAddr> = self
-            .buffer
-            .iter()
-            .filter(|e| e.dirty)
-            .map(|e| e.line)
-            .collect();
-        let mut done = now;
-        for line in &dirty {
-            done = self.dl1.write(line.base(line_bytes), done).complete_at;
-            self.buffer.clean(*line);
-        }
-        (dirty.len(), done)
-    }
-
-    /// Number of dirty retained entries (drain verification).
-    pub fn dirty_entries(&self) -> usize {
-        self.buffer.iter().filter(|e| e.dirty).count()
-    }
-
-    /// Base addresses of the lines currently retained.
-    pub fn resident_lines(&self) -> Vec<Addr> {
-        let line_bytes = self.dl1.config().line_bytes();
-        self.buffer.iter().map(|e| e.line.base(line_bytes)).collect()
-    }
-
-    /// Captures a just-missed line into the data-bearing MSHR.
-    fn capture(&mut self, addr: Addr, ready_at: Cycle, dirty: bool) {
-        let line_bytes = self.dl1.config().line_bytes();
-        let line = addr.line(line_bytes);
-        self.stats.allocations += 1;
-        if let Some(evicted) = self.buffer.insert(line, ready_at, ready_at, dirty) {
-            if evicted.dirty {
-                self.stats.dirty_evictions += 1;
-                let base = evicted.line.base(line_bytes);
-                let _ = self.dl1.write(base, ready_at);
-            }
-        }
-    }
-}
-
-impl<N: MemoryLevel> DataPort for EmshrFrontEnd<N> {
-    fn read(&mut self, addr: Addr, now: Cycle) -> Cycle {
-        self.stats.reads += 1;
-        let line = addr.line(self.dl1.config().line_bytes());
-        if let Some(idx) = self.buffer.find(line) {
-            self.stats.read_hits += 1;
-            let ready = self.buffer.entry(idx).ready_at.max(now);
-            self.buffer.touch(idx, ready, false);
-            return ready + self.config.hit_cycles;
-        }
-        let out = self.dl1.read(addr, now);
-        if out.served_by != ServedBy::ThisLevel {
-            // A genuine DL1 miss: the MSHR held the fill, so retain it.
-            self.capture(addr, out.complete_at, false);
-        }
-        out.complete_at
-    }
-
-    fn write(&mut self, addr: Addr, now: Cycle) -> Cycle {
-        self.stats.writes += 1;
-        let line = addr.line(self.dl1.config().line_bytes());
-        if let Some(idx) = self.buffer.find(line) {
-            // Coalesce into the retained entry; it flushes on replacement.
-            self.stats.write_coalesced += 1;
-            let ready = self.buffer.entry(idx).ready_at.max(now);
-            self.buffer.touch(idx, ready, true);
-            return ready + self.config.hit_cycles;
-        }
-        let out = self.dl1.write(addr, now);
-        if out.served_by != ServedBy::ThisLevel {
-            // A write miss allocated in the DL1; retain it dirty-clean (the
-            // DL1 already holds the written data, so the entry is clean).
-            self.capture(addr, out.complete_at, false);
-        }
-        out.complete_at
+        self.below_mut()
     }
 }
 
@@ -239,6 +271,7 @@ impl<N: MemoryLevel> DataPort for EmshrFrontEnd<N> {
 mod tests {
     use super::*;
     use crate::nvm_dl1_config;
+    use sttcache_cpu::DataPort;
     use sttcache_mem::MainMemory;
 
     fn emshr() -> EmshrFrontEnd<MainMemory> {
@@ -251,7 +284,7 @@ mod tests {
         let mut fe = emshr();
         let t = fe.read(Addr(0), 0);
         assert!(fe.contains(Addr(0)));
-        assert_eq!(fe.stats().allocations, 1);
+        assert_eq!(fe.stats().fills, 1);
         // Warm DL1 (lines 0..8), pushing line 0 out of the 4-entry EMSHR.
         let mut t2 = t + 10;
         for i in 1..8u64 {
@@ -260,10 +293,10 @@ mod tests {
         assert!(!fe.contains(Addr(0)));
         // Re-reading line 0 is now a DL1 *hit*: the EMSHR does NOT capture
         // it and the access pays the full NVM read.
-        let before = fe.stats().allocations;
+        let before = fe.stats().fills;
         let t3 = fe.read(Addr(0), t2);
         assert_eq!(t3, t2 + 4);
-        assert_eq!(fe.stats().allocations, before);
+        assert_eq!(fe.stats().fills, before);
         assert!(!fe.contains(Addr(0)));
     }
 
@@ -283,7 +316,7 @@ mod tests {
         let dl1_writes = fe.dl1().stats().writes;
         let t2 = fe.write(Addr(8), t);
         assert_eq!(t2, t + 1);
-        assert_eq!(fe.stats().write_coalesced, 1);
+        assert_eq!(fe.stats().write_hits, 1);
         assert_eq!(fe.dl1().stats().writes, dl1_writes);
     }
 

@@ -11,9 +11,9 @@
 //! read on store misses.
 
 use crate::buffer::FaBuffer;
+use crate::stage::{BufferStage, BufferStats, Buffered};
 use crate::SttError;
-use sttcache_cpu::DataPort;
-use sttcache_mem::{Addr, Cache, Cycle, MemoryLevel};
+use sttcache_mem::{AccessOutcome, Addr, Cache, Cycle, MemoryLevel, ServedBy};
 
 /// L0-cache configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,24 +44,179 @@ impl L0Config {
     }
 }
 
-/// L0 statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct L0Stats {
-    /// Loads presented.
-    pub reads: u64,
-    /// Loads served by the L0.
-    pub read_hits: u64,
-    /// Stores presented.
-    pub writes: u64,
-    /// Stores absorbed by the L0.
-    pub write_hits: u64,
-    /// Lines filled from the DL1.
-    pub fills: u64,
-    /// Dirty evictions written back to the DL1.
-    pub dirty_evictions: u64,
+/// The L0 cache as a composable [`BufferStage`].
+#[derive(Debug, Clone)]
+pub struct L0Stage {
+    pub(crate) config: L0Config,
+    pub(crate) buffer: FaBuffer,
+    pub(crate) stats: BufferStats,
 }
 
-/// The L0 front-end over an NVM DL1. Implements [`DataPort`].
+impl L0Stage {
+    /// Creates the stage for a DL1 line of `line_bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SttError::InvalidBuffer`] when the capacity holds no DL1
+    /// line or the hit latency is zero.
+    pub fn new(config: L0Config, line_bits: usize) -> Result<Self, SttError> {
+        if config.entries(line_bits) == 0 {
+            return Err(SttError::InvalidBuffer {
+                structure: "l0",
+                reason: format!(
+                    "capacity {} bits holds no {}-bit line",
+                    config.capacity_bits, line_bits
+                ),
+            });
+        }
+        if config.hit_cycles == 0 {
+            return Err(SttError::InvalidBuffer {
+                structure: "l0",
+                reason: "hit latency must be at least one cycle".into(),
+            });
+        }
+        Ok(L0Stage {
+            buffer: FaBuffer::new(config.entries(line_bits)),
+            config,
+            stats: BufferStats::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &L0Config {
+        &self.config
+    }
+
+    /// Fetches a line from the backing level and installs it: the
+    /// requester gets the critical word when the read completes; the
+    /// entry is usable once the narrow-interface fill finishes.
+    fn fill(
+        &mut self,
+        below: &mut dyn MemoryLevel,
+        addr: Addr,
+        now: Cycle,
+        dirty: bool,
+    ) -> AccessOutcome {
+        let line_bytes = below.line_bytes();
+        let line = addr.line(line_bytes);
+        let out = below.read(addr, now);
+        self.stats.fills += 1;
+        let ready = out.complete_at + self.config.fill_cycles;
+        // The narrow fill holds the bank just like the read did.
+        below.occupy_bank(addr, out.complete_at, self.config.fill_cycles);
+        if let Some(evicted) = self.buffer.insert(line, ready, ready, dirty) {
+            if evicted.dirty {
+                self.stats.dirty_evictions += 1;
+                let base = evicted.line.base(line_bytes);
+                let _ = below.write(base, out.complete_at);
+            }
+        }
+        out
+    }
+}
+
+impl BufferStage for L0Stage {
+    fn kind(&self) -> &'static str {
+        "l0"
+    }
+
+    fn read(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
+        self.stats.reads += 1;
+        let line = addr.line(below.line_bytes());
+        if let Some(idx) = self.buffer.find(line) {
+            self.stats.read_hits += 1;
+            let ready = self.buffer.entry(idx).ready_at.max(now);
+            self.buffer.touch(idx, ready, false);
+            return AccessOutcome {
+                complete_at: ready + self.config.hit_cycles,
+                served_by: ServedBy::ThisLevel,
+            };
+        }
+        self.fill(below, addr, now, false)
+    }
+
+    fn write(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
+        self.stats.writes += 1;
+        let line = addr.line(below.line_bytes());
+        if let Some(idx) = self.buffer.find(line) {
+            self.stats.write_hits += 1;
+            let ready = self.buffer.entry(idx).ready_at.max(now);
+            self.buffer.touch(idx, ready, true);
+            return AccessOutcome {
+                complete_at: ready + self.config.hit_cycles,
+                served_by: ServedBy::ThisLevel,
+            };
+        }
+        // Write-allocate into the L0: fetch the line, then write it.
+        let out = self.fill(below, addr, now, true);
+        AccessOutcome {
+            complete_at: out.complete_at + self.config.hit_cycles,
+            served_by: out.served_by,
+        }
+    }
+
+    fn contains(&self, addr: Addr, line_bytes: usize) -> bool {
+        self.buffer.find(addr.line(line_bytes)).is_some()
+    }
+
+    fn flush_dirty(&mut self, below: &mut dyn MemoryLevel, now: Cycle) -> (usize, Cycle) {
+        let line_bytes = below.line_bytes();
+        let dirty: Vec<sttcache_mem::LineAddr> = self
+            .buffer
+            .iter()
+            .filter(|e| e.dirty)
+            .map(|e| e.line)
+            .collect();
+        let mut done = now;
+        for line in &dirty {
+            done = below.write(line.base(line_bytes), done).complete_at;
+            self.buffer.clean(*line);
+        }
+        (dirty.len(), done)
+    }
+
+    fn dirty_entries(&self) -> usize {
+        self.buffer.iter().filter(|e| e.dirty).count()
+    }
+
+    fn resident_lines(&self, line_bytes: usize) -> Vec<Addr> {
+        self.buffer
+            .iter()
+            .map(|e| e.line.base(line_bytes))
+            .collect()
+    }
+
+    fn check_invariants(&self, now: Cycle) {
+        if self.buffer.len() > self.buffer.capacity() {
+            sttcache_mem::invariants::report(
+                "l0",
+                now,
+                None,
+                format!(
+                    "{} entries exceed capacity {}",
+                    self.buffer.len(),
+                    self.buffer.capacity()
+                ),
+            );
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    fn boxed_clone(&self) -> Box<dyn BufferStage> {
+        Box::new(self.clone())
+    }
+}
+
+/// The L0 front-end over an NVM DL1: an [`L0Stage`] composed with a
+/// [`Cache`] via [`Buffered`]. Implements
+/// [`DataPort`](sttcache_cpu::DataPort).
 ///
 /// # Example
 ///
@@ -81,13 +236,7 @@ pub struct L0Stats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
-pub struct L0FrontEnd<N> {
-    config: L0Config,
-    buffer: FaBuffer,
-    dl1: Cache<N>,
-    stats: L0Stats,
-}
+pub type L0FrontEnd<N> = Buffered<L0Stage, Cache<N>>;
 
 impl<N: MemoryLevel> L0FrontEnd<N> {
     /// Creates an L0 in front of `dl1`.
@@ -98,141 +247,27 @@ impl<N: MemoryLevel> L0FrontEnd<N> {
     /// line or the hit latency is zero.
     pub fn new(config: L0Config, dl1: Cache<N>) -> Result<Self, SttError> {
         let line_bits = dl1.config().line_bytes() * 8;
-        if config.entries(line_bits) == 0 {
-            return Err(SttError::InvalidBuffer {
-                structure: "l0",
-                reason: format!(
-                    "capacity {} bits holds no {}-bit line",
-                    config.capacity_bits, line_bits
-                ),
-            });
-        }
-        if config.hit_cycles == 0 {
-            return Err(SttError::InvalidBuffer {
-                structure: "l0",
-                reason: "hit latency must be at least one cycle".into(),
-            });
-        }
-        Ok(L0FrontEnd {
-            buffer: FaBuffer::new(config.entries(line_bits)),
-            config,
-            dl1,
-            stats: L0Stats::default(),
-        })
+        Ok(Buffered::compose(L0Stage::new(config, line_bits)?, dl1))
     }
 
     /// The configuration.
     pub fn config(&self) -> &L0Config {
-        &self.config
+        &self.stage().config
     }
 
     /// Statistics.
-    pub fn stats(&self) -> &L0Stats {
-        &self.stats
+    pub fn stats(&self) -> &BufferStats {
+        &self.stage().stats
     }
 
     /// The DL1 behind the L0.
     pub fn dl1(&self) -> &Cache<N> {
-        &self.dl1
+        self.below()
     }
 
     /// Mutable access to the DL1.
     pub fn dl1_mut(&mut self) -> &mut Cache<N> {
-        &mut self.dl1
-    }
-
-    /// Resets the L0's and the hierarchy's statistics (contents kept).
-    pub fn reset_stats(&mut self) {
-        self.stats = L0Stats::default();
-        self.dl1.reset_stats();
-    }
-
-    /// Whether the L0 holds the line containing `addr`.
-    pub fn contains(&self, addr: Addr) -> bool {
-        self.buffer
-            .find(addr.line(self.dl1.config().line_bytes()))
-            .is_some()
-    }
-
-    /// Writes every dirty L0 entry back into the DL1 (the L0 is volatile,
-    /// so power-gating must drain it). Entries stay resident and become
-    /// clean. Returns the number of lines written and the completion
-    /// cycle.
-    pub fn flush_dirty(&mut self, now: Cycle) -> (usize, Cycle) {
-        let line_bytes = self.dl1.config().line_bytes();
-        let dirty: Vec<sttcache_mem::LineAddr> = self
-            .buffer
-            .iter()
-            .filter(|e| e.dirty)
-            .map(|e| e.line)
-            .collect();
-        let mut done = now;
-        for line in &dirty {
-            done = self.dl1.write(line.base(line_bytes), done).complete_at;
-            self.buffer.clean(*line);
-        }
-        (dirty.len(), done)
-    }
-
-    /// Number of dirty entries currently held (drain verification).
-    pub fn dirty_entries(&self) -> usize {
-        self.buffer.iter().filter(|e| e.dirty).count()
-    }
-
-    /// Base addresses of the lines currently resident in the L0.
-    pub fn resident_lines(&self) -> Vec<Addr> {
-        let line_bytes = self.dl1.config().line_bytes();
-        self.buffer.iter().map(|e| e.line.base(line_bytes)).collect()
-    }
-
-    /// Fetches a line from the DL1 and installs it: the requester gets the
-    /// critical word when the DL1 read completes; the entry is usable once
-    /// the narrow-interface fill finishes.
-    fn fill(&mut self, addr: Addr, now: Cycle, dirty: bool) -> Cycle {
-        let line_bytes = self.dl1.config().line_bytes();
-        let line = addr.line(line_bytes);
-        let out = self.dl1.read(addr, now);
-        self.stats.fills += 1;
-        let ready = out.complete_at + self.config.fill_cycles;
-        // The narrow fill holds the bank just like the read did.
-        self.dl1
-            .occupy_bank(addr, out.complete_at, self.config.fill_cycles);
-        if let Some(evicted) = self.buffer.insert(line, ready, ready, dirty) {
-            if evicted.dirty {
-                self.stats.dirty_evictions += 1;
-                let base = evicted.line.base(line_bytes);
-                let _ = self.dl1.write(base, out.complete_at);
-            }
-        }
-        out.complete_at
-    }
-}
-
-impl<N: MemoryLevel> DataPort for L0FrontEnd<N> {
-    fn read(&mut self, addr: Addr, now: Cycle) -> Cycle {
-        self.stats.reads += 1;
-        let line = addr.line(self.dl1.config().line_bytes());
-        if let Some(idx) = self.buffer.find(line) {
-            self.stats.read_hits += 1;
-            let ready = self.buffer.entry(idx).ready_at.max(now);
-            self.buffer.touch(idx, ready, false);
-            return ready + self.config.hit_cycles;
-        }
-        self.fill(addr, now, false)
-    }
-
-    fn write(&mut self, addr: Addr, now: Cycle) -> Cycle {
-        self.stats.writes += 1;
-        let line = addr.line(self.dl1.config().line_bytes());
-        if let Some(idx) = self.buffer.find(line) {
-            self.stats.write_hits += 1;
-            let ready = self.buffer.entry(idx).ready_at.max(now);
-            self.buffer.touch(idx, ready, true);
-            return ready + self.config.hit_cycles;
-        }
-        // Write-allocate into the L0: fetch the line, then write it.
-        let word_at = self.fill(addr, now, true);
-        word_at + self.config.hit_cycles
+        self.below_mut()
     }
 }
 
@@ -240,6 +275,7 @@ impl<N: MemoryLevel> DataPort for L0FrontEnd<N> {
 mod tests {
     use super::*;
     use crate::nvm_dl1_config;
+    use sttcache_cpu::DataPort;
     use sttcache_mem::MainMemory;
 
     fn l0() -> L0FrontEnd<MainMemory> {
@@ -296,7 +332,7 @@ mod tests {
     fn capacity_matches_vwb_comparison() {
         let fe = l0();
         // 2 Kbit of 512-bit lines = 4 entries, same as the default VWB.
-        assert_eq!(fe.buffer.capacity(), 4);
+        assert_eq!(fe.stage().buffer.capacity(), 4);
     }
 
     #[test]

@@ -1,88 +1,85 @@
 //! The unified data-port front-end.
 
-use crate::baselines::{EmshrFrontEnd, EmshrStats, L0FrontEnd, L0Stats};
-use crate::vwb::{VwbFrontEnd, VwbStats};
+use crate::stage::{probe_then_fetch, BufferStage, Buffered, StageStats};
 use crate::Hierarchy;
 use sttcache_cpu::{DataPort, MemPort};
-use sttcache_mem::{Addr, Cache, CacheStats, Cycle, MainMemory, MemoryLevel};
+use sttcache_mem::{Addr, CacheStats, Cycle, MemoryLevel};
 
-/// The L2-over-memory tail of the hierarchy that every front-end's DL1
-/// sits on.
-pub(crate) type Tail = Cache<MainMemory>;
-
-/// One of the four evaluated L1 D-cache organizations, unified behind a
-/// single [`DataPort`] so the [`crate::Platform`] can hold any of them in
-/// one core type.
+/// An evaluated L1 D-cache organization, unified behind a single
+/// [`DataPort`] so the [`crate::Platform`] can hold any of them in one
+/// core type.
 ///
 /// * `Plain` — the core talks straight to the DL1 (the SRAM baseline and
 ///   the drop-in NVM configuration of Fig. 1);
-/// * `Vwb` — the paper's proposal (Figs. 3–7, 9);
-/// * `L0` / `Emshr` — the Fig. 8 comparison baselines.
+/// * `Buffered` — any [`BufferStage`] composition in front of the DL1:
+///   the paper's VWB proposal (Figs. 3–7, 9), the Fig. 8 L0/EMSHR
+///   comparison baselines, and catalog-only stage stacks. New
+///   organizations are a stage composition, not a new variant here.
 #[derive(Debug, Clone)]
-#[allow(clippy::large_enum_variant)]
 pub enum FrontEnd {
     /// Direct DL1 access.
     Plain(MemPort<Hierarchy>),
-    /// The Very Wide Buffer organization.
-    Vwb(VwbFrontEnd<Tail>),
-    /// The L0-cache baseline.
-    L0(L0FrontEnd<Tail>),
-    /// The enhanced-MSHR baseline.
-    Emshr(EmshrFrontEnd<Tail>),
+    /// A buffer-stage composition in front of the DL1.
+    Buffered(Buffered<Box<dyn BufferStage>, Hierarchy>),
 }
 
 impl FrontEnd {
+    /// Wraps a ready-built stage composition around `dl1`.
+    pub fn buffered(stage: Box<dyn BufferStage>, dl1: Hierarchy) -> Self {
+        FrontEnd::Buffered(Buffered::compose(stage, dl1))
+    }
+
+    /// The DL1 behind whatever buffer structure this front-end has.
+    fn dl1(&self) -> &Hierarchy {
+        match self {
+            FrontEnd::Plain(p) => p.level(),
+            FrontEnd::Buffered(b) => b.below(),
+        }
+    }
+
+    /// Mutable access to the DL1.
+    fn dl1_mut(&mut self) -> &mut Hierarchy {
+        match self {
+            FrontEnd::Plain(p) => p.level_mut(),
+            FrontEnd::Buffered(b) => b.below_mut(),
+        }
+    }
+
+    /// Statistics of the hierarchy level `depth` below the front buffer
+    /// (0 = DL1, 1 = L2, 2 = main memory).
+    fn level_stats(&self, depth: usize) -> &CacheStats {
+        self.dl1()
+            .levels()
+            .nth(depth)
+            .expect("the hierarchy is dl1 -> l2 -> memory")
+            .stats()
+    }
+
     /// The DL1 statistics.
     pub fn dl1_stats(&self) -> &CacheStats {
-        match self {
-            FrontEnd::Plain(p) => p.level().stats(),
-            FrontEnd::Vwb(v) => v.dl1().stats(),
-            FrontEnd::L0(l) => l.dl1().stats(),
-            FrontEnd::Emshr(e) => e.dl1().stats(),
-        }
+        self.level_stats(0)
     }
 
     /// The L2 statistics.
     pub fn l2_stats(&self) -> &CacheStats {
-        match self {
-            FrontEnd::Plain(p) => p.level().next_level().stats(),
-            FrontEnd::Vwb(v) => v.dl1().next_level().stats(),
-            FrontEnd::L0(l) => l.dl1().next_level().stats(),
-            FrontEnd::Emshr(e) => e.dl1().next_level().stats(),
-        }
+        self.level_stats(1)
     }
 
     /// The main-memory statistics.
     pub fn memory_stats(&self) -> &CacheStats {
-        match self {
-            FrontEnd::Plain(p) => p.level().next_level().next_level().stats(),
-            FrontEnd::Vwb(v) => v.dl1().next_level().next_level().stats(),
-            FrontEnd::L0(l) => l.dl1().next_level().next_level().stats(),
-            FrontEnd::Emshr(e) => e.dl1().next_level().next_level().stats(),
-        }
+        self.level_stats(2)
     }
 
-    /// VWB statistics, when this front-end is the VWB organization.
-    pub fn vwb_stats(&self) -> Option<&VwbStats> {
+    /// Labelled statistics of every buffer stage in the front-end,
+    /// outermost first (empty for `Plain`).
+    pub fn stage_stats(&self) -> Vec<StageStats> {
         match self {
-            FrontEnd::Vwb(v) => Some(v.stats()),
-            _ => None,
-        }
-    }
-
-    /// L0 statistics, when this front-end is the L0 baseline.
-    pub fn l0_stats(&self) -> Option<&L0Stats> {
-        match self {
-            FrontEnd::L0(l) => Some(l.stats()),
-            _ => None,
-        }
-    }
-
-    /// EMSHR statistics, when this front-end is the EMSHR baseline.
-    pub fn emshr_stats(&self) -> Option<&EmshrStats> {
-        match self {
-            FrontEnd::Emshr(e) => Some(e.stats()),
-            _ => None,
+            FrontEnd::Plain(_) => Vec::new(),
+            FrontEnd::Buffered(b) => {
+                let mut out = Vec::new();
+                b.stage().collect_stats(&mut out);
+                out
+            }
         }
     }
 
@@ -91,44 +88,24 @@ impl FrontEnd {
     pub fn reset_stats(&mut self) {
         match self {
             FrontEnd::Plain(p) => p.level_mut().reset_stats(),
-            FrontEnd::Vwb(v) => v.reset_stats(),
-            FrontEnd::L0(l) => l.reset_stats(),
-            FrontEnd::Emshr(e) => e.reset_stats(),
-        }
-    }
-
-    /// The DL1 behind whatever buffer structure this front-end has.
-    fn dl1(&self) -> &Hierarchy {
-        match self {
-            FrontEnd::Plain(p) => p.level(),
-            FrontEnd::Vwb(v) => v.dl1(),
-            FrontEnd::L0(l) => l.dl1(),
-            FrontEnd::Emshr(e) => e.dl1(),
+            FrontEnd::Buffered(b) => b.reset_stats(),
         }
     }
 
     /// Drains every dirty line in the whole organization to backing
-    /// memory: first the front buffer (VWB/L0/EMSHR) into the DL1, then
-    /// the DL1 into the L2, then the L2 into memory. Lines stay resident
-    /// and become clean. Returns the total lines written back and the
-    /// cycle at which the last write-back was accepted.
+    /// memory: first the front buffer stages into the DL1, then the DL1
+    /// into the L2, then the L2 into memory. Lines stay resident and
+    /// become clean. Returns the total lines written back and the cycle
+    /// at which the last write-back was accepted.
     pub fn flush_dirty(&mut self, now: Cycle) -> (usize, Cycle) {
-        let (front, mut done) = match self {
+        let (front, done) = match self {
             FrontEnd::Plain(_) => (0, now),
-            FrontEnd::Vwb(v) => v.flush_dirty(now),
-            FrontEnd::L0(l) => l.flush_dirty(now),
-            FrontEnd::Emshr(e) => e.flush_dirty(now),
+            FrontEnd::Buffered(b) => b.flush_dirty(now),
         };
-        let dl1 = match self {
-            FrontEnd::Plain(p) => p.level_mut(),
-            FrontEnd::Vwb(v) => v.dl1_mut(),
-            FrontEnd::L0(l) => l.dl1_mut(),
-            FrontEnd::Emshr(e) => e.dl1_mut(),
-        };
+        let dl1 = self.dl1_mut();
         let (n1, t1) = dl1.flush_dirty(done);
         let (n2, t2) = dl1.next_level_mut().flush_dirty(t1);
-        done = t2;
-        (front + n1 + n2, done)
+        (front + n1 + n2, t2)
     }
 
     /// Dirty state still held anywhere in the organization (front buffer
@@ -137,9 +114,7 @@ impl FrontEnd {
     pub fn dirty_line_count(&self) -> usize {
         let front = match self {
             FrontEnd::Plain(_) => 0,
-            FrontEnd::Vwb(v) => v.dirty_entries(),
-            FrontEnd::L0(l) => l.dirty_entries(),
-            FrontEnd::Emshr(e) => e.dirty_entries(),
+            FrontEnd::Buffered(b) => b.dirty_entries(),
         };
         front + self.dl1().dirty_lines() + self.dl1().next_level().dirty_lines()
     }
@@ -150,17 +125,8 @@ impl FrontEnd {
     pub fn resident_lines(&self) -> Vec<(Addr, usize)> {
         let mut lines: Vec<(Addr, usize)> = Vec::new();
         let dl1_bytes = self.dl1().config().line_bytes();
-        match self {
-            FrontEnd::Plain(_) => {}
-            FrontEnd::Vwb(v) => {
-                lines.extend(v.resident_lines().into_iter().map(|a| (a, dl1_bytes)));
-            }
-            FrontEnd::L0(l) => {
-                lines.extend(l.resident_lines().into_iter().map(|a| (a, dl1_bytes)));
-            }
-            FrontEnd::Emshr(e) => {
-                lines.extend(e.resident_lines().into_iter().map(|a| (a, dl1_bytes)));
-            }
+        if let FrontEnd::Buffered(b) = self {
+            lines.extend(b.resident_lines().into_iter().map(|a| (a, dl1_bytes)));
         }
         lines.extend(
             self.dl1()
@@ -179,14 +145,12 @@ impl FrontEnd {
     /// dirty line may remain at any level once the organization has been
     /// drained with [`flush_dirty`](Self::flush_dirty).
     pub fn check_drained(&self, now: Cycle) {
-        if let FrontEnd::Vwb(v) = self {
-            v.check_invariants(now);
-        }
         let front_dirty = match self {
             FrontEnd::Plain(_) => 0,
-            FrontEnd::Vwb(v) => v.dirty_entries(),
-            FrontEnd::L0(l) => l.dirty_entries(),
-            FrontEnd::Emshr(e) => e.dirty_entries(),
+            FrontEnd::Buffered(b) => {
+                b.check_invariants(now);
+                b.dirty_entries()
+            }
         };
         if front_dirty > 0 {
             sttcache_mem::invariants::report(
@@ -205,43 +169,25 @@ impl DataPort for FrontEnd {
     fn read(&mut self, addr: Addr, now: Cycle) -> Cycle {
         match self {
             FrontEnd::Plain(p) => p.read(addr, now),
-            FrontEnd::Vwb(v) => v.read(addr, now),
-            FrontEnd::L0(l) => l.read(addr, now),
-            FrontEnd::Emshr(e) => e.read(addr, now),
+            FrontEnd::Buffered(b) => b.read(addr, now),
         }
     }
 
     fn write(&mut self, addr: Addr, now: Cycle) -> Cycle {
         match self {
             FrontEnd::Plain(p) => p.write(addr, now),
-            FrontEnd::Vwb(v) => v.write(addr, now),
-            FrontEnd::L0(l) => l.write(addr, now),
-            FrontEnd::Emshr(e) => e.write(addr, now),
+            FrontEnd::Buffered(b) => b.write(addr, now),
         }
     }
 
     fn prefetch(&mut self, addr: Addr, now: Cycle) {
         // An ARM `PLD` probes the L1 tags and fetches the line on a miss,
-        // without blocking the core. Only the VWB organization additionally
-        // *promotes* already-resident lines into its buffer — the paper's
-        // VWB-targeted prefetching.
+        // without blocking the core. Stages that promote already-resident
+        // lines into their own storage (the VWB — the paper's VWB-targeted
+        // prefetching) override `BufferStage::prefetch`.
         match self {
-            FrontEnd::Plain(p) => {
-                if !p.level().contains(addr) {
-                    let _ = p.level_mut().read(addr, now);
-                }
-            }
-            FrontEnd::L0(l) => {
-                if !l.dl1().contains(addr) {
-                    let _ = l.dl1_mut().read(addr, now);
-                }
-            }
-            FrontEnd::Emshr(m) => {
-                if !m.dl1().contains(addr) {
-                    let _ = m.dl1_mut().read(addr, now);
-                }
-            }
-            FrontEnd::Vwb(v) => v.prefetch(addr, now),
+            FrontEnd::Plain(p) => probe_then_fetch(p.level_mut(), addr, now),
+            FrontEnd::Buffered(b) => b.prefetch(addr, now),
         }
     }
 }
@@ -249,16 +195,23 @@ impl DataPort for FrontEnd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stage::{StackSpec, StageSpec};
     use crate::vwb::VwbConfig;
     use crate::{l2_config, nvm_dl1_config};
-    use sttcache_mem::CacheConfig;
+    use sttcache_mem::{Cache, CacheConfig, MainMemory};
 
-    fn tail() -> Tail {
+    fn tail() -> Cache<MainMemory> {
         Cache::new(l2_config().unwrap(), MainMemory::new(100))
     }
 
     fn dl1(cfg: CacheConfig) -> Hierarchy {
         Cache::new(cfg, tail())
+    }
+
+    fn buffered(spec: StageSpec) -> FrontEnd {
+        let dl1 = dl1(nvm_dl1_config().unwrap());
+        let line_bits = dl1.config().line_bytes() * 8;
+        FrontEnd::buffered(spec.build(line_bits).unwrap(), dl1)
     }
 
     #[test]
@@ -268,21 +221,19 @@ mod tests {
         assert_eq!(fe.dl1_stats().reads, 1);
         assert_eq!(fe.l2_stats().reads, 1);
         assert_eq!(fe.memory_stats().reads, 1);
-        assert!(fe.vwb_stats().is_none());
-        assert!(fe.l0_stats().is_none());
-        assert!(fe.emshr_stats().is_none());
+        assert!(fe.stage_stats().is_empty());
     }
 
     #[test]
     fn vwb_front_end_reports_buffer_stats() {
-        let inner = Cache::new(nvm_dl1_config().unwrap(), tail());
-        let v = VwbFrontEnd::new(VwbConfig::default(), inner).unwrap();
-        let mut fe = FrontEnd::Vwb(v);
+        let mut fe = buffered(StageSpec::Vwb(VwbConfig::default()));
         let t = fe.read(Addr(0), 0);
         fe.read(Addr(8), t);
-        let stats = fe.vwb_stats().unwrap();
-        assert_eq!(stats.reads, 2);
-        assert_eq!(stats.read_hits, 1);
+        let stages = fe.stage_stats();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].kind, "vwb");
+        assert_eq!(stages[0].stats.reads, 2);
+        assert_eq!(stages[0].stats.read_hits, 1);
     }
 
     #[test]
@@ -297,10 +248,36 @@ mod tests {
 
     #[test]
     fn vwb_prefetch_promotes() {
-        let inner = Cache::new(nvm_dl1_config().unwrap(), tail());
-        let v = VwbFrontEnd::new(VwbConfig::default(), inner).unwrap();
-        let mut fe = FrontEnd::Vwb(v);
+        let mut fe = buffered(StageSpec::Vwb(VwbConfig::default()));
         fe.prefetch(Addr(0), 0);
-        assert_eq!(fe.vwb_stats().unwrap().prefetch_fills, 1);
+        assert_eq!(fe.stage_stats()[0].stats.prefetch_fills, 1);
+    }
+
+    #[test]
+    fn stacked_stages_compose_without_new_variants() {
+        let spec = StackSpec {
+            name: "test stack",
+            outer: StageSpec::Vwb(VwbConfig::default()),
+            inner: StageSpec::Emshr(crate::baselines::EmshrConfig::default()),
+        };
+        let dl1 = dl1(nvm_dl1_config().unwrap());
+        let line_bits = dl1.config().line_bytes() * 8;
+        let mut fe = FrontEnd::buffered(Box::new(spec.build(line_bits).unwrap()), dl1);
+        let t = fe.read(Addr(0), 0);
+        // The VWB promoted the line; a same-line read hits at buffer speed.
+        let t2 = fe.read(Addr(8), t);
+        assert_eq!(t2, t + 1);
+        let stages = fe.stage_stats();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].kind, "vwb");
+        assert_eq!(stages[1].kind, "emshr");
+        assert_eq!(stages[0].stats.reads, 2);
+        // The VWB's promotion read flowed *through* the EMSHR stage.
+        assert!(stages[1].stats.reads >= 1);
+        // Drain verification covers both stages.
+        fe.write(Addr(0), t2);
+        assert!(fe.dirty_line_count() > 0);
+        let (_, done) = fe.flush_dirty(t2 + 100);
+        assert_eq!(fe.dirty_line_count(), 0, "drain incomplete at {done}");
     }
 }

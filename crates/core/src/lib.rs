@@ -57,14 +57,17 @@
 
 pub mod baselines;
 mod buffer;
+pub mod catalog;
 mod dl1;
 mod error;
 mod front_end;
 mod penalty;
 mod platform;
 mod report;
+mod stage;
 mod vwb;
 
+pub use catalog::{by_cli, readme_table, OrgEntry, HYBRID_STACK};
 pub use dl1::{
     l2_config, nvm_dl1_config, nvm_il1_config, sram_dl1_config, sram_il1_config, DlOneTechnology,
 };
@@ -74,7 +77,11 @@ pub use penalty::{average_penalty, penalty_pct, PenaltyRow};
 pub use platform::{
     DCacheOrganization, EnergyReport, IcacheConfig, Platform, PlatformConfig, RunResult,
 };
-pub use vwb::{VwbConfig, VwbFrontEnd, VwbStats};
+pub use stage::{
+    probe_then_fetch, BufferStage, BufferStats, Buffered, StackSpec, StackedStage, StageSpec,
+    StageStats,
+};
+pub use vwb::{VwbConfig, VwbFrontEnd, VwbStage};
 
 /// The concrete two-level hierarchy under every front-end:
 /// DL1 → unified L2 → main memory.

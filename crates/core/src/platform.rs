@@ -7,12 +7,13 @@
 //! instruction fetch is modelled as ideal — it cancels out of every penalty
 //! ratio.
 
-use crate::baselines::{EmshrConfig, EmshrFrontEnd, EmshrStats, L0Config, L0FrontEnd, L0Stats};
+use crate::baselines::{EmshrConfig, L0Config};
 use crate::dl1::{
     l2_config, nvm_dl1_config, nvm_il1_config, sram_dl1_config, sram_il1_config, DlOneTechnology,
 };
 use crate::front_end::FrontEnd;
-use crate::vwb::{VwbConfig, VwbFrontEnd, VwbStats};
+use crate::stage::{BufferStats, StackSpec, StageSpec, StageStats};
+use crate::vwb::VwbConfig;
 use crate::SttError;
 use sttcache_cpu::{Core, CoreConfig, CoreReport, Engine, FetchUnit, MemPort, Trace};
 use sttcache_mem::{Cache, CacheConfig, CacheStats, MainMemory};
@@ -31,6 +32,10 @@ pub enum DCacheOrganization {
     NvmL0(L0Config),
     /// STT-MRAM DL1 behind an enhanced MSHR (Fig. 8 baseline).
     NvmEmshr(EmshrConfig),
+    /// STT-MRAM DL1 behind a named stack of buffer stages (catalog-only
+    /// organizations composed from existing stages; see
+    /// [`crate::catalog`]).
+    NvmStack(StackSpec),
 }
 
 impl DCacheOrganization {
@@ -49,6 +54,12 @@ impl DCacheOrganization {
         DCacheOrganization::NvmEmshr(EmshrConfig::default())
     }
 
+    /// The beyond-paper stacked hybrid (a VWB front over an
+    /// EMSHR-enhanced DL1) with its default configuration.
+    pub fn nvm_hybrid_default() -> Self {
+        DCacheOrganization::NvmStack(crate::catalog::HYBRID_STACK)
+    }
+
     /// Human-readable configuration name (used in figure output).
     pub fn name(&self) -> &'static str {
         match self {
@@ -57,6 +68,7 @@ impl DCacheOrganization {
             DCacheOrganization::NvmVwb(_) => "NVM + VWB",
             DCacheOrganization::NvmL0(_) => "NVM + L0",
             DCacheOrganization::NvmEmshr(_) => "NVM + EMSHR",
+            DCacheOrganization::NvmStack(spec) => spec.name,
         }
     }
 
@@ -181,13 +193,23 @@ impl Platform {
         };
         let tail = Cache::new(l2cfg, MainMemory::new(self.config.memory_latency));
         let dl1 = Cache::new(self.dl1_config()?, tail);
+        let line_bits = dl1.config().line_bytes() * 8;
         Ok(match self.config.organization {
             DCacheOrganization::SramBaseline | DCacheOrganization::NvmDropIn => {
                 FrontEnd::Plain(MemPort::new(dl1))
             }
-            DCacheOrganization::NvmVwb(cfg) => FrontEnd::Vwb(VwbFrontEnd::new(cfg, dl1)?),
-            DCacheOrganization::NvmL0(cfg) => FrontEnd::L0(L0FrontEnd::new(cfg, dl1)?),
-            DCacheOrganization::NvmEmshr(cfg) => FrontEnd::Emshr(EmshrFrontEnd::new(cfg, dl1)?),
+            DCacheOrganization::NvmVwb(cfg) => {
+                FrontEnd::buffered(StageSpec::Vwb(cfg).build(line_bits)?, dl1)
+            }
+            DCacheOrganization::NvmL0(cfg) => {
+                FrontEnd::buffered(StageSpec::L0(cfg).build(line_bits)?, dl1)
+            }
+            DCacheOrganization::NvmEmshr(cfg) => {
+                FrontEnd::buffered(StageSpec::Emshr(cfg).build(line_bits)?, dl1)
+            }
+            DCacheOrganization::NvmStack(spec) => {
+                FrontEnd::buffered(Box::new(spec.build(line_bits)?), dl1)
+            }
         })
     }
 
@@ -261,9 +283,7 @@ impl Platform {
             l2: *fe.l2_stats(),
             memory: *fe.memory_stats(),
             il1,
-            vwb: fe.vwb_stats().copied(),
-            l0: fe.l0_stats().copied(),
-            emshr: fe.emshr_stats().copied(),
+            buffers: fe.stage_stats(),
             energy,
         }
     }
@@ -301,9 +321,7 @@ impl Platform {
             l2: *fe.l2_stats(),
             memory: *fe.memory_stats(),
             il1: None,
-            vwb: fe.vwb_stats().copied(),
-            l0: fe.l0_stats().copied(),
-            emshr: fe.emshr_stats().copied(),
+            buffers: fe.stage_stats(),
             energy,
         }
     }
@@ -334,13 +352,13 @@ impl Platform {
             + dl1.writes as f64 * dl1_model.write_energy_pj(line_bits);
         let l2_dynamic_pj = l2.reads as f64 * l2_model.read_energy_pj(l2_line_bits)
             + l2.writes as f64 * l2_model.write_energy_pj(l2_line_bits);
-        // Register-file-class buffer: ~0.5 pJ per access.
-        let buffer_accesses = fe
-            .vwb_stats()
-            .map(|s| s.reads + s.writes)
-            .or_else(|| fe.l0_stats().map(|s| s.reads + s.writes))
-            .or_else(|| fe.emshr_stats().map(|s| s.reads + s.writes))
-            .unwrap_or(0);
+        // Register-file-class buffers: ~0.5 pJ per access, summed over
+        // every stage in the composition.
+        let buffer_accesses: u64 = fe
+            .stage_stats()
+            .iter()
+            .map(|s| s.stats.reads + s.stats.writes)
+            .sum();
         let buffer_dynamic_pj = buffer_accesses as f64 * 0.5;
 
         let mut leak = LeakageIntegrator::new(self.config.clock_ghz);
@@ -398,12 +416,9 @@ pub struct RunResult {
     pub memory: CacheStats,
     /// IL1 statistics (explicit I-cache modelling only).
     pub il1: Option<CacheStats>,
-    /// VWB statistics (VWB organization only).
-    pub vwb: Option<VwbStats>,
-    /// L0 statistics (L0 organization only).
-    pub l0: Option<L0Stats>,
-    /// EMSHR statistics (EMSHR organization only).
-    pub emshr: Option<EmshrStats>,
+    /// Labelled statistics of every front-end buffer stage, outermost
+    /// first (empty for the plain organizations).
+    pub buffers: Vec<StageStats>,
     /// Energy summary.
     pub energy: EnergyReport,
 }
@@ -412,6 +427,29 @@ impl RunResult {
     /// Total cycles of the run.
     pub fn cycles(&self) -> u64 {
         self.core.cycles
+    }
+
+    /// The first stage of the given kind, if the organization has one.
+    pub fn stage(&self, kind: &str) -> Option<&BufferStats> {
+        self.buffers
+            .iter()
+            .find(|s| s.kind == kind)
+            .map(|s| &s.stats)
+    }
+
+    /// VWB statistics, when the organization has a VWB stage.
+    pub fn vwb(&self) -> Option<&BufferStats> {
+        self.stage("vwb")
+    }
+
+    /// L0 statistics, when the organization has an L0 stage.
+    pub fn l0(&self) -> Option<&BufferStats> {
+        self.stage("l0")
+    }
+
+    /// EMSHR statistics, when the organization has an EMSHR stage.
+    pub fn emshr(&self) -> Option<&BufferStats> {
+        self.stage("emshr")
     }
 }
 
@@ -515,12 +553,8 @@ mod tests {
 
     #[test]
     fn warm_runs_work_for_every_front_end() {
-        for org in [
-            DCacheOrganization::NvmDropIn,
-            DCacheOrganization::nvm_vwb_default(),
-            DCacheOrganization::nvm_l0_default(),
-            DCacheOrganization::nvm_emshr_default(),
-        ] {
+        for entry in crate::catalog::catalog() {
+            let org = entry.organization;
             let p = Platform::new(org).unwrap();
             let warm = p.run_warm(workload);
             assert!(warm.cycles() > 0, "{}", org.name());
@@ -554,16 +588,29 @@ mod tests {
 
     #[test]
     fn all_organizations_run() {
-        for org in [
-            DCacheOrganization::SramBaseline,
-            DCacheOrganization::NvmDropIn,
-            DCacheOrganization::nvm_vwb_default(),
-            DCacheOrganization::nvm_l0_default(),
-            DCacheOrganization::nvm_emshr_default(),
-        ] {
+        for entry in crate::catalog::catalog() {
+            let org = entry.organization;
             let r = Platform::new(org).unwrap().run(workload);
             assert!(r.cycles() > 0, "{} produced no cycles", org.name());
-            assert!(r.dl1.accesses() > 0 || r.vwb.is_some(), "{}", org.name());
+            assert!(
+                r.dl1.accesses() > 0 || !r.buffers.is_empty(),
+                "{}",
+                org.name()
+            );
         }
+    }
+
+    #[test]
+    fn hybrid_stacks_both_stages() {
+        let r = Platform::new(DCacheOrganization::nvm_hybrid_default())
+            .unwrap()
+            .run(workload);
+        assert!(r.vwb().is_some() && r.emshr().is_some());
+        assert!(r.vwb().unwrap().read_hits > 0);
+        // The hybrid must not be slower than the bare drop-in.
+        let drop_in = Platform::new(DCacheOrganization::NvmDropIn)
+            .unwrap()
+            .run(workload);
+        assert!(r.cycles() <= drop_in.cycles());
     }
 }

@@ -159,77 +159,91 @@ impl RunResult {
                 "IL1 miss rate",
             );
         }
-        if let Some(vwb) = &self.vwb {
-            put(
-                "vwb.reads",
-                vwb.reads.to_string(),
-                "loads presented to the VWB",
-            );
-            put(
-                "vwb.read_hits",
-                vwb.read_hits.to_string(),
-                "loads served at buffer speed",
-            );
-            put(
-                "vwb.read_hit_rate",
-                format!("{:.4}", vwb.read_hit_rate()),
-                "decoupled fraction of reads",
-            );
-            put(
-                "vwb.writes",
-                vwb.writes.to_string(),
-                "stores presented to the VWB",
-            );
-            put(
-                "vwb.write_hits",
-                vwb.write_hits.to_string(),
-                "stores absorbed by the VWB",
-            );
-            put(
-                "vwb.promotions",
-                vwb.promotions.to_string(),
-                "lines promoted from the DL1",
-            );
-            put(
-                "vwb.dirty_evictions",
-                vwb.dirty_evictions.to_string(),
-                "dirty lines written back to the DL1",
-            );
-            put(
-                "vwb.prefetch_fills",
-                vwb.prefetch_fills.to_string(),
-                "hint-triggered promotions",
-            );
-        }
-        if let Some(l0) = &self.l0 {
-            put(
-                "l0.reads",
-                l0.reads.to_string(),
-                "loads presented to the L0",
-            );
-            put("l0.read_hits", l0.read_hits.to_string(), "L0 read hits");
-            put(
-                "l0.fills",
-                l0.fills.to_string(),
-                "lines filled from the DL1",
-            );
-        }
-        if let Some(em) = &self.emshr {
-            put(
-                "emshr.reads",
-                em.reads.to_string(),
-                "loads presented to the EMSHR",
-            );
-            put(
-                "emshr.read_hits",
-                em.read_hits.to_string(),
-                "retained-entry hits",
-            );
-            put(
-                "emshr.allocations",
-                em.allocations.to_string(),
-                "DL1 misses captured",
-            );
+        for stage in &self.buffers {
+            let s = &stage.stats;
+            match stage.kind {
+                "vwb" => {
+                    put(
+                        "vwb.reads",
+                        s.reads.to_string(),
+                        "loads presented to the VWB",
+                    );
+                    put(
+                        "vwb.read_hits",
+                        s.read_hits.to_string(),
+                        "loads served at buffer speed",
+                    );
+                    put(
+                        "vwb.read_hit_rate",
+                        format!("{:.4}", s.read_hit_rate()),
+                        "decoupled fraction of reads",
+                    );
+                    put(
+                        "vwb.writes",
+                        s.writes.to_string(),
+                        "stores presented to the VWB",
+                    );
+                    put(
+                        "vwb.write_hits",
+                        s.write_hits.to_string(),
+                        "stores absorbed by the VWB",
+                    );
+                    put(
+                        "vwb.promotions",
+                        s.fills.to_string(),
+                        "lines promoted from the DL1",
+                    );
+                    put(
+                        "vwb.dirty_evictions",
+                        s.dirty_evictions.to_string(),
+                        "dirty lines written back to the DL1",
+                    );
+                    put(
+                        "vwb.prefetch_fills",
+                        s.prefetch_fills.to_string(),
+                        "hint-triggered promotions",
+                    );
+                }
+                "l0" => {
+                    put("l0.reads", s.reads.to_string(), "loads presented to the L0");
+                    put("l0.read_hits", s.read_hits.to_string(), "L0 read hits");
+                    put("l0.fills", s.fills.to_string(), "lines filled from the DL1");
+                }
+                "emshr" => {
+                    put(
+                        "emshr.reads",
+                        s.reads.to_string(),
+                        "loads presented to the EMSHR",
+                    );
+                    put(
+                        "emshr.read_hits",
+                        s.read_hits.to_string(),
+                        "retained-entry hits",
+                    );
+                    put(
+                        "emshr.allocations",
+                        s.fills.to_string(),
+                        "DL1 misses captured",
+                    );
+                }
+                kind => {
+                    put(
+                        &format!("{kind}.reads"),
+                        s.reads.to_string(),
+                        "loads presented to the stage",
+                    );
+                    put(
+                        &format!("{kind}.read_hits"),
+                        s.read_hits.to_string(),
+                        "stage read hits",
+                    );
+                    put(
+                        &format!("{kind}.fills"),
+                        s.fills.to_string(),
+                        "lines brought into the stage",
+                    );
+                }
+            }
         }
 
         put(

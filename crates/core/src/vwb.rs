@@ -32,9 +32,9 @@
 //! bank for extra cycles past the critical word (ablation knob).
 
 use crate::buffer::FaBuffer;
+use crate::stage::{BufferStage, BufferStats, Buffered};
 use crate::SttError;
-use sttcache_cpu::DataPort;
-use sttcache_mem::{Addr, Cache, Cycle, MemoryLevel, ServedBy};
+use sttcache_mem::{AccessOutcome, Addr, Cache, Cycle, MemoryLevel, ServedBy};
 
 /// VWB configuration.
 ///
@@ -123,84 +123,31 @@ impl VwbConfig {
     }
 }
 
-/// VWB access statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct VwbStats {
-    /// Loads presented to the VWB.
-    pub reads: u64,
-    /// Loads served from the VWB.
-    pub read_hits: u64,
-    /// Stores presented to the VWB.
-    pub writes: u64,
-    /// Stores absorbed by the VWB (block already present).
-    pub write_hits: u64,
-    /// Lines promoted from the DL1 (or below) into the VWB.
-    pub promotions: u64,
-    /// Dirty VWB lines written back into the DL1 on eviction.
-    pub dirty_evictions: u64,
-    /// Prefetch hints that triggered a promotion.
-    pub prefetch_fills: u64,
-    /// Prefetch hints dropped (line already present or in flight).
-    pub prefetch_drops: u64,
-}
-
-impl VwbStats {
-    /// VWB read hit rate (0 when idle).
-    pub fn read_hit_rate(&self) -> f64 {
-        if self.reads == 0 {
-            0.0
-        } else {
-            self.read_hits as f64 / self.reads as f64
-        }
-    }
-}
-
-/// The VWB front-end over an NVM DL1.
-///
-/// Implements [`DataPort`], so it slots directly under a
-/// [`sttcache_cpu::Core`]. Generic over the DL1's next level `N`.
-///
-/// # Example
-///
-/// ```
-/// use sttcache::{nvm_dl1_config, VwbConfig, VwbFrontEnd};
-/// use sttcache_cpu::DataPort;
-/// use sttcache_mem::{Addr, Cache, MainMemory};
-///
-/// # fn main() -> Result<(), sttcache::SttError> {
-/// let dl1 = Cache::new(nvm_dl1_config()?.clone(), MainMemory::new(100));
-/// let mut vwb = VwbFrontEnd::new(VwbConfig::default(), dl1)?;
-/// let t0 = vwb.read(Addr(0), 0);     // cold miss, promoted
-/// let t1 = vwb.read(Addr(8), t0);    // VWB hit: 1 cycle
-/// assert_eq!(t1, t0 + 1);
-/// # Ok(())
-/// # }
-/// ```
+/// The VWB as a composable [`BufferStage`]: serves the datapath at
+/// register speed and promotes lines out of whatever [`MemoryLevel`]
+/// backs it.
 #[derive(Debug, Clone)]
-pub struct VwbFrontEnd<N> {
-    config: VwbConfig,
-    buffer: FaBuffer,
-    dl1: Cache<N>,
-    stats: VwbStats,
+pub struct VwbStage {
+    pub(crate) config: VwbConfig,
+    pub(crate) buffer: FaBuffer,
+    pub(crate) stats: BufferStats,
     hit_cycles: u64,
 }
 
-impl<N: MemoryLevel> VwbFrontEnd<N> {
-    /// Creates a VWB in front of `dl1`.
+impl VwbStage {
+    /// Creates the stage for a DL1 line of `line_bits`.
     ///
     /// # Errors
     ///
     /// Returns [`SttError::InvalidBuffer`] if the configuration fails
-    /// [`VwbConfig::validate`] for the DL1's line size.
-    pub fn new(config: VwbConfig, dl1: Cache<N>) -> Result<Self, SttError> {
-        let line_bits = dl1.config().line_bytes() * 8;
+    /// [`VwbConfig::validate`] for the line size.
+    pub fn new(config: VwbConfig, line_bits: usize) -> Result<Self, SttError> {
         config.validate(line_bits)?;
-        Ok(VwbFrontEnd {
+        Ok(VwbStage {
             buffer: FaBuffer::new(config.entries(line_bits)),
             hit_cycles: config.effective_hit_cycles(line_bits),
             config,
-            dl1,
-            stats: VwbStats::default(),
+            stats: BufferStats::default(),
         })
     }
 
@@ -209,28 +156,93 @@ impl<N: MemoryLevel> VwbFrontEnd<N> {
         &self.config
     }
 
-    /// VWB statistics.
-    pub fn stats(&self) -> &VwbStats {
-        &self.stats
+    /// Promotes the line containing `addr`: demand-reads it from the
+    /// backing level, installs it into the VWB, handles the dirty eviction
+    /// and models the wide transfer's bank occupancy. Returns the backing
+    /// level's outcome (critical-word availability).
+    fn promote(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
+        let line_bytes = below.line_bytes();
+        let line = addr.line(line_bytes);
+        let out = below.read(addr, now);
+        self.stats.fills += 1;
+        // The wide transfer holds the bank after the critical word.
+        below.occupy_bank(addr, out.complete_at, self.config.promotion_cycles);
+        if let Some(evicted) = self
+            .buffer
+            .insert(line, out.complete_at, out.complete_at, false)
+        {
+            if evicted.dirty {
+                // "The evicted data from the VWB is stored in the NVM DL1."
+                // The write-back proceeds in the background; it contends for
+                // banks but does not block the requester.
+                self.stats.dirty_evictions += 1;
+                let base = evicted.line.base(line_bytes);
+                let _ = below.write(base, out.complete_at);
+            }
+        }
+        if sttcache_mem::invariants::enabled() {
+            self.check_invariants(out.complete_at);
+        }
+        out
+    }
+}
+
+impl BufferStage for VwbStage {
+    fn kind(&self) -> &'static str {
+        "vwb"
     }
 
-    /// The DL1 behind the VWB.
-    pub fn dl1(&self) -> &Cache<N> {
-        &self.dl1
+    fn read(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
+        self.stats.reads += 1;
+        let line = addr.line(below.line_bytes());
+        if let Some(idx) = self.buffer.find(line) {
+            // VWB hit: register-file latency once the data has landed.
+            self.stats.read_hits += 1;
+            let ready = self.buffer.entry(idx).ready_at.max(now);
+            self.buffer.touch(idx, ready, false);
+            return AccessOutcome {
+                complete_at: ready + self.hit_cycles,
+                served_by: ServedBy::ThisLevel,
+            };
+        }
+        self.promote(below, addr, now)
     }
 
-    /// Mutable access to the DL1.
-    pub fn dl1_mut(&mut self) -> &mut Cache<N> {
-        &mut self.dl1
+    fn write(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
+        self.stats.writes += 1;
+        let line = addr.line(below.line_bytes());
+        if let Some(idx) = self.buffer.find(line) {
+            // Present in the VWB: update it there (write-back to the DL1
+            // happens on eviction).
+            self.stats.write_hits += 1;
+            let ready = self.buffer.entry(idx).ready_at.max(now);
+            self.buffer.touch(idx, ready, true);
+            return AccessOutcome {
+                complete_at: ready + self.hit_cycles,
+                served_by: ServedBy::ThisLevel,
+            };
+        }
+        // "Otherwise, it's directly updated via the processor": write
+        // straight into the DL1 (write-allocate there, no VWB allocation).
+        below.write(addr, now)
     }
 
-    /// Writes every dirty VWB entry back into the DL1 (the VWB is a
-    /// volatile register file, so power-gating must drain it even when the
-    /// DL1 itself is non-volatile). Entries stay resident and become
-    /// clean. Returns the number of lines written and the completion
-    /// cycle.
-    pub fn flush_dirty(&mut self, now: Cycle) -> (usize, Cycle) {
-        let line_bytes = self.dl1.config().line_bytes();
+    fn prefetch(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) {
+        let line = addr.line(below.line_bytes());
+        if self.buffer.find(line).is_some() {
+            self.stats.prefetch_drops += 1;
+            return;
+        }
+        self.stats.prefetch_fills += 1;
+        let _ = self.promote(below, addr, now);
+    }
+
+    fn contains(&self, addr: Addr, line_bytes: usize) -> bool {
+        self.buffer.find(addr.line(line_bytes)).is_some()
+    }
+
+    fn flush_dirty(&mut self, below: &mut dyn MemoryLevel, now: Cycle) -> (usize, Cycle) {
+        let line_bytes = below.line_bytes();
         let dirty: Vec<sttcache_mem::LineAddr> = self
             .buffer
             .iter()
@@ -239,7 +251,7 @@ impl<N: MemoryLevel> VwbFrontEnd<N> {
             .collect();
         let mut done = now;
         for line in &dirty {
-            done = self.dl1.write(line.base(line_bytes), done).complete_at;
+            done = below.write(line.base(line_bytes), done).complete_at;
             self.buffer.clean(*line);
         }
         if sttcache_mem::invariants::enabled() {
@@ -264,21 +276,18 @@ impl<N: MemoryLevel> VwbFrontEnd<N> {
         (dirty.len(), done)
     }
 
-    /// Number of dirty entries currently held (drain verification).
-    pub fn dirty_entries(&self) -> usize {
+    fn dirty_entries(&self) -> usize {
         self.buffer.iter().filter(|e| e.dirty).count()
     }
 
-    /// Base addresses of the lines currently resident in the VWB.
-    pub fn resident_lines(&self) -> Vec<Addr> {
-        let line_bytes = self.dl1.config().line_bytes();
-        self.buffer.iter().map(|e| e.line.base(line_bytes)).collect()
+    fn resident_lines(&self, line_bytes: usize) -> Vec<Addr> {
+        self.buffer
+            .iter()
+            .map(|e| e.line.base(line_bytes))
+            .collect()
     }
 
-    /// Structural check, reported through [`sttcache_mem::invariants`]:
-    /// the buffer never holds more entries than
-    /// [`VwbConfig::entries`] allows.
-    pub fn check_invariants(&self, now: Cycle) {
+    fn check_invariants(&self, now: Cycle) {
         if self.buffer.len() > self.buffer.capacity() {
             sttcache_mem::invariants::report(
                 "vwb",
@@ -293,94 +302,73 @@ impl<N: MemoryLevel> VwbFrontEnd<N> {
         }
     }
 
-    /// Resets the VWB's and the whole hierarchy's statistics (contents
-    /// are kept — used for warm-up runs).
-    pub fn reset_stats(&mut self) {
-        self.stats = VwbStats::default();
-        self.dl1.reset_stats();
+    fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
     }
 
-    /// Whether the VWB currently holds the line containing `addr`.
-    pub fn contains(&self, addr: Addr) -> bool {
-        let line = addr.line(self.dl1.config().line_bytes());
-        self.buffer.find(line).is_some()
+    fn stats(&self) -> BufferStats {
+        self.stats
     }
 
-    /// Promotes the line containing `addr`: demand-reads it from the DL1
-    /// (or below), installs it into the VWB, handles the dirty eviction and
-    /// models the wide transfer's bank occupancy. Returns the cycle at
-    /// which the critical word is available to the requester.
-    fn promote(&mut self, addr: Addr, now: Cycle, demand: bool) -> Cycle {
-        let line_bytes = self.dl1.config().line_bytes();
-        let line = addr.line(line_bytes);
-        let out = self.dl1.read(addr, now);
-        self.stats.promotions += 1;
-        if demand {
-            // The line fills the VWB (out of either the DL1 or the next
-            // level: "transferred into the processor and the VWB").
-        }
-        let _served: ServedBy = out.served_by;
-        // The wide transfer holds the bank after the critical word.
-        self.dl1
-            .occupy_bank(addr, out.complete_at, self.config.promotion_cycles);
-        if let Some(evicted) = self
-            .buffer
-            .insert(line, out.complete_at, out.complete_at, false)
-        {
-            if evicted.dirty {
-                // "The evicted data from the VWB is stored in the NVM DL1."
-                // The write-back proceeds in the background; it contends for
-                // banks but does not block the requester.
-                self.stats.dirty_evictions += 1;
-                let base = evicted.line.base(line_bytes);
-                let _ = self.dl1.write(base, out.complete_at);
-            }
-        }
-        if sttcache_mem::invariants::enabled() {
-            self.check_invariants(out.complete_at);
-        }
-        out.complete_at
+    fn boxed_clone(&self) -> Box<dyn BufferStage> {
+        Box::new(self.clone())
     }
 }
 
-impl<N: MemoryLevel> DataPort for VwbFrontEnd<N> {
-    fn read(&mut self, addr: Addr, now: Cycle) -> Cycle {
-        self.stats.reads += 1;
-        let line = addr.line(self.dl1.config().line_bytes());
-        if let Some(idx) = self.buffer.find(line) {
-            // VWB hit: register-file latency once the data has landed.
-            self.stats.read_hits += 1;
-            let ready = self.buffer.entry(idx).ready_at.max(now);
-            self.buffer.touch(idx, ready, false);
-            return ready + self.hit_cycles;
-        }
-        self.promote(addr, now, true)
+/// The VWB front-end over an NVM DL1: a [`VwbStage`] composed with a
+/// [`Cache`] via [`Buffered`].
+///
+/// Implements [`DataPort`](sttcache_cpu::DataPort), so it slots directly
+/// under a [`sttcache_cpu::Core`]. Generic over the DL1's next level `N`.
+///
+/// # Example
+///
+/// ```
+/// use sttcache::{nvm_dl1_config, VwbConfig, VwbFrontEnd};
+/// use sttcache_cpu::DataPort;
+/// use sttcache_mem::{Addr, Cache, MainMemory};
+///
+/// # fn main() -> Result<(), sttcache::SttError> {
+/// let dl1 = Cache::new(nvm_dl1_config()?.clone(), MainMemory::new(100));
+/// let mut vwb = VwbFrontEnd::new(VwbConfig::default(), dl1)?;
+/// let t0 = vwb.read(Addr(0), 0);     // cold miss, promoted
+/// let t1 = vwb.read(Addr(8), t0);    // VWB hit: 1 cycle
+/// assert_eq!(t1, t0 + 1);
+/// # Ok(())
+/// # }
+/// ```
+pub type VwbFrontEnd<N> = Buffered<VwbStage, Cache<N>>;
+
+impl<N: MemoryLevel> VwbFrontEnd<N> {
+    /// Creates a VWB in front of `dl1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SttError::InvalidBuffer`] if the configuration fails
+    /// [`VwbConfig::validate`] for the DL1's line size.
+    pub fn new(config: VwbConfig, dl1: Cache<N>) -> Result<Self, SttError> {
+        let line_bits = dl1.config().line_bytes() * 8;
+        Ok(Buffered::compose(VwbStage::new(config, line_bits)?, dl1))
     }
 
-    fn write(&mut self, addr: Addr, now: Cycle) -> Cycle {
-        self.stats.writes += 1;
-        let line = addr.line(self.dl1.config().line_bytes());
-        if let Some(idx) = self.buffer.find(line) {
-            // Present in the VWB: update it there (write-back to the DL1
-            // happens on eviction).
-            self.stats.write_hits += 1;
-            let ready = self.buffer.entry(idx).ready_at.max(now);
-            self.buffer.touch(idx, ready, true);
-            return ready + self.hit_cycles;
-        }
-        // "Otherwise, it's directly updated via the processor": write
-        // straight into the DL1 (write-allocate there, no VWB allocation).
-        self.dl1.write(addr, now).complete_at
+    /// The configuration.
+    pub fn config(&self) -> &VwbConfig {
+        &self.stage().config
     }
 
-    fn prefetch(&mut self, addr: Addr, now: Cycle) {
-        let line = addr.line(self.dl1.config().line_bytes());
-        if self.buffer.find(line).is_some() {
-            self.stats.prefetch_drops += 1;
-            return;
-        }
-        self.stats.prefetch_fills += 1;
-        let _ = self.promote(addr, now, false);
+    /// VWB statistics.
+    pub fn stats(&self) -> &BufferStats {
+        &self.stage().stats
+    }
+
+    /// The DL1 behind the VWB.
+    pub fn dl1(&self) -> &Cache<N> {
+        self.below()
+    }
+
+    /// Mutable access to the DL1.
+    pub fn dl1_mut(&mut self) -> &mut Cache<N> {
+        self.below_mut()
     }
 }
 
@@ -388,6 +376,7 @@ impl<N: MemoryLevel> DataPort for VwbFrontEnd<N> {
 mod tests {
     use super::*;
     use crate::nvm_dl1_config;
+    use sttcache_cpu::DataPort;
     use sttcache_mem::MainMemory;
 
     fn vwb() -> VwbFrontEnd<MainMemory> {
@@ -398,7 +387,7 @@ mod tests {
     #[test]
     fn default_config_has_four_entries() {
         let fe = vwb();
-        assert_eq!(fe.buffer.capacity(), 4);
+        assert_eq!(fe.stage().buffer.capacity(), 4);
     }
 
     #[test]
@@ -532,7 +521,7 @@ mod tests {
             dl1,
         )
         .unwrap();
-        assert_eq!(fe.buffer.capacity(), 2);
+        assert_eq!(fe.stage().buffer.capacity(), 2);
     }
 
     #[test]

@@ -508,6 +508,18 @@ impl<N: MemoryLevel> MemoryLevel for Cache<N> {
         self.write_buffer.reset_stats();
         self.next.reset_stats();
     }
+
+    fn contains(&self, addr: Addr) -> bool {
+        Cache::contains(self, addr)
+    }
+
+    fn occupy_bank(&mut self, addr: Addr, from: Cycle, cycles: u64) -> Cycle {
+        Cache::occupy_bank(self, addr, from, cycles)
+    }
+
+    fn next_lower(&self) -> Option<&dyn MemoryLevel> {
+        Some(&self.next)
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,11 @@ impl MemoryLevel for MainMemory {
     fn reset_stats(&mut self) {
         self.stats = CacheStats::new();
     }
+
+    fn contains(&self, _addr: Addr) -> bool {
+        // The backstop holds everything by definition.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -117,6 +117,18 @@ impl<N: MemoryLevel> MemoryLevel for NextLinePrefetcher<N> {
         self.stats = PrefetcherStats::default();
         self.inner.reset_stats();
     }
+
+    fn contains(&self, addr: Addr) -> bool {
+        self.inner.contains(addr)
+    }
+
+    fn occupy_bank(&mut self, addr: Addr, from: Cycle, cycles: u64) -> Cycle {
+        self.inner.occupy_bank(addr, from, cycles)
+    }
+
+    fn next_lower(&self) -> Option<&dyn MemoryLevel> {
+        MemoryLevel::next_lower(&self.inner)
+    }
 }
 
 #[cfg(test)]

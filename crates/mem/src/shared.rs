@@ -129,6 +129,17 @@ impl<M: MemoryLevel> MemoryLevel for Shared<M> {
         self.inner.borrow_mut().reset_stats();
         self.stats_mirror = CacheStats::new();
     }
+
+    fn contains(&self, addr: Addr) -> bool {
+        self.inner.borrow().contains(addr)
+    }
+
+    fn occupy_bank(&mut self, addr: Addr, from: Cycle, cycles: u64) -> Cycle {
+        self.inner.borrow_mut().occupy_bank(addr, from, cycles)
+    }
+
+    // `next_lower` stays `None`: the shared level lives behind a
+    // `RefCell` and cannot be lent out as a plain reference.
 }
 
 #[cfg(test)]

@@ -42,11 +42,11 @@ fn main() -> Result<(), SttError> {
         buffered.cycles(),
         penalty_pct(base.cycles(), buffered.cycles())
     );
-    if let Some(stats) = &buffered.vwb {
+    if let Some(stats) = buffered.vwb() {
         println!(
             "                     VWB read hit rate {:.1}%, {} promotions",
             stats.read_hit_rate() * 100.0,
-            stats.promotions
+            stats.fills
         );
     }
 

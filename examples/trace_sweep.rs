@@ -61,11 +61,7 @@ fn main() -> Result<(), SttError> {
         "organization", "cycles", "penalty"
     );
     for (org, c) in orgs.iter().zip(&cycles) {
-        println!(
-            "{:<16} {c:>12} {:>9.1}%",
-            org.name(),
-            penalty_pct(base, *c)
-        );
+        println!("{:<16} {c:>12} {:>9.1}%", org.name(), penalty_pct(base, *c));
     }
     Ok(())
 }

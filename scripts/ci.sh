@@ -5,6 +5,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo build --release --offline
 cargo test -q --offline
 # Second test leg with the runtime invariant checkers armed: every
@@ -12,7 +13,7 @@ cargo test -q --offline
 STTCACHE_INVARIANTS=1 cargo test -q --offline
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Differential fuzzer: adversarial traces on all five organizations,
+# Differential fuzzer: adversarial traces on every catalog organization,
 # cross-checked against the shadow-memory oracle and the SRAM baseline.
 ./target/release/sttcache-check --quick
 
@@ -40,4 +41,4 @@ trap 'rm -f "$smoke" "$snapshot"' EXIT
 scripts/bench_snapshot.sh "$snapshot" > /dev/null
 grep -q '"trace_cache_enabled": true' "$snapshot"
 
-echo "ci: build, tests (plain + invariants armed), clippy, differential fuzzer, figures smoke and trace-cache checks all green"
+echo "ci: fmt, build, tests (plain + invariants armed), clippy, differential fuzzer, figures smoke and trace-cache checks all green"

@@ -222,7 +222,7 @@ fn vwb_decouples_dl1_reads() {
         Platform::new(DCacheOrganization::nvm_vwb_default()).expect("canonical configuration");
     let kernel = PolyBench::Jacobi1d.kernel(ProblemSize::Mini);
     let r = platform.run(|e: &mut dyn Engine| kernel.run(e, Transformations::none()));
-    let vwb = r.vwb.expect("vwb organization reports vwb stats");
+    let vwb = r.vwb().expect("vwb organization reports vwb stats");
     // The streaming stencil hits the VWB for the overwhelming majority of
     // loads, so the NVM array sees only promotions.
     assert!(

@@ -1,7 +1,7 @@
 //! Differential oracle regression tests.
 //!
 //! Every PolyBench kernel, untransformed and fully transformed, runs on
-//! all five L1 D-cache organizations with the invariant gate on; each
+//! every catalog L1 D-cache organization with the invariant gate on; each
 //! run is mirrored into the functional shadow oracle, drained, and
 //! cross-checked, and every organization's timing-independent signature
 //! must equal the SRAM baseline's. A deliberate MSHR-leak mutation
@@ -33,8 +33,7 @@ fn every_kernel_matches_the_oracle_on_every_organization() {
 #[test]
 fn direct_recording_matches_the_cached_trace() {
     for bench in &PolyBench::ALL[..3] {
-        let fresh =
-            trace_cache::record_trace(*bench, ProblemSize::Mini, Transformations::all());
+        let fresh = trace_cache::record_trace(*bench, ProblemSize::Mini, Transformations::all());
         let cached = trace_cache::cached_trace(*bench, ProblemSize::Mini, Transformations::all());
         assert_eq!(fresh, *cached, "{}: cache altered the stream", bench.name());
         let report = check::check_trace(&format!("{}/fresh", bench.name()), &fresh);
@@ -73,11 +72,7 @@ fn quick_adversarial_battery_is_clean() {
     for kind in check::Adversary::ALL {
         for seed in check::quick_seeds() {
             if let Err(f) = check::run_case(kind, seed, 1200) {
-                panic!(
-                    "{} seed {seed:#x} failed: {:#?}",
-                    f.kind.name(),
-                    f.failures
-                );
+                panic!("{} seed {seed:#x} failed: {:#?}", f.kind.name(), f.failures);
             }
         }
     }

@@ -185,8 +185,8 @@ fn vwb_stats_reconcile() {
         let s = vwb.stats();
         assert!(s.read_hits <= s.reads);
         assert!(s.write_hits <= s.writes);
-        assert_eq!(s.promotions, s.reads - s.read_hits);
-        assert!(s.dirty_evictions <= s.promotions);
+        assert_eq!(s.fills, s.reads - s.read_hits);
+        assert!(s.dirty_evictions <= s.fills);
     });
 }
 
@@ -392,7 +392,11 @@ fn vwb_config_boundaries() {
     let dl1 = Cache::new(nvm_dl1_config().expect("canonical"), MainMemory::new(100));
     let mut vwb = VwbFrontEnd::new(one, dl1).expect("one-entry VWB is valid");
     let t = vwb.read(Addr(0), 0);
-    assert_eq!(vwb.read(Addr(8), t + 10), t + 11, "re-read hits the single entry");
+    assert_eq!(
+        vwb.read(Addr(8), t + 10),
+        t + 11,
+        "re-read hits the single entry"
+    );
 
     // One bit short of a line: holds nothing, rejected.
     let short = VwbConfig {
@@ -430,7 +434,10 @@ fn vwb_search_cost_model() {
         ..VwbConfig::default()
     };
     assert_eq!(modelled.entries(line_bits), 4);
-    assert_eq!(modelled.effective_hit_cycles(line_bits), modelled.hit_cycles);
+    assert_eq!(
+        modelled.effective_hit_cycles(line_bits),
+        modelled.hit_cycles
+    );
 
     // 8 and 64 entries: one and eight extra cycles.
     let eight = VwbConfig {

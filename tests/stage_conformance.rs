@@ -1,0 +1,132 @@
+//! Trait-level conformance suite for the organization catalog.
+//!
+//! One parameterized battery over `sttcache::catalog`: every entry's
+//! front-end — whatever stage composition it carries — must honor the
+//! `BufferStage` drain/verification contract. Adding a catalog entry
+//! automatically puts it under this suite; no per-organization test code.
+
+use sttcache::catalog::catalog;
+use sttcache::{BufferStats, FrontEnd, Platform};
+use sttcache_bench::check;
+use sttcache_bench::trace_cache;
+use sttcache_cpu::DataPort;
+use sttcache_mem::{invariants, Addr, CacheStats, Cycle, ShadowOracle};
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+fn front_end_of(org: sttcache::DCacheOrganization) -> FrontEnd {
+    Platform::new(org)
+        .expect("catalog organizations validate")
+        .front_end()
+        .expect("validated configuration builds")
+}
+
+/// Drives a deterministic mixed access pattern (strided reads, writes and
+/// prefetch hints with re-use) through the front-end, mirroring every
+/// event into a functional shadow oracle.
+fn drive(fe: &mut FrontEnd, oracle: &mut ShadowOracle) -> Cycle {
+    let mut now: Cycle = 0;
+    for i in 0..400u64 {
+        let addr = Addr((i * 7919) % 4096 * 8);
+        if i % 17 == 0 {
+            fe.prefetch(addr, now);
+            oracle.touch(addr.0);
+        } else if i % 3 == 0 {
+            now = fe.write(addr, now);
+            oracle.store(addr.0, 8);
+        } else {
+            now = fe.read(addr, now);
+            oracle.load(addr.0, 8);
+        }
+    }
+    now
+}
+
+/// The whole contract, one organization at a time: drains clean, stays
+/// clean, reports no phantom resident lines, and resets every statistic.
+#[test]
+fn every_catalog_organization_honors_the_stage_contract() {
+    for entry in catalog() {
+        let name = entry.name;
+        let mut fe = front_end_of(entry.organization);
+        let mut oracle = ShadowOracle::default();
+        let now = drive(&mut fe, &mut oracle);
+
+        // 1. The drain writes back everything and leaves zero dirty state.
+        let (flushed, done) = fe.flush_dirty(now);
+        assert!(
+            flushed > 0,
+            "{name}: the pattern stores, a drain must write back"
+        );
+        assert_eq!(
+            fe.dirty_line_count(),
+            0,
+            "{name}: dirty state survived the drain"
+        );
+
+        // 2. A second drain is a no-op (the first one was complete).
+        let (again, done2) = fe.flush_dirty(done);
+        assert_eq!(
+            again, 0,
+            "{name}: the second drain found lines the first missed"
+        );
+
+        // 3. The drained organization passes its own invariant audit.
+        let gate_was_on = invariants::enabled();
+        invariants::set_enabled(true);
+        let _ = invariants::take_violations();
+        fe.check_drained(done2);
+        let (violations, total) = invariants::take_violations();
+        invariants::set_enabled(gate_was_on);
+        assert_eq!(total, 0, "{name}: {violations:#?}");
+
+        // 4. Every resident line is one the program actually touched.
+        for (base, len) in fe.resident_lines() {
+            assert!(
+                oracle.intersects_accessed(base.0, len),
+                "{name}: phantom resident line {base} ({len} B)"
+            );
+        }
+
+        // 5. The stats reset is complete: every stage counter and every
+        //    hierarchy level returns to its freshly-built state.
+        fe.reset_stats();
+        for stage in fe.stage_stats() {
+            assert_eq!(
+                stage.stats,
+                BufferStats::default(),
+                "{name}: stage '{}' kept counters across reset_stats",
+                stage.kind
+            );
+        }
+        for (depth, level) in ["dl1", "l2", "memory"].into_iter().enumerate() {
+            let stats = match depth {
+                0 => fe.dl1_stats(),
+                1 => fe.l2_stats(),
+                _ => fe.memory_stats(),
+            };
+            assert_eq!(
+                *stats,
+                CacheStats::default(),
+                "{name}: {level} kept counters across reset_stats"
+            );
+        }
+    }
+}
+
+/// The same catalog under a real kernel: the full differential check
+/// (oracle mirror, drain audit, invariant gate) passes per organization.
+#[test]
+fn every_catalog_organization_passes_the_kernel_check() {
+    let trace =
+        trace_cache::cached_trace(PolyBench::Gemm, ProblemSize::Mini, Transformations::all());
+    for entry in catalog() {
+        let report = check::check_trace_on(entry.organization, &trace);
+        assert!(
+            report.passed(),
+            "{}: mismatches {:#?}, violations {:#?}",
+            entry.name,
+            report.mismatches,
+            report.violations
+        );
+    }
+}
