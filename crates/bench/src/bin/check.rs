@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sttcache-check [--quick] [--seed N] [--cases N] [--events N]
-//!                [--kind NAME] [--shrink] [--list-kinds]
+//!                [--kind NAME|compiled] [--shrink] [--list-kinds]
 //! ```
 //!
 //! Every generated trace runs on every catalog L1 D-cache organization with
@@ -17,13 +17,19 @@
 //! On failure the offending `(kind, seed, events)` triple is printed for
 //! replay; `--shrink` additionally minimizes the first failing trace and
 //! prints the surviving events. Exit status 1 on any failure.
+//!
+//! `--kind compiled` switches the check itself: every adversary family
+//! still generates traces, but each one is cross-checked through the
+//! compiled structure-of-arrays replay pass (validate, decompile round
+//! trip, bit-identity with interpreted replay on every organization)
+//! instead of the shadow-oracle differential.
 
 use sttcache_bench::check::{self, Adversary};
 
 fn usage() -> ! {
     eprintln!(
         "usage: sttcache-check [--quick] [--seed N] [--cases N] [--events N] \
-         [--kind NAME] [--shrink] [--list-kinds]"
+         [--kind NAME|compiled] [--shrink] [--list-kinds]"
     );
     std::process::exit(2);
 }
@@ -35,6 +41,7 @@ fn main() {
     let mut events = 4000usize;
     let mut kinds: Vec<Adversary> = Adversary::ALL.to_vec();
     let mut shrink = false;
+    let mut compiled = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,20 +78,29 @@ fn main() {
             }
             "--kind" => {
                 i += 1;
-                let kind = args
-                    .get(i)
-                    .and_then(|v| Adversary::from_name(v))
-                    .unwrap_or_else(|| {
+                match args.get(i).map(String::as_str) {
+                    // Not a generator family: runs every family through the
+                    // compiled-vs-interpreted replay cross-check instead.
+                    Some("compiled") => compiled = true,
+                    Some(name) => match Adversary::from_name(name) {
+                        Some(kind) => kinds = vec![kind],
+                        None => {
+                            eprintln!("--kind needs one of the names from --list-kinds");
+                            usage()
+                        }
+                    },
+                    None => {
                         eprintln!("--kind needs one of the names from --list-kinds");
                         usage()
-                    });
-                kinds = vec![kind];
+                    }
+                }
             }
             "--shrink" => shrink = true,
             "--list-kinds" => {
                 for k in Adversary::ALL {
                     println!("{}", k.name());
                 }
+                println!("compiled");
                 return;
             }
             "-h" | "--help" => usage(),
@@ -118,17 +134,23 @@ fn main() {
     }
 
     let total = plan.len();
+    let run_one: fn(Adversary, u64, usize) -> Result<(), check::CheckFailure> = if compiled {
+        check::run_compiled_case
+    } else {
+        check::run_case
+    };
+    let tag = if compiled { " compiled" } else { "" };
     let mut failures = Vec::new();
     for (n, (kind, s)) in plan.into_iter().enumerate() {
-        match check::run_case(kind, s, events) {
+        match run_one(kind, s, events) {
             Ok(()) => println!(
-                "[{:>3}/{total}] {:<17} seed {s:#018x}  ok",
+                "[{:>3}/{total}] {:<17} seed {s:#018x} {tag} ok",
                 n + 1,
                 kind.name()
             ),
             Err(f) => {
                 println!(
-                    "[{:>3}/{total}] {:<17} seed {s:#018x}  FAILED ({} finding(s))",
+                    "[{:>3}/{total}] {:<17} seed {s:#018x} {tag} FAILED ({} finding(s))",
                     n + 1,
                     kind.name(),
                     f.failures.len()
@@ -140,20 +162,27 @@ fn main() {
 
     if failures.is_empty() {
         let orgs = sttcache_bench::check::all_organizations().len();
-        println!(
-            "{total} traces x {orgs} organizations: all oracle, drain and invariant checks passed"
-        );
+        if compiled {
+            println!(
+                "{total} traces x {orgs} organizations: compiled and interpreted replay agree everywhere"
+            );
+        } else {
+            println!(
+                "{total} traces x {orgs} organizations: all oracle, drain and invariant checks passed"
+            );
+        }
         return;
     }
 
     eprintln!();
     for f in &failures {
+        let replay_kind = if compiled { "compiled" } else { f.kind.name() };
         eprintln!(
-            "FAILURE: kind {} seed {:#018x} events {} (replay: sttcache-check --kind {} --seed {} --events {} --cases 1)",
+            "FAILURE: kind {}{tag} seed {:#018x} events {} (replay: sttcache-check --kind {} --seed {} --events {} --cases 1)",
             f.kind.name(),
             f.seed,
             f.events,
-            f.kind.name(),
+            replay_kind,
             f.seed,
             f.events
         );
@@ -165,11 +194,15 @@ fn main() {
         let first = &failures[0];
         eprintln!();
         eprintln!(
-            "shrinking kind {} seed {:#018x} …",
+            "shrinking kind {}{tag} seed {:#018x} …",
             first.kind.name(),
             first.seed
         );
-        let minimal = check::shrink_failure(first);
+        let minimal = if compiled {
+            check::shrink_compiled_failure(first)
+        } else {
+            check::shrink_failure(first)
+        };
         eprintln!("minimal reproducer: {} event(s)", minimal.len());
         for e in minimal.events().iter().take(64) {
             eprintln!("  {e:?}");

@@ -3,7 +3,8 @@
 //! ```text
 //! figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|catalog|all]
 //!         [--small] [--csv] [--jobs N | --serial]
-//!         [--no-trace-cache] [--profile] [--profile-json PATH]
+//!         [--no-trace-cache] [--no-compiled-replay]
+//!         [--profile] [--profile-json PATH]
 //! ```
 //!
 //! Defaults to `all` at the mini problem size; `--small` runs the larger
@@ -15,11 +16,17 @@
 //! order.
 //!
 //! Grid points execute through the record-once/replay-many trace cache
-//! (`STTCACHE_TRACE_CACHE_BYTES` caps its memory); `--no-trace-cache`
-//! reverts to direct kernel execution — same output, slower. `--profile`
-//! prints per-phase wall-clock (record/replay/direct), cache hit/miss
-//! counts and per-figure timings to stderr, and `--profile-json PATH`
-//! writes the same data as JSON; stdout stays byte-identical either way.
+//! (`STTCACHE_TRACE_CACHE_BYTES` caps its memory); traces up to the
+//! admission ceiling (`STTCACHE_COMPILED_MAX_EVENTS`, default 16 Ki
+//! events, `0` = unlimited) replay through the compiled
+//! structure-of-arrays fast path and the rest replay interpreted.
+//! `--no-compiled-replay` forces interpreted replay everywhere and
+//! `--no-trace-cache` reverts to direct kernel execution — same output
+//! in every mode, only the speed differs. `--profile`
+//! prints per-phase wall-clock (record/compile/compiled replay/replay/
+//! direct), cache hit/miss counts and per-figure timings to stderr, and
+//! `--profile-json PATH` writes the same data as JSON; stdout stays
+//! byte-identical in every mode.
 
 use sttcache_bench::{figures, parallel, profile, trace_cache, SweepRunner};
 use sttcache_workloads::ProblemSize;
@@ -28,7 +35,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|catalog|all] \
          [--small] [--csv] [--jobs N | --serial] [--no-trace-cache] \
-         [--profile] [--profile-json PATH]"
+         [--no-compiled-replay] [--profile] [--profile-json PATH]"
     );
     std::process::exit(2);
 }
@@ -62,6 +69,7 @@ fn main() {
                 parallel::set_jobs(n);
             }
             "--no-trace-cache" => trace_cache::set_enabled(false),
+            "--no-compiled-replay" => trace_cache::set_compiled_enabled(false),
             "--profile" => profile_text = true,
             "--profile-json" => {
                 i += 1;

@@ -35,7 +35,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sim --bench <name> [--org {}] [--size mini|small]\n\
          \x20          [--opts none|all|v+p+o subset] [--vwb-bits N] [--icache sram|nvm]\n\
-         \x20          [--baseline] [--jobs N | --serial] [--no-trace-cache] [--profile]\n\
+         \x20          [--baseline] [--jobs N | --serial] [--no-trace-cache]\n\
+         \x20          [--no-compiled-replay] [--profile]\n\
          benchmarks: {}",
         sttcache::catalog::catalog()
             .iter()
@@ -112,6 +113,7 @@ fn parse_args() -> Options {
             }
             "--baseline" => baseline = true,
             "--no-trace-cache" => trace_cache::set_enabled(false),
+            "--no-compiled-replay" => trace_cache::set_compiled_enabled(false),
             "--profile" => profile = true,
             "--serial" => parallel::set_jobs(1),
             "--jobs" => {

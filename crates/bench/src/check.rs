@@ -23,10 +23,16 @@
 //! saturation, aliasing write bursts, line-straddling access widths.
 //! [`shrink_events`] minimizes a failing trace by greedy chunk removal
 //! so a report names the shortest reproducer found.
+//!
+//! A fourth, independent layer targets the compiled replay pass:
+//! [`check_compiled`] lowers a trace to its structure-of-arrays form for
+//! every organization's DL1 geometry and demands a validating,
+//! round-tripping compiled trace whose replay is bit-identical to the
+//! interpreted one (`sttcache-check --kind compiled`).
 
 use crate::testkit::{Rng, DEFAULT_SEED};
 use sttcache::{DCacheOrganization, FrontEnd, Platform};
-use sttcache_cpu::{Core, Engine, TeeEngine, Trace, TraceEvent, TraceRecorder};
+use sttcache_cpu::{CompiledTrace, Core, Engine, TeeEngine, Trace, TraceEvent, TraceRecorder};
 use sttcache_mem::{invariants, InvariantViolation, ShadowOracle};
 
 /// An [`Engine`] that mirrors every architectural event into a
@@ -472,6 +478,70 @@ pub fn run_case(kind: Adversary, seed: u64, events: usize) -> Result<(), CheckFa
     }
 }
 
+/// Cross-checks the compiled structure-of-arrays replay against the
+/// interpreted replay on every catalog organization. For each one the
+/// trace is lowered to the organization's DL1 geometry, and the compiled
+/// form must [`validate`](CompiledTrace::validate), decompile back to
+/// the original event stream, and replay to a bit-identical
+/// [`RunResult`](sttcache::RunResult). Returns one message per
+/// divergence; empty when the trace passes everywhere.
+pub fn check_compiled(label: &str, trace: &Trace) -> Vec<String> {
+    let mut failures = Vec::new();
+    for org in all_organizations() {
+        let platform = Platform::new(org).expect("canonical organization validates");
+        let compiled = CompiledTrace::compile(trace, platform.dl1_geometry());
+        if let Err(e) = compiled.validate() {
+            failures.push(format!(
+                "[{}] {label}: invalid compiled trace: {e}",
+                org.name()
+            ));
+            continue;
+        }
+        if compiled.decompile() != *trace {
+            failures.push(format!(
+                "[{}] {label}: compile/decompile round trip altered the event stream",
+                org.name()
+            ));
+            continue;
+        }
+        let compiled_run = platform.run_compiled(&compiled);
+        let interpreted_run = platform.run_trace(trace);
+        if compiled_run != interpreted_run {
+            failures.push(format!(
+                "[{}] {label}: compiled replay diverged from interpreted replay \
+                 ({} vs {} cycles)",
+                org.name(),
+                compiled_run.cycles(),
+                interpreted_run.cycles()
+            ));
+        }
+    }
+    failures
+}
+
+/// Generates one adversarial trace and runs [`check_compiled`] on it —
+/// the `--kind compiled` leg of `sttcache-check`.
+///
+/// # Errors
+///
+/// Returns the structured [`CheckFailure`] when any organization's
+/// compiled replay fails validation, the decompile round trip, or
+/// bit-identity with the interpreted replay.
+pub fn run_compiled_case(kind: Adversary, seed: u64, events: usize) -> Result<(), CheckFailure> {
+    let trace = adversarial_trace(kind, seed, events);
+    let failures = check_compiled(&format!("{}#{seed:#x}", kind.name()), &trace);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CheckFailure {
+            kind,
+            seed,
+            events,
+            failures,
+        })
+    }
+}
+
 /// The fixed seeds `--quick` runs (plus [`testkit::base_seed`]'s
 /// override when `STTCACHE_TEST_SEED` is set).
 ///
@@ -544,6 +614,16 @@ pub fn shrink_failure(failure: &CheckFailure) -> Trace {
     trace_from_events(&minimal)
 }
 
+/// [`shrink_failure`]'s counterpart for `--kind compiled` failures: the
+/// probe is [`check_compiled`] instead of the oracle differential.
+pub fn shrink_compiled_failure(failure: &CheckFailure) -> Trace {
+    let trace = adversarial_trace(failure.kind, failure.seed, failure.events);
+    let minimal = shrink_events(trace.events(), |evs| {
+        !check_compiled("shrink-probe", &trace_from_events(evs)).is_empty()
+    });
+    trace_from_events(&minimal)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,6 +669,20 @@ mod tests {
         assert!(report.passed(), "failures: {:#?}", report.failures);
         assert_eq!(report.reports.len(), sttcache::catalog::catalog().len());
         assert_eq!(report.reports[0].organization, "SRAM baseline");
+    }
+
+    #[test]
+    fn compiled_cross_check_passes_on_adversarial_traces() {
+        for kind in [Adversary::LineStraddle, Adversary::RandomMix] {
+            let trace = adversarial_trace(kind, DEFAULT_SEED, 400);
+            let failures = check_compiled("unit", &trace);
+            assert!(failures.is_empty(), "failures: {failures:#?}");
+        }
+    }
+
+    #[test]
+    fn compiled_case_runner_reports_clean_on_a_quick_seed() {
+        assert!(run_compiled_case(Adversary::BankPingPong, DEFAULT_SEED, 300).is_ok());
     }
 
     #[test]

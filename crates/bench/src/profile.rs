@@ -1,11 +1,13 @@
 //! Per-phase wall-clock accounting for `--profile`.
 //!
-//! The trace cache attributes every simulation's time to one of three
-//! phases — *record* (running a kernel into a [`TraceRecorder`]), *replay*
-//! (driving a platform from a cached trace) and *direct* (the uncached
-//! path) — into process-global atomic counters, so the record-once/
-//! replay-many win is measurable from the binaries without plumbing
-//! timers through every sweep. The binaries add per-figure wall-clock on
+//! The trace cache attributes every simulation's time to one of five
+//! phases — *record* (running a kernel into a [`TraceRecorder`]),
+//! *compile* (lowering a recorded trace into structure-of-arrays columns),
+//! *compiled replay* (driving a platform from a compiled trace), *replay*
+//! (driving a platform from an interpreted cached trace) and *direct*
+//! (the uncached path) — into process-global atomic counters, so the
+//! record-once/replay-many win is measurable from the binaries without
+//! plumbing timers through every sweep. The binaries add per-figure wall-clock on
 //! top and render the whole thing as a human summary (stderr) or JSON
 //! (`--profile-json`), keeping stdout byte-identical to the committed
 //! reference output.
@@ -18,6 +20,10 @@ use std::time::Duration;
 
 static RECORD_NS: AtomicU64 = AtomicU64::new(0);
 static RECORD_RUNS: AtomicU64 = AtomicU64::new(0);
+static COMPILE_NS: AtomicU64 = AtomicU64::new(0);
+static COMPILE_RUNS: AtomicU64 = AtomicU64::new(0);
+static COMPILED_REPLAY_NS: AtomicU64 = AtomicU64::new(0);
+static COMPILED_REPLAY_RUNS: AtomicU64 = AtomicU64::new(0);
 static REPLAY_NS: AtomicU64 = AtomicU64::new(0);
 static REPLAY_RUNS: AtomicU64 = AtomicU64::new(0);
 static DIRECT_NS: AtomicU64 = AtomicU64::new(0);
@@ -33,7 +39,17 @@ pub fn add_record(d: Duration) {
     add(&RECORD_NS, &RECORD_RUNS, d);
 }
 
-/// Credits one cached-trace replay.
+/// Credits one trace-compilation pass (structure-of-arrays lowering).
+pub fn add_compile(d: Duration) {
+    add(&COMPILE_NS, &COMPILE_RUNS, d);
+}
+
+/// Credits one compiled-trace replay.
+pub fn add_compiled_replay(d: Duration) {
+    add(&COMPILED_REPLAY_NS, &COMPILED_REPLAY_RUNS, d);
+}
+
+/// Credits one interpreted cached-trace replay.
 pub fn add_replay(d: Duration) {
     add(&REPLAY_NS, &REPLAY_RUNS, d);
 }
@@ -50,9 +66,17 @@ pub struct ProfileSnapshot {
     pub record_seconds: f64,
     /// Number of recordings.
     pub record_runs: u64,
-    /// Seconds spent replaying cached traces.
+    /// Seconds spent compiling traces into structure-of-arrays columns.
+    pub compile_seconds: f64,
+    /// Number of trace compilations.
+    pub compile_runs: u64,
+    /// Seconds spent replaying compiled traces.
+    pub compiled_replay_seconds: f64,
+    /// Number of compiled replays.
+    pub compiled_replay_runs: u64,
+    /// Seconds spent replaying cached traces interpretively.
     pub replay_seconds: f64,
-    /// Number of replays.
+    /// Number of interpreted replays.
     pub replay_runs: u64,
     /// Seconds spent in direct (uncached) kernel execution.
     pub direct_seconds: f64,
@@ -77,6 +101,10 @@ pub fn snapshot() -> ProfileSnapshot {
     ProfileSnapshot {
         record_seconds: secs(&RECORD_NS),
         record_runs: RECORD_RUNS.load(Ordering::Relaxed),
+        compile_seconds: secs(&COMPILE_NS),
+        compile_runs: COMPILE_RUNS.load(Ordering::Relaxed),
+        compiled_replay_seconds: secs(&COMPILED_REPLAY_NS),
+        compiled_replay_runs: COMPILED_REPLAY_RUNS.load(Ordering::Relaxed),
         replay_seconds: secs(&REPLAY_NS),
         replay_runs: REPLAY_RUNS.load(Ordering::Relaxed),
         direct_seconds: secs(&DIRECT_NS),
@@ -90,9 +118,19 @@ pub fn snapshot() -> ProfileSnapshot {
 }
 
 impl ProfileSnapshot {
-    /// Simulation seconds across all three phases.
+    /// Simulation seconds across all five phases.
     pub fn simulation_seconds(&self) -> f64 {
-        self.record_seconds + self.replay_seconds + self.direct_seconds
+        self.record_seconds
+            + self.compile_seconds
+            + self.compiled_replay_seconds
+            + self.replay_seconds
+            + self.direct_seconds
+    }
+
+    /// Seconds spent in either replay flavour (compiled + interpreted) —
+    /// the quantity the bench regression gate bounds.
+    pub fn replay_phase_seconds(&self) -> f64 {
+        self.compiled_replay_seconds + self.replay_seconds
     }
 }
 
@@ -124,10 +162,15 @@ impl ProfileReport {
             if self.cache_enabled { "on" } else { "off" }
         ));
         out.push_str(&format!(
-            "  phases: record {:.3}s/{} runs, replay {:.3}s/{} runs, \
+            "  phases: record {:.3}s/{} runs, compile {:.3}s/{} runs, \
+             compiled replay {:.3}s/{} runs, replay {:.3}s/{} runs, \
              direct {:.3}s/{} runs, aggregate {:.3}s\n",
             p.record_seconds,
             p.record_runs,
+            p.compile_seconds,
+            p.compile_runs,
+            p.compiled_replay_seconds,
+            p.compiled_replay_runs,
             p.replay_seconds,
             p.replay_runs,
             p.direct_seconds,
@@ -172,6 +215,14 @@ impl ProfileReport {
         out.push_str(&format!(
             "    \"record_seconds\": {:.6},\n    \"record_runs\": {},\n",
             p.record_seconds, p.record_runs
+        ));
+        out.push_str(&format!(
+            "    \"compile_seconds\": {:.6},\n    \"compile_runs\": {},\n",
+            p.compile_seconds, p.compile_runs
+        ));
+        out.push_str(&format!(
+            "    \"compiled_replay_seconds\": {:.6},\n    \"compiled_replay_runs\": {},\n",
+            p.compiled_replay_seconds, p.compiled_replay_runs
         ));
         out.push_str(&format!(
             "    \"replay_seconds\": {:.6},\n    \"replay_runs\": {},\n",
@@ -225,6 +276,10 @@ mod tests {
             phases: ProfileSnapshot {
                 record_seconds: 0.2,
                 record_runs: 3,
+                compile_seconds: 0.01,
+                compile_runs: 3,
+                compiled_replay_seconds: 0.3,
+                compiled_replay_runs: 80,
                 replay_seconds: 0.9,
                 replay_runs: 100,
                 direct_seconds: 0.0,
@@ -275,16 +330,73 @@ mod tests {
     fn snapshot_accumulates_phase_time() {
         let before = snapshot();
         add_record(Duration::from_millis(5));
+        add_compile(Duration::from_millis(3));
+        add_compiled_replay(Duration::from_millis(2));
         add_replay(Duration::from_millis(7));
         add_direct(Duration::from_millis(11));
         let after = snapshot();
         assert!(after.record_seconds >= before.record_seconds + 0.004);
+        assert!(after.compile_seconds >= before.compile_seconds + 0.002);
+        assert!(after.compiled_replay_seconds >= before.compiled_replay_seconds + 0.001);
         assert!(after.replay_seconds >= before.replay_seconds + 0.006);
         assert!(after.direct_seconds >= before.direct_seconds + 0.010);
         // Other tests in this binary may add phase time concurrently, so
         // only lower bounds are safe to assert.
         assert!(after.record_runs > before.record_runs);
+        assert!(after.compile_runs > before.compile_runs);
+        assert!(after.compiled_replay_runs > before.compiled_replay_runs);
         assert!(after.replay_runs > before.replay_runs);
         assert!(after.direct_runs > before.direct_runs);
+    }
+
+    #[test]
+    fn replay_phase_spans_both_replay_flavours() {
+        let p = sample().phases;
+        assert!((p.replay_phase_seconds() - 1.2).abs() < 1e-12);
+        assert!((p.simulation_seconds() - 1.41).abs() < 1e-12);
+    }
+
+    /// Pins the `--profile-json` schema: `scripts/bench_gate.sh` greps
+    /// these keys out of committed and fresh snapshots, so renaming or
+    /// dropping one silently breaks the regression gate. Adding keys is
+    /// fine; this test must be updated in lockstep with the gate script
+    /// when a key it reads changes.
+    #[test]
+    fn json_schema_keys_are_pinned() {
+        let json = sample().render_json();
+        for key in [
+            "\"total_seconds\"",
+            "\"workers\"",
+            "\"trace_cache_enabled\"",
+            "\"phases\"",
+            "\"record_seconds\"",
+            "\"record_runs\"",
+            "\"compile_seconds\"",
+            "\"compile_runs\"",
+            "\"compiled_replay_seconds\"",
+            "\"compiled_replay_runs\"",
+            "\"replay_seconds\"",
+            "\"replay_runs\"",
+            "\"direct_seconds\"",
+            "\"direct_runs\"",
+            "\"aggregate_seconds\"",
+            "\"trace_cache\"",
+            "\"hits\"",
+            "\"misses\"",
+            "\"evictions\"",
+            "\"hit_rate\"",
+            "\"resident_bytes\"",
+            "\"entries\"",
+            "\"result_memo\"",
+            "\"figures\"",
+            "\"name\"",
+            "\"seconds\"",
+        ] {
+            assert!(json.contains(key), "missing schema key {key} in:\n{json}");
+        }
+        // `replay_seconds` must stay distinct from `compiled_replay_seconds`
+        // (the gate sums them); exactly one occurrence of each key.
+        assert_eq!(json.matches("\"compiled_replay_seconds\"").count(), 1);
+        assert_eq!(json.matches("\"replay_seconds\"").count(), 1);
     }
 }

@@ -15,7 +15,9 @@ use crate::front_end::FrontEnd;
 use crate::stage::{BufferStats, StackSpec, StageSpec, StageStats};
 use crate::vwb::VwbConfig;
 use crate::SttError;
-use sttcache_cpu::{Core, CoreConfig, CoreReport, Engine, FetchUnit, MemPort, Trace};
+use sttcache_cpu::{
+    CompiledTrace, Core, CoreConfig, CoreReport, Engine, FetchUnit, MemPort, Trace, TraceGeometry,
+};
 use sttcache_mem::{Cache, CacheConfig, CacheStats, MainMemory};
 use sttcache_tech::{ArrayModel, CellKind, LeakageIntegrator};
 
@@ -248,6 +250,39 @@ impl Platform {
     /// record-once/replay-many path the sweep engine's trace cache uses.
     pub fn run_trace(&self, trace: &Trace) -> RunResult {
         self.run_core(|core| trace.replay_into(core))
+    }
+
+    /// The DL1's `(line_bytes, sets, banks)` triple — the geometry a trace
+    /// must be compiled against ([`CompiledTrace::compile`]) to replay on
+    /// this platform through [`Platform::run_compiled`].
+    pub fn dl1_geometry(&self) -> TraceGeometry {
+        let cfg = self
+            .dl1_config()
+            .expect("configuration was validated eagerly");
+        TraceGeometry::new(cfg.line_bytes(), cfg.sets(), cfg.banks())
+    }
+
+    /// Replays a [`CompiledTrace`] on a cold platform — the
+    /// structure-of-arrays fast path: no varint decode, no per-event
+    /// address math, no bounds checks in the hot loop.
+    ///
+    /// Cycle-for-cycle identical to [`Platform::run_trace`] on the trace
+    /// the compiled form was lowered from, **provided** it was compiled
+    /// for this platform's [`Platform::dl1_geometry`] — asserted here, and
+    /// re-checked per access by `debug_assert`s in the pre-decoded cache
+    /// entry points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compiled.geometry()` differs from this platform's DL1
+    /// geometry (replaying would silently mis-index sets and banks).
+    pub fn run_compiled(&self, compiled: &CompiledTrace) -> RunResult {
+        assert_eq!(
+            compiled.geometry(),
+            self.dl1_geometry(),
+            "compiled trace geometry does not match the platform's DL1"
+        );
+        self.run_core(|core| compiled.replay_into_core(core))
     }
 
     /// Shared body of [`Platform::run`] and [`Platform::run_trace`]:
@@ -598,6 +633,37 @@ mod tests {
                 org.name()
             );
         }
+    }
+
+    #[test]
+    fn compiled_replay_matches_interpreted_replay_everywhere() {
+        let trace: sttcache_cpu::Trace = {
+            let mut rec = sttcache_cpu::TraceRecorder::new();
+            workload(&mut rec);
+            rec.prefetch(Addr(0x4000));
+            rec.into_trace()
+        };
+        for entry in crate::catalog::catalog() {
+            let p = Platform::new(entry.organization).unwrap();
+            let compiled = CompiledTrace::compile(&trace, p.dl1_geometry());
+            assert_eq!(
+                p.run_compiled(&compiled),
+                p.run_trace(&trace),
+                "{}",
+                entry.organization.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn run_compiled_rejects_a_foreign_geometry() {
+        let sram = Platform::new(DCacheOrganization::SramBaseline).unwrap();
+        let nvm = Platform::new(DCacheOrganization::NvmDropIn).unwrap();
+        let trace = sttcache_cpu::Trace::new();
+        // SRAM lines are 32 B, NVM lines 64 B: the geometries differ.
+        let compiled = CompiledTrace::compile(&trace, sram.dl1_geometry());
+        nvm.run_compiled(&compiled);
     }
 
     #[test]

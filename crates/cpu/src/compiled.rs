@@ -1,0 +1,448 @@
+//! Compiled structure-of-arrays trace replay.
+//!
+//! [`Trace::replay_into`] walks an array-of-structs event vector and
+//! re-derives the line/set/bank decomposition of every address on every
+//! replay. In a record-once/replay-many sweep the same trace is replayed
+//! hundreds of times, so that per-event address math — cheap as it is —
+//! dominates the inner loop. [`CompiledTrace::compile`] lowers a trace
+//! **once per (trace, geometry)** into structure-of-arrays columns with
+//! the decomposition pre-computed; [`CompiledTrace::replay_into_core`]
+//! then streams the columns through [`Core`]'s pre-decoded entry points
+//! with no varint decode, no address math and no bounds checks in the hot
+//! loop (column lengths are equalised by construction and verified once
+//! by [`CompiledTrace::validate`]).
+//!
+//! The decomposition is geometry-specific: a compiled trace is only
+//! replayable against a cache whose `(line_bytes, sets, banks)` match the
+//! [`TraceGeometry`] it was compiled for. Ports that cannot exploit the
+//! decomposition simply fall back to the plain [`DataPort`] path through
+//! the `*_pre` default methods, so compiled replay is always
+//! timing-identical to interpreted replay.
+//!
+//! # Example
+//!
+//! ```
+//! use sttcache_cpu::{CompiledTrace, Engine, TraceGeometry, TraceRecorder};
+//! use sttcache_mem::Addr;
+//!
+//! let mut rec = TraceRecorder::new();
+//! rec.load(Addr(0x40), 4);
+//! rec.compute(3);
+//! let trace = rec.into_trace();
+//!
+//! let geom = TraceGeometry::new(64, 512, 4);
+//! let compiled = CompiledTrace::compile(&trace, geom);
+//! assert_eq!(compiled.len(), trace.len());
+//! assert_eq!(compiled.decompile(), trace);
+//! ```
+
+use crate::core_engine::Core;
+use crate::port::DataPort;
+use crate::trace::{Trace, TraceEvent};
+use crate::Engine;
+use sttcache_mem::{Addr, DecodedAddr, LineAddr};
+
+/// The `(line_bytes, sets, banks)` triple a trace is compiled against.
+///
+/// All three must be powers of two (the simulator's caches only support
+/// power-of-two geometries) and small enough for the packed set/bank
+/// column: at most 2^16 sets and 2^16 banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceGeometry {
+    /// Cache-line size in bytes.
+    pub line_bytes: usize,
+    /// Number of sets.
+    pub sets: usize,
+    /// Number of banks.
+    pub banks: usize,
+}
+
+impl TraceGeometry {
+    /// Creates a geometry, panicking on an unsupported triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is not a power of two, or if `sets` or
+    /// `banks` exceed 2^16 (the packed-column limit).
+    pub fn new(line_bytes: usize, sets: usize, banks: usize) -> Self {
+        assert!(
+            line_bytes.is_power_of_two() && sets.is_power_of_two() && banks.is_power_of_two(),
+            "trace geometry must be powers of two: {line_bytes}B lines, {sets} sets, {banks} banks"
+        );
+        assert!(
+            sets <= 1 << 16 && banks <= 1 << 16,
+            "trace geometry exceeds packed-column limits: {sets} sets, {banks} banks"
+        );
+        TraceGeometry {
+            line_bytes,
+            sets,
+            banks,
+        }
+    }
+
+    /// Decomposes `addr` under this geometry.
+    #[inline]
+    pub fn decode(self, addr: Addr) -> DecodedAddr {
+        DecodedAddr::decode(addr, self.line_bytes, self.sets, self.banks)
+    }
+}
+
+/// Column opcodes. `Branch` splits into two opcodes so the hot loop never
+/// touches a payload column for branches.
+const OP_LOAD: u8 = 0;
+const OP_STORE: u8 = 1;
+const OP_PREFETCH: u8 = 2;
+const OP_COMPUTE: u8 = 3;
+const OP_BRANCH_TAKEN: u8 = 4;
+const OP_BRANCH_NOT_TAKEN: u8 = 5;
+
+/// A trace lowered into structure-of-arrays columns for one geometry.
+///
+/// Per event index `i`:
+///
+/// | column      | load/store        | prefetch      | compute   | branch |
+/// |-------------|-------------------|---------------|-----------|--------|
+/// | `ops[i]`    | `OP_LOAD`/`STORE` | `OP_PREFETCH` | `OP_COMPUTE` | `OP_BRANCH_*` |
+/// | `args[i]`   | byte address      | byte address  | op count  | 0      |
+/// | `widths[i]` | access width      | 0             | 0         | 0      |
+/// | `lines[i]`  | line address      | line address  | 0         | 0      |
+/// | `meta[i]`   | set<<16 \| bank   | set<<16 \| bank | 0       | 0      |
+///
+/// All five columns always have identical length ([`CompiledTrace::len`]),
+/// which is what lets [`CompiledTrace::replay_into_core`] iterate them
+/// zipped without per-element bounds checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTrace {
+    geometry: TraceGeometry,
+    ops: Vec<u8>,
+    args: Vec<u64>,
+    widths: Vec<u8>,
+    lines: Vec<u64>,
+    meta: Vec<u32>,
+}
+
+impl CompiledTrace {
+    /// Lowers `trace` for `geometry`. Deterministic: the same trace and
+    /// geometry always produce identical columns.
+    pub fn compile(trace: &Trace, geometry: TraceGeometry) -> Self {
+        let n = trace.len();
+        let mut out = CompiledTrace {
+            geometry,
+            ops: Vec::with_capacity(n),
+            args: Vec::with_capacity(n),
+            widths: Vec::with_capacity(n),
+            lines: Vec::with_capacity(n),
+            meta: Vec::with_capacity(n),
+        };
+        for &ev in trace.events() {
+            match ev {
+                TraceEvent::Load { addr, bytes } => out.push_mem(OP_LOAD, addr, bytes),
+                TraceEvent::Store { addr, bytes } => out.push_mem(OP_STORE, addr, bytes),
+                TraceEvent::Prefetch { addr } => out.push_mem(OP_PREFETCH, addr, 0),
+                TraceEvent::Compute { ops } => out.push_plain(OP_COMPUTE, ops as u64),
+                TraceEvent::Branch { taken } => out.push_plain(
+                    if taken {
+                        OP_BRANCH_TAKEN
+                    } else {
+                        OP_BRANCH_NOT_TAKEN
+                    },
+                    0,
+                ),
+            }
+        }
+        debug_assert_eq!(out.validate(), Ok(()));
+        out
+    }
+
+    /// Appends a memory event with its pre-computed decomposition.
+    fn push_mem(&mut self, op: u8, addr: Addr, width: u8) {
+        let d = self.geometry.decode(addr);
+        self.ops.push(op);
+        self.args.push(addr.0);
+        self.widths.push(width);
+        self.lines.push(d.line.0);
+        self.meta.push(((d.set_index as u32) << 16) | d.bank as u32);
+    }
+
+    /// Appends a non-memory event (zeroed address columns).
+    fn push_plain(&mut self, op: u8, arg: u64) {
+        self.ops.push(op);
+        self.args.push(arg);
+        self.widths.push(0);
+        self.lines.push(0);
+        self.meta.push(0);
+    }
+
+    /// The geometry the trace was compiled for.
+    pub fn geometry(&self) -> TraceGeometry {
+        self.geometry
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Heap footprint of the columns in bytes — the unit the trace cache's
+    /// LRU byte cap accounts compiled entries in.
+    pub fn bytes(&self) -> usize {
+        self.ops.capacity() * size_of::<u8>()
+            + self.args.capacity() * size_of::<u64>()
+            + self.widths.capacity() * size_of::<u8>()
+            + self.lines.capacity() * size_of::<u64>()
+            + self.meta.capacity() * size_of::<u32>()
+    }
+
+    /// Checks every cross-column invariant the hot loop relies on: equal
+    /// column lengths, known opcodes, a decomposition that matches a fresh
+    /// [`TraceGeometry::decode`] of each address, and zeroed payload
+    /// columns for non-memory events.
+    ///
+    /// [`CompiledTrace::compile`] establishes these by construction (and
+    /// `debug_assert`s this check); the method is public so differential
+    /// harnesses can re-verify a compiled trace independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.ops.len();
+        for (name, len) in [
+            ("args", self.args.len()),
+            ("widths", self.widths.len()),
+            ("lines", self.lines.len()),
+            ("meta", self.meta.len()),
+        ] {
+            if len != n {
+                return Err(format!("column {name} has {len} entries, ops has {n}"));
+            }
+        }
+        for i in 0..n {
+            match self.ops[i] {
+                OP_LOAD | OP_STORE | OP_PREFETCH => {
+                    let d = self.geometry.decode(Addr(self.args[i]));
+                    let expect = ((d.set_index as u32) << 16) | d.bank as u32;
+                    if self.lines[i] != d.line.0 {
+                        return Err(format!(
+                            "event {i}: line {:#x} does not match address {:#x}",
+                            self.lines[i], self.args[i]
+                        ));
+                    }
+                    if self.meta[i] != expect {
+                        return Err(format!(
+                            "event {i}: set/bank {:#x} does not match address {:#x}",
+                            self.meta[i], self.args[i]
+                        ));
+                    }
+                }
+                OP_COMPUTE => {}
+                OP_BRANCH_TAKEN | OP_BRANCH_NOT_TAKEN => {
+                    if self.args[i] != 0 {
+                        return Err(format!("event {i}: branch with non-zero payload"));
+                    }
+                }
+                other => return Err(format!("event {i}: unknown opcode {other}")),
+            }
+            if self.ops[i] > OP_PREFETCH && (self.lines[i] != 0 || self.meta[i] != 0) {
+                return Err(format!("event {i}: non-memory event with address columns"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs the original event stream — the round-trip inverse of
+    /// [`CompiledTrace::compile`], used by equivalence tests.
+    pub fn decompile(&self) -> Trace {
+        (0..self.len())
+            .map(|i| match self.ops[i] {
+                OP_LOAD => TraceEvent::Load {
+                    addr: Addr(self.args[i]),
+                    bytes: self.widths[i],
+                },
+                OP_STORE => TraceEvent::Store {
+                    addr: Addr(self.args[i]),
+                    bytes: self.widths[i],
+                },
+                OP_PREFETCH => TraceEvent::Prefetch {
+                    addr: Addr(self.args[i]),
+                },
+                OP_COMPUTE => TraceEvent::Compute {
+                    ops: self.args[i] as u32,
+                },
+                OP_BRANCH_TAKEN => TraceEvent::Branch { taken: true },
+                OP_BRANCH_NOT_TAKEN => TraceEvent::Branch { taken: false },
+                other => unreachable!("validated compiled trace with opcode {other}"),
+            })
+            .collect()
+    }
+
+    /// Replays the columns into a core, in order — the monomorphic
+    /// compiled-replay fast path.
+    ///
+    /// Timing- and state-identical to `self.decompile().replay_into(core)`
+    /// whenever the core's port geometry matches [`CompiledTrace::geometry`]
+    /// (the `*_pre` entry points `debug_assert` this); ports with a
+    /// different geometry must not be driven through this path.
+    pub fn replay_into_core<P: DataPort>(&self, core: &mut Core<P>) {
+        let iter = self
+            .ops
+            .iter()
+            .zip(&self.args)
+            .zip(&self.widths)
+            .zip(&self.lines)
+            .zip(&self.meta);
+        for ((((&op, &arg), &width), &line), &meta) in iter {
+            match op {
+                OP_LOAD | OP_STORE | OP_PREFETCH => {
+                    let d = DecodedAddr {
+                        addr: Addr(arg),
+                        line: LineAddr(line),
+                        set_index: (meta >> 16) as usize,
+                        bank: (meta & 0xffff) as usize,
+                    };
+                    match op {
+                        OP_LOAD => core.load_pre(d, width as usize),
+                        OP_STORE => core.store_pre(d, width as usize),
+                        _ => core.prefetch_pre(d),
+                    }
+                }
+                OP_COMPUTE => core.compute(arg),
+                OP_BRANCH_TAKEN => core.branch(true),
+                OP_BRANCH_NOT_TAKEN => core.branch(false),
+                other => unreachable!("validated compiled trace with opcode {other}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecorder;
+    use crate::Engine;
+
+    fn sample() -> Trace {
+        let mut rec = TraceRecorder::new();
+        rec.load(Addr(0x1000), 4);
+        rec.compute(5);
+        rec.store(Addr(0x2040), 16);
+        rec.prefetch(Addr(0x3000));
+        rec.branch(true);
+        rec.branch(false);
+        rec.load(Addr(u64::MAX), 8);
+        rec.into_trace()
+    }
+
+    fn geom() -> TraceGeometry {
+        TraceGeometry::new(64, 512, 4)
+    }
+
+    #[test]
+    fn compile_decompile_roundtrips() {
+        let t = sample();
+        let c = CompiledTrace::compile(&t, geom());
+        assert_eq!(c.len(), t.len());
+        assert_eq!(c.decompile(), t);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let t = sample();
+        assert_eq!(
+            CompiledTrace::compile(&t, geom()),
+            CompiledTrace::compile(&t, geom())
+        );
+    }
+
+    #[test]
+    fn empty_trace_compiles() {
+        let c = CompiledTrace::compile(&Trace::new(), geom());
+        assert!(c.is_empty());
+        assert_eq!(c.decompile(), Trace::new());
+    }
+
+    #[test]
+    fn columns_carry_the_decoded_addresses() {
+        let t = sample();
+        let g = geom();
+        let c = CompiledTrace::compile(&t, g);
+        let d = g.decode(Addr(0x1000));
+        assert_eq!(c.lines[0], d.line.0);
+        assert_eq!(c.meta[0], ((d.set_index as u32) << 16) | d.bank as u32);
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_columns() {
+        let t = sample();
+        let mut c = CompiledTrace::compile(&t, geom());
+        c.lines[0] ^= 1;
+        assert!(c.validate().is_err());
+
+        let mut c = CompiledTrace::compile(&t, geom());
+        c.meta[0] ^= 1;
+        assert!(c.validate().is_err());
+
+        let mut c = CompiledTrace::compile(&t, geom());
+        c.ops[0] = 99;
+        assert!(c.validate().is_err());
+
+        let mut c = CompiledTrace::compile(&t, geom());
+        c.args.pop();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bytes_accounts_all_columns() {
+        let c = CompiledTrace::compile(&sample(), geom());
+        assert!(c.bytes() >= c.len() * (1 + 8 + 1 + 8 + 4));
+    }
+
+    #[test]
+    fn geometry_rejects_non_power_of_two() {
+        let bad = std::panic::catch_unwind(|| TraceGeometry::new(48, 512, 4));
+        assert!(bad.is_err());
+        let too_big = std::panic::catch_unwind(|| TraceGeometry::new(64, 1 << 20, 4));
+        assert!(too_big.is_err());
+    }
+
+    /// A recording engine over the pre-decoded entry points: replaying a
+    /// compiled trace into a real [`Core`] and into an interpreted replay
+    /// of the decompiled trace must agree (exercised end-to-end in the
+    /// bench crate's equivalence battery; here we check the event stream).
+    #[test]
+    fn replay_into_core_reproduces_the_stream() {
+        use crate::port::MemPort;
+        use crate::CoreConfig;
+        use sttcache_mem::{Cache, CacheConfig, MainMemory, MemoryLevel};
+
+        let t = sample();
+        let cfg = CacheConfig::builder().build().unwrap();
+        let g = TraceGeometry::new(cfg.line_bytes(), cfg.sets(), cfg.banks());
+        let c = CompiledTrace::compile(&t, g);
+
+        let mk = || {
+            Core::new(
+                CoreConfig::default(),
+                MemPort::new(Cache::new(
+                    CacheConfig::builder().build().unwrap(),
+                    MainMemory::new(100),
+                )),
+            )
+        };
+        let mut compiled_core = mk();
+        c.replay_into_core(&mut compiled_core);
+        let mut interp_core = mk();
+        t.replay_into(&mut interp_core);
+        assert_eq!(compiled_core.report(), interp_core.report());
+        assert_eq!(
+            compiled_core.port().level().stats(),
+            interp_core.port().level().stats()
+        );
+    }
+}

@@ -6,7 +6,7 @@ use crate::predictor::BranchPredictor;
 use crate::report::CoreReport;
 use crate::store_buffer::StoreBuffer;
 use crate::Engine;
-use sttcache_mem::{Addr, Cycle};
+use sttcache_mem::{Addr, Cycle, DecodedAddr};
 
 /// Core timing parameters.
 ///
@@ -148,15 +148,16 @@ impl<P: DataPort> Core<P> {
     pub fn into_port(self) -> P {
         self.port
     }
-}
 
-impl<P: DataPort> Engine for Core<P> {
-    fn load(&mut self, addr: Addr, _bytes: usize) {
+    /// Shared body of [`Engine::load`] and [`Core::load_pre`]: `issue`
+    /// charges the port through `read`, then stall accounting follows.
+    #[inline]
+    fn do_load(&mut self, addr: Addr, read: impl FnOnce(&mut P, Cycle) -> Cycle) {
         self.fetch_instr(None);
         self.instructions += 1;
         self.loads += 1;
         let issue = self.now;
-        let data_ready = self.port.read(addr, issue);
+        let data_ready = read(&mut self.port, issue);
         if sttcache_mem::invariants::enabled() && data_ready < issue {
             // A port must never deliver data before the request was
             // issued; saturating arithmetic below would silently mask it.
@@ -175,12 +176,14 @@ impl<P: DataPort> Engine for Core<P> {
         self.now = issue + 1 + stall;
     }
 
-    fn store(&mut self, addr: Addr, _bytes: usize) {
+    /// Shared body of [`Engine::store`] and [`Core::store_pre`].
+    #[inline]
+    fn do_store(&mut self, addr: Addr, write: impl FnOnce(&mut P, Cycle) -> Cycle) {
         self.fetch_instr(None);
         self.instructions += 1;
         self.stores += 1;
         let issue_at = self.store_buffer.admit(self.now);
-        let complete = self.port.write(addr, issue_at);
+        let complete = write(&mut self.port, issue_at);
         if sttcache_mem::invariants::enabled() && complete < issue_at {
             sttcache_mem::invariants::report(
                 "core",
@@ -192,6 +195,41 @@ impl<P: DataPort> Engine for Core<P> {
         self.store_buffer.record_completion(complete);
         // The core resumes after the (possibly stalled) one-cycle issue.
         self.now = issue_at.max(self.now) + 1;
+    }
+
+    /// [`Engine::load`] with the address decomposition pre-computed by a
+    /// trace-compilation pass (the compiled-replay fast path). `_bytes`
+    /// mirrors [`Engine::load`]'s signature; the timing model is
+    /// width-independent within a line.
+    #[inline]
+    pub fn load_pre(&mut self, d: DecodedAddr, _bytes: usize) {
+        self.do_load(d.addr, |p, t| p.read_pre(d, t));
+    }
+
+    /// [`Engine::store`] for a pre-decoded address.
+    #[inline]
+    pub fn store_pre(&mut self, d: DecodedAddr, _bytes: usize) {
+        self.do_store(d.addr, |p, t| p.write_pre(d, t));
+    }
+
+    /// [`Engine::prefetch`] for a pre-decoded address.
+    #[inline]
+    pub fn prefetch_pre(&mut self, d: DecodedAddr) {
+        self.fetch_instr(None);
+        self.instructions += 1;
+        self.prefetches += 1;
+        self.port.prefetch_pre(d, self.now);
+        self.now += 1;
+    }
+}
+
+impl<P: DataPort> Engine for Core<P> {
+    fn load(&mut self, addr: Addr, _bytes: usize) {
+        self.do_load(addr, |p, t| p.read(addr, t));
+    }
+
+    fn store(&mut self, addr: Addr, _bytes: usize) {
+        self.do_store(addr, |p, t| p.write(addr, t));
     }
 
     fn prefetch(&mut self, addr: Addr) {

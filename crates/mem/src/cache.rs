@@ -1,6 +1,6 @@
 //! The timed set-associative cache.
 
-use crate::addr::{Addr, Cycle, LineAddr};
+use crate::addr::{Addr, Cycle, DecodedAddr, LineAddr};
 use crate::banks::BankSchedule;
 use crate::config::{CacheConfig, WritePolicy};
 use crate::mshr::{MshrFile, MshrOutcome};
@@ -338,6 +338,159 @@ impl<N: MemoryLevel> Cache<N> {
         (fill_ready, served_by)
     }
 
+    /// Serves a read whose address decomposition was computed ahead of
+    /// time (a compiled-trace replay). Identical in timing, statistics and
+    /// state to [`MemoryLevel::read`]; the shift/mask address math is
+    /// simply not repeated per access.
+    ///
+    /// `d` must be the address's decomposition under *this* cache's
+    /// geometry (checked in debug builds).
+    pub fn read_decoded(&mut self, d: DecodedAddr, now: Cycle) -> AccessOutcome {
+        debug_assert_eq!(d.line, self.line_of(d.addr));
+        debug_assert_eq!(d.set_index, d.line.set_index(self.config.sets()));
+        debug_assert_eq!(d.bank, d.line.bank(self.config.banks()));
+        self.read_at(d.addr, d.line, d.set_index, d.bank, now)
+    }
+
+    /// [`Cache::read_decoded`] for writes.
+    pub fn write_decoded(&mut self, d: DecodedAddr, now: Cycle) -> AccessOutcome {
+        debug_assert_eq!(d.line, self.line_of(d.addr));
+        debug_assert_eq!(d.set_index, d.line.set_index(self.config.sets()));
+        debug_assert_eq!(d.bank, d.line.bank(self.config.banks()));
+        self.write_at(d.addr, d.line, d.set_index, d.bank, now)
+    }
+
+    /// Shared body of [`MemoryLevel::read`] and [`Cache::read_decoded`]:
+    /// `line`, `set_index` and `bank` must be `addr`'s decomposition under
+    /// this cache's geometry.
+    #[inline]
+    fn read_at(
+        &mut self,
+        addr: Addr,
+        line: LineAddr,
+        set_index: usize,
+        bank: usize,
+        now: Cycle,
+    ) -> AccessOutcome {
+        self.stats.reads += 1;
+        let tag = line.tag(self.config.sets());
+
+        let lookup = self.sets[set_index].lookup(tag);
+        let outcome = match lookup {
+            LookupResult::Hit(way) => {
+                self.stats.read_hits += 1;
+                // Data of an in-flight fill may not have arrived yet.
+                let avail = self.mshrs.ready_time(line, now).map_or(now, |r| r.max(now));
+                let start = self.banks.reserve(bank, avail, self.config.read_cycles());
+                self.sets[set_index].touch(way, start, false);
+                AccessOutcome {
+                    complete_at: start + self.config.read_cycles(),
+                    served_by: ServedBy::ThisLevel,
+                }
+            }
+            LookupResult::Miss { .. } => {
+                let (ready, served_by) = self.fill_miss(line, now);
+                // The critical word is forwarded to the requester as the
+                // fill arrives; no second array read is charged.
+                AccessOutcome {
+                    complete_at: ready,
+                    served_by,
+                }
+            }
+        };
+        self.sync_component_stats();
+        if crate::invariants::enabled() {
+            self.check_access(addr, now, outcome.complete_at);
+        }
+        outcome
+    }
+
+    /// Shared body of [`MemoryLevel::write`] and [`Cache::write_decoded`].
+    #[inline]
+    fn write_at(
+        &mut self,
+        addr: Addr,
+        line: LineAddr,
+        set_index: usize,
+        bank: usize,
+        now: Cycle,
+    ) -> AccessOutcome {
+        self.stats.writes += 1;
+        let sets = self.config.sets();
+        let tag = line.tag(sets);
+
+        let lookup = self.sets[set_index].lookup(tag);
+        let outcome = match (lookup, self.config.write_policy()) {
+            (LookupResult::Hit(way), WritePolicy::WriteBack) => {
+                self.stats.write_hits += 1;
+                let avail = self.mshrs.ready_time(line, now).map_or(now, |r| r.max(now));
+                let wc = self.next_write_cycles();
+                let start = self.banks.reserve(bank, avail, wc);
+                self.sets[set_index].touch(way, start, true);
+                AccessOutcome {
+                    complete_at: start + wc,
+                    served_by: ServedBy::ThisLevel,
+                }
+            }
+            (LookupResult::Hit(way), WritePolicy::WriteThrough) => {
+                self.stats.write_hits += 1;
+                let start = self.banks.reserve(bank, now, self.config.write_cycles());
+                self.sets[set_index].touch(way, start, false);
+                let below = self.next.write(line.base(self.config.line_bytes()), start);
+                AccessOutcome {
+                    complete_at: below.complete_at,
+                    served_by: ServedBy::ThisLevel,
+                }
+            }
+            (LookupResult::Miss { .. }, WritePolicy::WriteBack) => {
+                // Write-allocate: fetch the line, then perform the write hit
+                // ("the data in the cache location is loaded in the block
+                // from the L2/main memory and this is followed by the write
+                // hit operation", §IV).
+                let (mut ready, served_by) = self.fill_miss(line, now);
+                // A merged fill can complete without the line resident:
+                // fills install eagerly at a future timestamp, so later
+                // same-set misses in program order may already have
+                // evicted the line this request merged into. Physically
+                // the merged requester arrives after that eviction and
+                // has to re-fetch the line like any fresh miss. The
+                // retry makes progress: a merge always returns a ready
+                // time strictly past the probe time, and once the probe
+                // reaches it the stale entry is reclaimed and the fill
+                // installs the line.
+                let way = loop {
+                    match self.sets[set_index].lookup(tag) {
+                        LookupResult::Hit(way) => break way,
+                        LookupResult::Miss { .. } => {
+                            let (r, _) = self.fill_miss(line, ready);
+                            ready = r;
+                        }
+                    }
+                };
+                let wc = self.next_write_cycles();
+                let start = self.banks.reserve(bank, ready, wc);
+                self.sets[set_index].touch(way, start, true);
+                AccessOutcome {
+                    complete_at: start + wc,
+                    served_by,
+                }
+            }
+            (LookupResult::Miss { .. }, WritePolicy::WriteThrough) => {
+                // No-allocate: the write goes straight below.
+                let below = self.next.write(line.base(self.config.line_bytes()), now);
+                AccessOutcome {
+                    complete_at: below.complete_at,
+                    served_by: ServedBy::Lower,
+                }
+            }
+        };
+        self.sync_component_stats();
+        if crate::invariants::enabled() {
+            self.check_access(addr, now, outcome.complete_at);
+        }
+        outcome
+    }
+
     fn sync_component_stats(&mut self) {
         self.stats.bank_conflict_cycles = self.banks.conflict_cycles();
         self.stats.mshr_merges = self.mshrs.merges();
@@ -376,121 +529,17 @@ impl<N: MemoryLevel> Cache<N> {
 
 impl<N: MemoryLevel> MemoryLevel for Cache<N> {
     fn read(&mut self, addr: Addr, now: Cycle) -> AccessOutcome {
-        self.stats.reads += 1;
         let line = self.line_of(addr);
-        let sets = self.config.sets();
-        let tag = line.tag(sets);
-
-        let lookup = self.sets[line.set_index(sets)].lookup(tag);
-        let outcome = match lookup {
-            LookupResult::Hit(way) => {
-                self.stats.read_hits += 1;
-                // Data of an in-flight fill may not have arrived yet.
-                let avail = self.mshrs.ready_time(line, now).map_or(now, |r| r.max(now));
-                let bank = line.bank(self.config.banks());
-                let start = self.banks.reserve(bank, avail, self.config.read_cycles());
-                self.sets[line.set_index(sets)].touch(way, start, false);
-                AccessOutcome {
-                    complete_at: start + self.config.read_cycles(),
-                    served_by: ServedBy::ThisLevel,
-                }
-            }
-            LookupResult::Miss { .. } => {
-                let (ready, served_by) = self.fill_miss(line, now);
-                // The critical word is forwarded to the requester as the
-                // fill arrives; no second array read is charged.
-                AccessOutcome {
-                    complete_at: ready,
-                    served_by,
-                }
-            }
-        };
-        self.sync_component_stats();
-        if crate::invariants::enabled() {
-            self.check_access(addr, now, outcome.complete_at);
-        }
-        outcome
+        let set_index = line.set_index(self.config.sets());
+        let bank = line.bank(self.config.banks());
+        self.read_at(addr, line, set_index, bank, now)
     }
 
     fn write(&mut self, addr: Addr, now: Cycle) -> AccessOutcome {
-        self.stats.writes += 1;
         let line = self.line_of(addr);
-        let sets = self.config.sets();
-        let tag = line.tag(sets);
-
-        let lookup = self.sets[line.set_index(sets)].lookup(tag);
-        let outcome = match (lookup, self.config.write_policy()) {
-            (LookupResult::Hit(way), WritePolicy::WriteBack) => {
-                self.stats.write_hits += 1;
-                let avail = self.mshrs.ready_time(line, now).map_or(now, |r| r.max(now));
-                let bank = line.bank(self.config.banks());
-                let wc = self.next_write_cycles();
-                let start = self.banks.reserve(bank, avail, wc);
-                self.sets[line.set_index(sets)].touch(way, start, true);
-                AccessOutcome {
-                    complete_at: start + wc,
-                    served_by: ServedBy::ThisLevel,
-                }
-            }
-            (LookupResult::Hit(way), WritePolicy::WriteThrough) => {
-                self.stats.write_hits += 1;
-                let bank = line.bank(self.config.banks());
-                let start = self.banks.reserve(bank, now, self.config.write_cycles());
-                self.sets[line.set_index(sets)].touch(way, start, false);
-                let below = self.next.write(line.base(self.config.line_bytes()), start);
-                AccessOutcome {
-                    complete_at: below.complete_at,
-                    served_by: ServedBy::ThisLevel,
-                }
-            }
-            (LookupResult::Miss { .. }, WritePolicy::WriteBack) => {
-                // Write-allocate: fetch the line, then perform the write hit
-                // ("the data in the cache location is loaded in the block
-                // from the L2/main memory and this is followed by the write
-                // hit operation", §IV).
-                let (mut ready, served_by) = self.fill_miss(line, now);
-                // A merged fill can complete without the line resident:
-                // fills install eagerly at a future timestamp, so later
-                // same-set misses in program order may already have
-                // evicted the line this request merged into. Physically
-                // the merged requester arrives after that eviction and
-                // has to re-fetch the line like any fresh miss. The
-                // retry makes progress: a merge always returns a ready
-                // time strictly past the probe time, and once the probe
-                // reaches it the stale entry is reclaimed and the fill
-                // installs the line.
-                let way = loop {
-                    match self.sets[line.set_index(sets)].lookup(tag) {
-                        LookupResult::Hit(way) => break way,
-                        LookupResult::Miss { .. } => {
-                            let (r, _) = self.fill_miss(line, ready);
-                            ready = r;
-                        }
-                    }
-                };
-                let bank = line.bank(self.config.banks());
-                let wc = self.next_write_cycles();
-                let start = self.banks.reserve(bank, ready, wc);
-                self.sets[line.set_index(sets)].touch(way, start, true);
-                AccessOutcome {
-                    complete_at: start + wc,
-                    served_by,
-                }
-            }
-            (LookupResult::Miss { .. }, WritePolicy::WriteThrough) => {
-                // No-allocate: the write goes straight below.
-                let below = self.next.write(line.base(self.config.line_bytes()), now);
-                AccessOutcome {
-                    complete_at: below.complete_at,
-                    served_by: ServedBy::Lower,
-                }
-            }
-        };
-        self.sync_component_stats();
-        if crate::invariants::enabled() {
-            self.check_access(addr, now, outcome.complete_at);
-        }
-        outcome
+        let set_index = line.set_index(self.config.sets());
+        let bank = line.bank(self.config.banks());
+        self.write_at(addr, line, set_index, bank, now)
     }
 
     fn line_bytes(&self) -> usize {
@@ -813,6 +862,31 @@ mod tests {
             })
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn decoded_accesses_match_plain_accesses() {
+        let mut plain = dl1();
+        let mut decoded = dl1();
+        let sets = plain.config().sets();
+        let banks = plain.config().banks();
+        let lb = plain.config().line_bytes();
+        let stride = (sets * lb) as u64;
+        let addrs = [0u64, 8, 64, stride, 2 * stride, 0xdead_beef, u64::MAX];
+        let mut t = 0;
+        for (i, &raw) in addrs.iter().enumerate() {
+            let a = Addr(raw);
+            let d = DecodedAddr::decode(a, lb, sets, banks);
+            let (p, q) = if i % 2 == 0 {
+                (plain.read(a, t), decoded.read_decoded(d, t))
+            } else {
+                (plain.write(a, t), decoded.write_decoded(d, t))
+            };
+            assert_eq!(p, q, "decoded access diverged at {a}");
+            t = p.complete_at + 3;
+        }
+        assert_eq!(plain.stats(), decoded.stats());
+        assert_eq!(plain.dirty_lines(), decoded.dirty_lines());
     }
 
     #[test]

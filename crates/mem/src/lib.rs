@@ -55,7 +55,7 @@ mod shared;
 mod stats;
 mod write_buffer;
 
-pub use addr::{Addr, Cycle, LineAddr};
+pub use addr::{Addr, Cycle, DecodedAddr, LineAddr};
 pub use banks::BankSchedule;
 pub use cache::{AccessOutcome, Cache, ServedBy};
 pub use config::{AsymmetricWrite, CacheConfig, CacheConfigBuilder, WritePolicy};

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Bench regression gate: re-measure the full figures sweep and compare it
+# against the committed snapshot (BENCH_sweep.json). The gate fails when
+# the fresh run regresses by more than 25 % on either
+#
+#   * total_seconds — the whole sweep's wall-clock, or
+#   * the replay phase — replay_seconds + compiled_replay_seconds, the
+#     part the compiled structure-of-arrays fast path is responsible for.
+#
+# The fresh run is taken serially (one worker) so the comparison does not
+# depend on the machine's core count. Knobs:
+#
+#   STTCACHE_BENCH_GATE=warn     report regressions but exit 0 (CI's
+#                                default posture on shared runners)
+#   STTCACHE_BENCH_GATE_FACTOR   regression factor (default 1.25)
+#
+# usage: scripts/bench_gate.sh [committed.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+committed="${1:-BENCH_sweep.json}"
+mode="${STTCACHE_BENCH_GATE:-fail}"
+factor="${STTCACHE_BENCH_GATE_FACTOR:-1.25}"
+
+if [ ! -f "$committed" ]; then
+    echo "bench_gate: no committed snapshot at $committed" >&2
+    exit 2
+fi
+
+cargo build --release --offline -p sttcache-bench --bin figures > /dev/null
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+./target/release/figures all --serial --profile-json "$fresh" > /dev/null
+
+# First numeric value for a key in the hand-rolled, one-key-per-line
+# profile JSON; 0 when the key is absent (pre-compiled-replay snapshots).
+json_num() {
+    grep -o "\"$2\": [0-9.]*" "$1" | head -1 | awk '{print $2}'
+}
+num_or_zero() {
+    local v
+    v="$(json_num "$1" "$2")"
+    echo "${v:-0}"
+}
+
+fresh_total="$(num_or_zero "$fresh" total_seconds)"
+base_total="$(num_or_zero "$committed" total_seconds)"
+fresh_replay="$(awk -v a="$(num_or_zero "$fresh" replay_seconds)" \
+    -v b="$(num_or_zero "$fresh" compiled_replay_seconds)" 'BEGIN{print a + b}')"
+base_replay="$(awk -v a="$(num_or_zero "$committed" replay_seconds)" \
+    -v b="$(num_or_zero "$committed" compiled_replay_seconds)" 'BEGIN{print a + b}')"
+
+status=0
+check_metric() {
+    local name="$1" fresh_v="$2" base_v="$3"
+    if awk -v f="$fresh_v" -v b="$base_v" -v k="$factor" \
+        'BEGIN{exit !(b > 0 && f > b * k)}'; then
+        echo "bench_gate: REGRESSION on $name: $fresh_v s vs committed $base_v s (> ${factor}x)"
+        status=1
+    else
+        echo "bench_gate: $name ok: $fresh_v s vs committed $base_v s (limit ${factor}x)"
+    fi
+}
+
+check_metric "total_seconds" "$fresh_total" "$base_total"
+check_metric "replay phase (replay + compiled replay)" "$fresh_replay" "$base_replay"
+
+if [ "$status" -ne 0 ] && [ "$mode" = "warn" ]; then
+    echo "bench_gate: WARN mode — regression reported, not failing the build"
+    exit 0
+fi
+exit "$status"

@@ -14,8 +14,11 @@ STTCACHE_INVARIANTS=1 cargo test -q --offline
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Differential fuzzer: adversarial traces on every catalog organization,
-# cross-checked against the shadow-memory oracle and the SRAM baseline.
+# cross-checked against the shadow-memory oracle and the SRAM baseline —
+# then the same trace battery through the compiled-vs-interpreted replay
+# cross-check.
 ./target/release/sttcache-check --quick
+./target/release/sttcache-check --quick --kind compiled
 
 smoke="$(mktemp)"
 trap 'rm -f "$smoke"' EXIT
@@ -26,13 +29,21 @@ diff -u figures_output.txt "$smoke"
 ./target/release/figures all --serial > "$smoke"
 diff -u figures_output.txt "$smoke"
 
-# The trace cache must be invisible in the output: byte-identical with
-# the cache off, and with every baseline replay cross-checked against
-# direct execution.
+# The trace cache and the compiled replay pass must both be invisible in
+# the output: byte-identical with the cache off, with compiled replay
+# disabled, with every grid point's compiled replay cross-checked against
+# interpreted replay (and the baseline against direct execution), and
+# with the runtime invariant checkers armed.
 ./target/release/figures all --no-trace-cache > "$smoke"
 diff -u figures_output.txt "$smoke"
 
+./target/release/figures all --no-compiled-replay > "$smoke"
+diff -u figures_output.txt "$smoke"
+
 STTCACHE_TRACE_CHECK=1 ./target/release/figures all > "$smoke"
+diff -u figures_output.txt "$smoke"
+
+STTCACHE_INVARIANTS=1 ./target/release/figures all > "$smoke"
 diff -u figures_output.txt "$smoke"
 
 # The profiled snapshot path stays runnable.
@@ -41,4 +52,8 @@ trap 'rm -f "$smoke" "$snapshot"' EXIT
 scripts/bench_snapshot.sh "$snapshot" > /dev/null
 grep -q '"trace_cache_enabled": true' "$snapshot"
 
-echo "ci: fmt, build, tests (plain + invariants armed), clippy, differential fuzzer, figures smoke and trace-cache checks all green"
+# Bench regression gate against the committed snapshot, warn-only on
+# shared CI runners (set STTCACHE_BENCH_GATE=fail locally to enforce).
+STTCACHE_BENCH_GATE="${STTCACHE_BENCH_GATE:-warn}" scripts/bench_gate.sh
+
+echo "ci: fmt, build, tests (plain + invariants armed), clippy, differential + compiled fuzzers, figures smoke, trace-cache checks and bench gate all green"

@@ -1,0 +1,211 @@
+//! End-to-end equivalence of the compiled structure-of-arrays replay.
+//!
+//! The compiled fast path is only allowed to change *how fast the
+//! simulator runs*, never a single statistic: for every catalog
+//! organization × kernel × transformation set, replaying the compiled
+//! trace must produce the identical [`RunResult`] — core report and full
+//! hierarchy statistics — as interpreted replay and as direct kernel
+//! execution, with the trace cache on or off, serially and in parallel.
+//! A ddmin regression test pins the debugging workflow: an injected
+//! compiler defect must be caught by the differential predicate and
+//! shrink to a one-event reproducer.
+//!
+//! [`RunResult`]: sttcache::RunResult
+
+use std::sync::Mutex;
+
+use sttcache::{DCacheOrganization, Platform, PlatformConfig};
+use sttcache_bench::testkit::DEFAULT_SEED;
+use sttcache_bench::{check, trace_cache, SweepRunner};
+use sttcache_cpu::{CompiledTrace, Engine, Trace, TraceEvent};
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+/// Serializes tests that flip the process-global cache/compiled knobs.
+static GLOBAL_KNOBS: Mutex<()> = Mutex::new(());
+
+/// none, all, and each transformation alone.
+fn transform_sets() -> [Transformations; 5] {
+    let mut v = Transformations::none();
+    v.vectorize = true;
+    let mut p = Transformations::none();
+    p.prefetch = true;
+    let mut o = Transformations::none();
+    o.others = true;
+    [Transformations::none(), Transformations::all(), v, p, o]
+}
+
+/// The full battery: every catalog organization × kernel × transformation
+/// set. Compiled replay must be bit-identical to interpreted replay
+/// everywhere, and to direct kernel execution (checked on the two
+/// geometry-distinct organizations, SRAM and NVM drop-in — every other
+/// catalog entry shares the NVM DL1 geometry and the same direct path).
+#[test]
+fn compiled_replay_matches_interpreted_and_direct_everywhere() {
+    let size = ProblemSize::Mini;
+    for org in check::all_organizations() {
+        let platform = Platform::new(org).expect("canonical organization validates");
+        let geometry = platform.dl1_geometry();
+        for bench in PolyBench::ALL {
+            for t in transform_sets() {
+                let trace = trace_cache::cached_trace(bench, size, t);
+                let compiled = CompiledTrace::compile(&trace, geometry);
+                assert_eq!(compiled.validate(), Ok(()));
+                let interpreted = platform.run_trace(&trace);
+                let fast = platform.run_compiled(&compiled);
+                assert_eq!(
+                    fast,
+                    interpreted,
+                    "compiled replay diverged on {}/{}/{t}",
+                    org.name(),
+                    bench.name()
+                );
+                assert_eq!(
+                    fast.stats_text(),
+                    interpreted.stats_text(),
+                    "stats report diverged on {}/{}/{t}",
+                    org.name(),
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+/// Compiled replay equals direct kernel execution (not just interpreted
+/// replay) on both DL1 geometries in the catalog.
+#[test]
+fn compiled_replay_matches_direct_execution() {
+    let size = ProblemSize::Mini;
+    for org in [
+        DCacheOrganization::SramBaseline,
+        DCacheOrganization::NvmDropIn,
+        DCacheOrganization::nvm_vwb_default(),
+    ] {
+        let platform = Platform::new(org).expect("canonical organization validates");
+        for bench in [PolyBench::Gemm, PolyBench::Atax, PolyBench::Jacobi2d] {
+            for t in [Transformations::none(), Transformations::all()] {
+                let kernel = bench.kernel(size);
+                let direct = platform.run(|e: &mut dyn Engine| kernel.run(e, t));
+                let trace = trace_cache::cached_trace(bench, size, t);
+                let compiled = CompiledTrace::compile(&trace, platform.dl1_geometry());
+                assert_eq!(
+                    platform.run_compiled(&compiled),
+                    direct,
+                    "compiled replay diverged from direct execution on {}/{}/{t}",
+                    org.name(),
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+/// `run_config` with compiled replay on (the default) produces the same
+/// result as interpreted replay and as direct execution with the cache
+/// off — the sweep entry point is transparent to the fast path.
+#[test]
+fn run_config_is_transparent_across_cache_and_compile_knobs() {
+    let _lock = GLOBAL_KNOBS.lock().expect("knob lock");
+    assert!(trace_cache::enabled() && trace_cache::compiled_enabled());
+
+    // A transformation set no other battery leg routes through
+    // `run_config`, so each knob combination below does real work at
+    // least once instead of answering from the result memo.
+    let mut t = Transformations::none();
+    t.prefetch = true;
+    t.others = true;
+    let (bench, size) = (PolyBench::Trisolv, ProblemSize::Mini);
+    let cfg = PlatformConfig::new(DCacheOrganization::nvm_l0_default());
+    let platform = Platform::with_config(cfg.clone()).expect("canonical organization validates");
+
+    let compiled = trace_cache::run_config(&cfg, bench, size, t);
+
+    let trace = trace_cache::cached_trace(bench, size, t);
+    assert_eq!(compiled, platform.run_trace(&trace));
+
+    trace_cache::set_compiled_enabled(false);
+    let interpreted = trace_cache::run_config(&cfg, bench, size, t);
+    trace_cache::set_compiled_enabled(true);
+    assert_eq!(compiled, interpreted);
+
+    trace_cache::set_enabled(false);
+    let direct = trace_cache::run_config(&cfg, bench, size, t);
+    trace_cache::set_enabled(true);
+    assert_eq!(compiled, direct);
+}
+
+/// A parallel sweep over the whole catalog with compiled replay equals
+/// serially computed interpreted replays, point for point — worker count
+/// and the compiled fast path are both invisible in the output.
+#[test]
+fn parallel_compiled_sweep_matches_serial_interpreted_results() {
+    let (bench, size) = (PolyBench::Mvt, ProblemSize::Mini);
+    let t = Transformations::all();
+    let configs: Vec<PlatformConfig> = check::all_organizations()
+        .into_iter()
+        .map(PlatformConfig::new)
+        .collect();
+
+    let expected: Vec<_> = configs
+        .iter()
+        .map(|cfg| {
+            let platform = Platform::with_config(cfg.clone()).expect("valid configuration");
+            platform.run_trace(&trace_cache::cached_trace(bench, size, t))
+        })
+        .collect();
+
+    for workers in [1, 4] {
+        let got = SweepRunner::with_workers(workers).map_ok(&configs, |_, cfg| {
+            trace_cache::run_config(cfg, bench, size, t)
+        });
+        assert_eq!(got, expected, "with {workers} worker(s)");
+    }
+}
+
+/// Simulates a compiler defect — the pass silently drops prefetch
+/// events — and checks the debugging workflow end to end: the
+/// compiled-vs-interpreted differential catches the divergence, and
+/// [`check::shrink_events`] (ddmin) minimizes the failing adversarial
+/// trace to a single prefetch event.
+#[test]
+fn ddmin_shrinks_an_injected_compile_bug_to_one_prefetch() {
+    let buggy_compile = |trace: &Trace, geometry| {
+        let filtered: Trace = trace
+            .events()
+            .iter()
+            .copied()
+            .filter(|e| !matches!(e, TraceEvent::Prefetch { .. }))
+            .collect();
+        CompiledTrace::compile(&filtered, geometry)
+    };
+
+    let platform =
+        Platform::new(DCacheOrganization::NvmDropIn).expect("canonical organization validates");
+    let geometry = platform.dl1_geometry();
+    let diverges = |events: &[TraceEvent]| {
+        let trace = check::trace_from_events(events);
+        platform.run_compiled(&buggy_compile(&trace, geometry)) != platform.run_trace(&trace)
+    };
+
+    let trace = check::adversarial_trace(check::Adversary::PrefetchStorm, DEFAULT_SEED, 200);
+    assert!(
+        diverges(trace.events()),
+        "the injected bug must be caught by the differential predicate"
+    );
+    let minimal = check::shrink_events(trace.events(), diverges);
+    assert_eq!(minimal.len(), 1, "ddmin should isolate one culprit event");
+    assert!(
+        matches!(minimal[0], TraceEvent::Prefetch { .. }),
+        "the culprit must be a prefetch, got {:?}",
+        minimal[0]
+    );
+}
+
+/// The compiled cross-check layer itself flags the injected defect: a
+/// trace whose compiled form was corrupted fails [`check::check_compiled`]
+/// when the corruption is reachable, and a healthy trace passes.
+#[test]
+fn compiled_cross_check_distinguishes_healthy_from_corrupt() {
+    let trace = check::adversarial_trace(check::Adversary::RandomMix, DEFAULT_SEED, 300);
+    assert!(check::check_compiled("healthy", &trace).is_empty());
+}
