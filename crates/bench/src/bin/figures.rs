@@ -4,7 +4,7 @@
 //! figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|catalog|all]
 //!         [--small] [--csv] [--jobs N | --serial]
 //!         [--no-trace-cache] [--no-compiled-replay]
-//!         [--profile] [--profile-json PATH]
+//!         [--profile] [--profile-json PATH] [--telemetry-json PATH]
 //! ```
 //!
 //! Defaults to `all` at the mini problem size; `--small` runs the larger
@@ -26,16 +26,20 @@
 //! prints per-phase wall-clock (record/compile/compiled replay/replay/
 //! direct), cache hit/miss counts and per-figure timings to stderr, and
 //! `--profile-json PATH` writes the same data as JSON; stdout stays
-//! byte-identical in every mode.
+//! byte-identical in every mode. `--telemetry-json PATH` arms the span
+//! tracer and the component telemetry gate (`STTCACHE_TELEMETRY`) and
+//! writes one Chrome `trace_event` span per trace-cache phase and per
+//! printed artifact to PATH, loadable in `chrome://tracing`/Perfetto.
 
-use sttcache_bench::{figures, parallel, profile, trace_cache, SweepRunner};
+use sttcache_bench::{figures, parallel, profile, spans, trace_cache, SweepRunner};
 use sttcache_workloads::ProblemSize;
 
 fn usage() -> ! {
     eprintln!(
         "usage: figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|catalog|all] \
          [--small] [--csv] [--jobs N | --serial] [--no-trace-cache] \
-         [--no-compiled-replay] [--profile] [--profile-json PATH]"
+         [--no-compiled-replay] [--profile] [--profile-json PATH] \
+         [--telemetry-json PATH]"
     );
     std::process::exit(2);
 }
@@ -53,6 +57,7 @@ fn main() {
     let mut csv = false;
     let mut profile_text = false;
     let mut profile_json: Option<String> = None;
+    let mut telemetry_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -75,6 +80,10 @@ fn main() {
                 i += 1;
                 profile_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--telemetry-json" => {
+                i += 1;
+                telemetry_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("unknown flag '{other}'");
@@ -86,6 +95,14 @@ fn main() {
     }
     let what = what.unwrap_or("all");
     let profiling = profile_text || profile_json.is_some();
+    // Span tracing rides the timed artifact path; arm it (and the
+    // component telemetry gate, for overhead realism) before any sweep
+    // runs. Stdout stays byte-identical — all telemetry goes to PATH.
+    if telemetry_json.is_some() {
+        spans::arm();
+        sttcache_mem::telemetry::set_enabled(true);
+    }
+    let tracing = telemetry_json.is_some();
 
     if csv {
         if figures::print_csv(what, size) {
@@ -97,7 +114,7 @@ fn main() {
 
     let start = std::time::Instant::now();
     let timed: Vec<(&'static str, f64)> = match what {
-        "all" if profiling => figures::print_all_timed(size),
+        "all" if profiling || tracing => figures::print_all_timed(size),
         "all" => {
             figures::print_all(size);
             Vec::new()
@@ -149,5 +166,18 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(path) = telemetry_json {
+        let (events, dropped) = spans::drain();
+        let json = spans::export_chrome_json(&events, dropped);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write telemetry JSON to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "telemetry: wrote {} spans to {path} (chrome://tracing format)",
+            events.len()
+        );
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sim --bench gemm --org vwb --opts v+p+o [--size small] [--vwb-bits 4096]
-//!     [--icache nvm] [--baseline] [--jobs N | --serial]
+//!     [--icache nvm] [--baseline] [--explain <org>] [--jobs N | --serial]
 //! ```
 //!
 //! * `--org`: any catalog CLI key (`sram` | `nvm` | `vwb` | `l0` |
@@ -13,12 +13,17 @@
 //!   and print the penalty. The measured and baseline simulations are
 //!   independent, so they run through the sweep engine (two workers
 //!   unless `--serial` / `--jobs 1` pins it down).
+//! * `--explain <org>`: run `<org>` with the telemetry registry armed
+//!   and append a penalty-attribution report — stall decomposition,
+//!   buffer occupancy percentiles, per-bank write shares and the per-set
+//!   wear map with its projected STT-MRAM lifetime — after the stats
+//!   dump. Implies the SRAM baseline run.
 
 use sttcache::{
     DCacheOrganization, DlOneTechnology, IcacheConfig, Platform, PlatformConfig, RunResult,
     VwbConfig,
 };
-use sttcache_bench::{parallel, profile, trace_cache, SweepRunner};
+use sttcache_bench::{explain, parallel, profile, trace_cache, SweepRunner};
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 struct Options {
@@ -29,14 +34,15 @@ struct Options {
     icache: Option<IcacheConfig>,
     baseline: bool,
     profile: bool,
+    explain: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sim --bench <name> [--org {}] [--size mini|small]\n\
          \x20          [--opts none|all|v+p+o subset] [--vwb-bits N] [--icache sram|nvm]\n\
-         \x20          [--baseline] [--jobs N | --serial] [--no-trace-cache]\n\
-         \x20          [--no-compiled-replay] [--profile]\n\
+         \x20          [--baseline] [--explain <org>] [--jobs N | --serial]\n\
+         \x20          [--no-trace-cache] [--no-compiled-replay] [--profile]\n\
          benchmarks: {}",
         sttcache::catalog::catalog()
             .iter()
@@ -81,6 +87,7 @@ fn parse_args() -> Options {
     let mut icache = None;
     let mut baseline = false;
     let mut profile = false;
+    let mut explain = false;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -112,6 +119,10 @@ fn parse_args() -> Options {
                 });
             }
             "--baseline" => baseline = true,
+            "--explain" => {
+                explain = true;
+                org = next(&mut i);
+            }
             "--no-trace-cache" => trace_cache::set_enabled(false),
             "--no-compiled-replay" => trace_cache::set_compiled_enabled(false),
             "--profile" => profile = true,
@@ -153,6 +164,7 @@ fn parse_args() -> Options {
         icache,
         baseline,
         profile,
+        explain,
     }
 }
 
@@ -168,16 +180,25 @@ fn main() {
 
     // The measured run and the optional baseline are independent grid
     // points; the sweep engine shards them and hands the results back in
-    // submission order.
-    let mut configs = vec![cfg];
-    if o.baseline {
-        let mut base_cfg = PlatformConfig::new(DCacheOrganization::SramBaseline);
-        base_cfg.icache = o.icache;
-        configs.push(base_cfg);
-    }
-    let results: Vec<RunResult> = SweepRunner::current().map_ok(&configs, |_, cfg| {
-        trace_cache::run_config(cfg, o.bench, o.size, o.opts)
-    });
+    // submission order. `--explain` instead runs the measured
+    // organization on this thread with the telemetry registry armed (the
+    // registry is thread-local, so a sweep worker's records would be
+    // lost) and the SRAM baseline after it.
+    let (results, explanation): (Vec<RunResult>, _) = if o.explain {
+        let e = explain::explain(&cfg, o.bench, o.size, o.opts);
+        (vec![e.result.clone(), e.baseline.clone()], Some(e))
+    } else {
+        let mut configs = vec![cfg];
+        if o.baseline {
+            let mut base_cfg = PlatformConfig::new(DCacheOrganization::SramBaseline);
+            base_cfg.icache = o.icache;
+            configs.push(base_cfg);
+        }
+        let results = SweepRunner::current().map_ok(&configs, |_, cfg| {
+            trace_cache::run_config(cfg, o.bench, o.size, o.opts)
+        });
+        (results, None)
+    };
 
     let result = &results[0];
     println!(
@@ -195,6 +216,11 @@ fn main() {
             "penalty.vs_sram_pct",
             sttcache::penalty_pct(base.cycles(), result.cycles())
         );
+    }
+
+    if let Some(e) = &explanation {
+        println!();
+        print!("{}", e.render());
     }
 
     if o.profile {

@@ -1,0 +1,292 @@
+//! `sim --explain`: cycle-level penalty attribution for one organization.
+//!
+//! The aggregate statistics dump says *how much* slower an organization
+//! is than the SRAM baseline; this module says *where the cycles went*:
+//! which stalls dominate, how much the front-end buffer absorbed, how
+//! deep the MSHRs and write buffers ran, which bank carries the write
+//! traffic, and what the per-set wear map implies for array lifetime.
+//! It is the consumer of the [`sttcache_mem::telemetry`] registry — the
+//! measured run executes on the calling thread with the telemetry gate
+//! armed, so the thread-local registry holds exactly that run's records.
+
+use crate::trace_cache;
+use sttcache::{DCacheOrganization, PlatformConfig, RunResult};
+use sttcache_mem::telemetry::{self, Histogram, TelemetrySnapshot};
+use sttcache_tech::{wear_uniformity, CellKind, CellModel, EnduranceModel};
+use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+
+/// The modelled core clock, for converting cycles to wall-clock when
+/// projecting lifetime from the wear map.
+const CLOCK_HZ: f64 = 1e9;
+
+/// A measured run, its SRAM reference and everything the telemetry
+/// registry captured while the measured run executed.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The measured organization's run.
+    pub result: RunResult,
+    /// The SRAM baseline on the same binary.
+    pub baseline: RunResult,
+    /// Telemetry drained from the measured run.
+    pub snapshot: TelemetrySnapshot,
+    /// The workload label (`bench (size, opts ...)`).
+    pub workload: String,
+}
+
+/// Runs `cfg` with the telemetry gate armed and the SRAM baseline for
+/// reference, and returns both plus the drained registry.
+///
+/// The measured run executes on the *calling* thread so the thread-local
+/// registry captures it; call this before any other simulation of the
+/// same configuration in this process, otherwise the run is answered
+/// from the result memo and the registry stays empty (the renderer says
+/// so rather than crashing).
+pub fn explain(
+    cfg: &PlatformConfig,
+    bench: PolyBench,
+    size: ProblemSize,
+    transforms: Transformations,
+) -> Explanation {
+    let was_enabled = telemetry::enabled();
+    telemetry::set_enabled(true);
+    let _ = telemetry::take(); // start from a clean registry
+    let result = trace_cache::run_config(cfg, bench, size, transforms);
+    telemetry::set_enabled(was_enabled);
+    let snapshot = telemetry::take();
+
+    let mut base_cfg = PlatformConfig::new(DCacheOrganization::SramBaseline);
+    base_cfg.icache = cfg.icache;
+    let baseline = trace_cache::run_config(&base_cfg, bench, size, transforms);
+
+    Explanation {
+        result,
+        baseline,
+        snapshot,
+        workload: format!("{} ({:?}, opts {})", bench.name(), size, transforms),
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn depth_line(out: &mut String, label: &str, h: &Histogram) {
+    out.push_str(&format!(
+        "  {label:<24} p50 {}, p90 {}, max {} (mean {:.2}, {} samples)\n",
+        h.percentile(50),
+        h.percentile(90),
+        h.max,
+        h.mean(),
+        h.total,
+    ));
+}
+
+impl Explanation {
+    /// Penalty of the measured run vs the SRAM baseline, in percent.
+    pub fn penalty_pct(&self) -> f64 {
+        sttcache::penalty_pct(self.baseline.cycles(), self.result.cycles())
+    }
+
+    /// Renders the attribution report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let r = &self.result;
+        let cycles = r.core.cycles;
+        out.push_str(&format!(
+            "== explain: {} on {} ==\n",
+            r.organization.name(),
+            self.workload
+        ));
+        out.push_str(&format!(
+            "penalty vs SRAM baseline: {:+.1}% ({} vs {} cycles)\n\n",
+            self.penalty_pct(),
+            r.core.cycles,
+            self.baseline.core.cycles,
+        ));
+
+        out.push_str("stall attribution (of total cycles):\n");
+        for (label, stall) in [
+            ("load-data stalls", r.core.read_stall_cycles),
+            ("store-buffer-full stalls", r.core.write_stall_cycles),
+            ("branch-refill stalls", r.core.branch_stall_cycles),
+            ("instruction-fetch stalls", r.core.fetch_stall_cycles),
+        ] {
+            out.push_str(&format!(
+                "  {label:<24} {stall:>12} cycles ({:.1}%)\n",
+                pct(stall, cycles)
+            ));
+        }
+        out.push('\n');
+
+        // Front-end buffer stages (VWB / L0 / EMSHR), outermost first.
+        for stage in &r.buffers {
+            let s = &stage.stats;
+            out.push_str(&format!("front-end stage '{}':\n", stage.kind));
+            out.push_str(&format!(
+                "  absorbed {:.1}% of loads ({} of {}) at buffer speed\n",
+                pct(s.read_hits, s.reads),
+                s.read_hits,
+                s.reads,
+            ));
+            if s.writes > 0 {
+                out.push_str(&format!(
+                    "  absorbed {:.1}% of stores ({} of {}) before the DL1\n",
+                    pct(s.write_hits, s.writes),
+                    s.write_hits,
+                    s.writes,
+                ));
+            }
+            if let Some(h) = self.snapshot.histogram(stage.kind, "depth") {
+                depth_line(&mut out, "occupancy:", h);
+            }
+            if let Some(h) = self.snapshot.histogram(stage.kind, "coalesce_run") {
+                out.push_str(&format!(
+                    "  write-coalescing runs:   p50 {}, max {} stores per line (mean {:.2})\n",
+                    h.percentile(50),
+                    h.max,
+                    h.mean(),
+                ));
+            }
+            out.push('\n');
+        }
+
+        out.push_str("DL1 pressure:\n");
+        if let Some(h) = self.snapshot.histogram("dl1", "mshr_occupancy") {
+            depth_line(&mut out, "MSHR occupancy:", h);
+        }
+        if let Some(h) = self.snapshot.histogram("dl1", "write_buffer_depth") {
+            depth_line(&mut out, "write-buffer depth:", h);
+        }
+        if let Some(h) = self.snapshot.histogram("store-buffer", "depth") {
+            depth_line(&mut out, "core store buffer:", h);
+        }
+        if let Some(w) = self.snapshot.indexed_for("dl1", "bank_writes") {
+            if let Some((bank, count)) = w.hottest() {
+                out.push_str(&format!(
+                    "  bank write shares:       bank {bank} carries {:.1}% of {} array writes\n",
+                    pct(count, w.total()),
+                    w.total(),
+                ));
+            }
+        }
+        if let Some(c) = self.snapshot.indexed_for("dl1", "bank_conflict_cycles") {
+            if let Some((bank, cyc)) = c.hottest() {
+                out.push_str(&format!(
+                    "  bank conflicts:          {} cycles total, {:.1}% on bank {bank}\n",
+                    r.dl1.bank_conflict_cycles,
+                    pct(cyc, c.total()),
+                ));
+            }
+        } else {
+            out.push_str(&format!(
+                "  bank conflicts:          {} cycles total\n",
+                r.dl1.bank_conflict_cycles
+            ));
+        }
+        out.push('\n');
+
+        out.push_str(&self.render_wear_map());
+        if self.snapshot.is_empty() {
+            out.push_str(
+                "\nnote: the telemetry registry was empty — the measured run was \
+                 probably served from the result memo; explain it first in this process.\n",
+            );
+        }
+        out
+    }
+
+    /// The per-set wear-map section: write distribution over the DL1
+    /// sets and the lifetime it implies for an STT-MRAM array.
+    fn render_wear_map(&self) -> String {
+        let mut out = String::from("DL1 wear map (per-set array writes):\n");
+        let Some(wear) = self.snapshot.indexed_for("dl1", "set_writes") else {
+            out.push_str("  no array writes recorded\n");
+            return out;
+        };
+        let total = wear.total();
+        let sets = wear.counts.len();
+        if total == 0 || sets == 0 {
+            out.push_str("  no array writes recorded\n");
+            return out;
+        }
+        let uniformity = wear_uniformity(&wear.counts);
+        let (hot_set, hot_writes) = wear.hottest().expect("total > 0");
+        out.push_str(&format!(
+            "  {total} writes over {sets} observed sets; hottest set {hot_set} takes {:.1}% \
+             (perfectly uniform would be {:.1}%)\n",
+            pct(hot_writes, total),
+            100.0 / sets as f64,
+        ));
+        out.push_str(&format!("  wear uniformity (Jain):  {uniformity:.3}\n"));
+        // Project lifetime as if this workload looped forever at the
+        // modelled 1 GHz clock, on an STT-MRAM cell per Table I.
+        let seconds = self.result.core.cycles as f64 / CLOCK_HZ;
+        if seconds > 0.0 {
+            let model = EnduranceModel::new(CellModel::new(CellKind::SttMram), sets);
+            let lifetime = model.lifetime_from_wear_map(&wear.counts, seconds);
+            out.push_str(&format!(
+                "  projected STT-MRAM lifetime at 1 GHz, 100% duty: {:.1} years\n",
+                lifetime.years(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explanation_attributes_the_vwb_penalty() {
+        // A 3-entry VWB no other test sweeps, so the result memo is
+        // guaranteed cold and the registry captures the measured run.
+        let cfg = PlatformConfig::new(DCacheOrganization::NvmVwb(sttcache::VwbConfig {
+            capacity_bits: 1536,
+            ..sttcache::VwbConfig::default()
+        }));
+        let e = explain(
+            &cfg,
+            PolyBench::ALL[0],
+            ProblemSize::Mini,
+            Transformations::none(),
+        );
+        // The gate is restored to its pre-explain state.
+        assert!(!telemetry::enabled() || std::env::var("STTCACHE_TELEMETRY").is_ok());
+        // The measured run was cold, so the registry captured it.
+        assert!(!e.snapshot.is_empty());
+        assert!(e.snapshot.indexed_for("dl1", "set_writes").is_some());
+        assert!(e.snapshot.histogram("dl1", "mshr_occupancy").is_some());
+        assert!(e.penalty_pct().is_finite());
+
+        let text = e.render();
+        for needle in [
+            "== explain: NVM + VWB",
+            "penalty vs SRAM baseline:",
+            "stall attribution",
+            "front-end stage 'vwb'",
+            "DL1 pressure:",
+            "bank write shares:",
+            "DL1 wear map",
+            "wear uniformity (Jain):",
+            "projected STT-MRAM lifetime",
+        ] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+        assert!(!text.contains("registry was empty"));
+        // Explaining does not perturb the simulation: a fresh disarmed
+        // run of the same grid point is bit-identical.
+        telemetry::set_enabled(false);
+        let again = trace_cache::run_config(
+            &cfg,
+            PolyBench::ALL[0],
+            ProblemSize::Mini,
+            Transformations::none(),
+        );
+        assert_eq!(again, e.result);
+    }
+}

@@ -297,7 +297,9 @@ pub fn print_all_timed(size: ProblemSize) -> Vec<(&'static str, f64)> {
         .map(|&(name, print)| {
             let start = std::time::Instant::now();
             print(size);
-            (name, start.elapsed().as_secs_f64())
+            let took = start.elapsed();
+            crate::spans::record(name, "artifact", start, took);
+            (name, took.as_secs_f64())
         })
         .collect()
 }

@@ -16,10 +16,12 @@
 
 pub mod check;
 pub mod experiments;
+pub mod explain;
 pub mod extensions;
 pub mod figures;
 pub mod parallel;
 pub mod profile;
+pub mod spans;
 pub mod testkit;
 pub mod trace_cache;
 

@@ -18,45 +18,73 @@ use crate::trace_cache;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-static RECORD_NS: AtomicU64 = AtomicU64::new(0);
-static RECORD_RUNS: AtomicU64 = AtomicU64::new(0);
-static COMPILE_NS: AtomicU64 = AtomicU64::new(0);
-static COMPILE_RUNS: AtomicU64 = AtomicU64::new(0);
-static COMPILED_REPLAY_NS: AtomicU64 = AtomicU64::new(0);
-static COMPILED_REPLAY_RUNS: AtomicU64 = AtomicU64::new(0);
-static REPLAY_NS: AtomicU64 = AtomicU64::new(0);
-static REPLAY_RUNS: AtomicU64 = AtomicU64::new(0);
-static DIRECT_NS: AtomicU64 = AtomicU64::new(0);
-static DIRECT_RUNS: AtomicU64 = AtomicU64::new(0);
+/// The five phases the trace cache attributes simulation time to, in the
+/// order the report renders them. Doubles as the index into [`PHASES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Record,
+    Compile,
+    CompiledReplay,
+    Replay,
+    Direct,
+}
 
-fn add(ns: &AtomicU64, runs: &AtomicU64, d: Duration) {
-    ns.fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
-    runs.fetch_add(1, Ordering::Relaxed);
+/// One phase's accumulated wall-clock and run count.
+struct PhaseCounter {
+    ns: AtomicU64,
+    runs: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)] // template for the array below
+const ZERO_PHASE: PhaseCounter = PhaseCounter {
+    ns: AtomicU64::new(0),
+    runs: AtomicU64::new(0),
+};
+
+/// Per-phase counters, indexed by [`Phase`].
+static PHASES: [PhaseCounter; 5] = [ZERO_PHASE; 5];
+
+/// A duration as nanoseconds, saturating at `u64::MAX`.
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn add(phase: Phase, d: Duration) {
+    let c = &PHASES[phase as usize];
+    // Saturate at the cast *and* at the accumulation: a counter that
+    // reaches the ceiling pins there instead of silently wrapping (a
+    // `min(u64::MAX) as u64` cast alone would still overflow the sum).
+    let ns = saturating_ns(d);
+    let _ =
+        c.ns.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            Some(cur.saturating_add(ns))
+        });
+    c.runs.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Credits one trace-recording run.
 pub fn add_record(d: Duration) {
-    add(&RECORD_NS, &RECORD_RUNS, d);
+    add(Phase::Record, d);
 }
 
 /// Credits one trace-compilation pass (structure-of-arrays lowering).
 pub fn add_compile(d: Duration) {
-    add(&COMPILE_NS, &COMPILE_RUNS, d);
+    add(Phase::Compile, d);
 }
 
 /// Credits one compiled-trace replay.
 pub fn add_compiled_replay(d: Duration) {
-    add(&COMPILED_REPLAY_NS, &COMPILED_REPLAY_RUNS, d);
+    add(Phase::CompiledReplay, d);
 }
 
 /// Credits one interpreted cached-trace replay.
 pub fn add_replay(d: Duration) {
-    add(&REPLAY_NS, &REPLAY_RUNS, d);
+    add(Phase::Replay, d);
 }
 
 /// Credits one direct (uncached) kernel execution.
 pub fn add_direct(d: Duration) {
-    add(&DIRECT_NS, &DIRECT_RUNS, d);
+    add(Phase::Direct, d);
 }
 
 /// Point-in-time view of the phase counters and the trace cache.
@@ -96,19 +124,20 @@ pub struct ProfileSnapshot {
 
 /// Snapshots the global phase counters and cache state.
 pub fn snapshot() -> ProfileSnapshot {
-    let secs = |ns: &AtomicU64| ns.load(Ordering::Relaxed) as f64 / 1e9;
+    let secs = |p: Phase| PHASES[p as usize].ns.load(Ordering::Relaxed) as f64 / 1e9;
+    let runs = |p: Phase| PHASES[p as usize].runs.load(Ordering::Relaxed);
     let (cache_resident_bytes, cache_entries) = trace_cache::global_footprint();
     ProfileSnapshot {
-        record_seconds: secs(&RECORD_NS),
-        record_runs: RECORD_RUNS.load(Ordering::Relaxed),
-        compile_seconds: secs(&COMPILE_NS),
-        compile_runs: COMPILE_RUNS.load(Ordering::Relaxed),
-        compiled_replay_seconds: secs(&COMPILED_REPLAY_NS),
-        compiled_replay_runs: COMPILED_REPLAY_RUNS.load(Ordering::Relaxed),
-        replay_seconds: secs(&REPLAY_NS),
-        replay_runs: REPLAY_RUNS.load(Ordering::Relaxed),
-        direct_seconds: secs(&DIRECT_NS),
-        direct_runs: DIRECT_RUNS.load(Ordering::Relaxed),
+        record_seconds: secs(Phase::Record),
+        record_runs: runs(Phase::Record),
+        compile_seconds: secs(Phase::Compile),
+        compile_runs: runs(Phase::Compile),
+        compiled_replay_seconds: secs(Phase::CompiledReplay),
+        compiled_replay_runs: runs(Phase::CompiledReplay),
+        replay_seconds: secs(Phase::Replay),
+        replay_runs: runs(Phase::Replay),
+        direct_seconds: secs(Phase::Direct),
+        direct_runs: runs(Phase::Direct),
         cache: trace_cache::global_stats(),
         cache_resident_bytes,
         cache_entries,
@@ -347,6 +376,21 @@ mod tests {
         assert!(after.compiled_replay_runs > before.compiled_replay_runs);
         assert!(after.replay_runs > before.replay_runs);
         assert!(after.direct_runs > before.direct_runs);
+    }
+
+    #[test]
+    fn nanosecond_cast_saturates_instead_of_truncating() {
+        // ~584 years of nanoseconds overflows u64; the cast must pin at
+        // the ceiling, not wrap to a small number.
+        assert_eq!(saturating_ns(Duration::from_secs(u64::MAX)), u64::MAX);
+        assert_eq!(saturating_ns(Duration::from_millis(5)), 5_000_000);
+        assert_eq!(saturating_ns(Duration::ZERO), 0);
+        // And the accumulation saturates too, so a pinned counter stays
+        // pinned rather than wrapping on the next credit.
+        assert_eq!(
+            u64::MAX.saturating_add(saturating_ns(Duration::from_millis(1))),
+            u64::MAX
+        );
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Span-based sweep tracing exported as Chrome `trace_event` JSON.
+//!
+//! The phase counters in [`crate::profile`] answer *how much* time each
+//! trace-cache phase cost in aggregate; this module keeps *when*: one
+//! span per record/compile/replay/direct execution and one per printed
+//! artifact, each stamped with a start offset from a process epoch and
+//! the worker thread that ran it. The export loads directly into
+//! `chrome://tracing` / Perfetto, so a sweep's schedule — which figures
+//! overlap, where the record-once phase serialises, how evenly the
+//! workers are loaded — is visible as a flame view.
+//!
+//! Recording follows the telemetry discipline
+//! ([`sttcache_mem::telemetry`]): disarmed, [`record`] is one relaxed
+//! atomic load and an early return; `figures --telemetry-json PATH` (or
+//! `STTCACHE_TELEMETRY=1`) arms it. The sink is bounded at [`SPAN_CAP`]
+//! events — a full buffer drops further spans and counts them, so a
+//! pathological sweep cannot grow memory without bound.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+/// The sink never retains more than this many spans.
+pub const SPAN_CAP: usize = 65_536;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Spans dropped because the sink was full.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Whether span recording is armed (one relaxed load).
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arms span recording and pins the trace epoch to now (first arm only).
+pub fn arm() {
+    epoch();
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// The instant all span timestamps are measured from.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One completed span, timestamped in microseconds from the epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (a phase or artifact name).
+    pub name: &'static str,
+    /// Category: `"phase"` for trace-cache phases, `"artifact"` for
+    /// printed figures.
+    pub cat: &'static str,
+    /// Start offset from the epoch, microseconds.
+    pub ts_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Small dense thread number (0 = first thread seen).
+    pub tid: u64,
+}
+
+fn sink() -> &'static Mutex<Vec<SpanEvent>> {
+    static SINK: OnceLock<Mutex<Vec<SpanEvent>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Maps opaque [`ThreadId`]s to small dense numbers so the export's
+/// `tid` field is stable and readable.
+fn thread_number() -> u64 {
+    static IDS: OnceLock<Mutex<HashMap<ThreadId, u64>>> = OnceLock::new();
+    let map = IDS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = map.lock().expect("thread id map lock");
+    let next = map.len() as u64;
+    *map.entry(std::thread::current().id()).or_insert(next)
+}
+
+/// Records one completed span; a no-op while disarmed.
+pub fn record(name: &'static str, cat: &'static str, start: Instant, dur: Duration) {
+    if !armed() {
+        return;
+    }
+    // A start captured before the first `arm` clamps to the epoch.
+    let ts = start
+        .checked_duration_since(epoch())
+        .unwrap_or(Duration::ZERO);
+    let event = SpanEvent {
+        name,
+        cat,
+        ts_us: ts.as_micros().min(u64::MAX as u128) as u64,
+        dur_us: dur.as_micros().min(u64::MAX as u128) as u64,
+        tid: thread_number(),
+    };
+    let mut events = sink().lock().expect("span sink lock");
+    if events.len() < SPAN_CAP {
+        events.push(event);
+    } else {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Drains every recorded span (and resets the dropped counter),
+/// returning them in recording order together with the drop count.
+pub fn drain() -> (Vec<SpanEvent>, u64) {
+    let events = std::mem::take(&mut *sink().lock().expect("span sink lock"));
+    (events, DROPPED.swap(0, Ordering::Relaxed))
+}
+
+/// Renders spans as Chrome `trace_event` JSON (the "JSON Array Format"
+/// wrapped in an object, as `chrome://tracing` and Perfetto load it).
+/// Hand-rolled — the workspace is dependency-free. `dropped` non-zero
+/// is surfaced in `otherData` so truncation is never silent.
+pub fn export_chrome_json(events: &[SpanEvent], dropped: u64) -> String {
+    let mut out = String::from("{\n  \"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        let comma = if i + 1 < events.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \
+             \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {} }}{}",
+            e.name, e.cat, e.ts_us, e.dur_us, e.tid, comma
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"otherData\": {{ \"spans\": {}, \"dropped\": {} }}",
+        events.len(),
+        dropped
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "record",
+                cat: "phase",
+                ts_us: 0,
+                dur_us: 1500,
+                tid: 0,
+            },
+            SpanEvent {
+                name: "fig1",
+                cat: "artifact",
+                ts_us: 1500,
+                dur_us: 250,
+                tid: 1,
+            },
+        ]
+    }
+
+    /// Pins the Chrome `trace_event` schema: every event is a complete
+    /// (`"ph": "X"`) event carrying exactly the keys `chrome://tracing`
+    /// and Perfetto require. Renaming or dropping one breaks every
+    /// consumer of `figures --telemetry-json`, so this test must change
+    /// in lockstep with the exporter.
+    #[test]
+    fn chrome_trace_schema_keys_are_pinned() {
+        let json = export_chrome_json(&sample_events(), 3);
+        assert!(json.starts_with("{\n  \"traceEvents\": ["));
+        for key in [
+            "\"traceEvents\"",
+            "\"name\"",
+            "\"cat\"",
+            "\"ph\": \"X\"",
+            "\"ts\"",
+            "\"dur\"",
+            "\"pid\": 1",
+            "\"tid\"",
+            "\"otherData\"",
+            "\"spans\": 2",
+            "\"dropped\": 3",
+        ] {
+            assert!(json.contains(key), "missing schema key {key} in:\n{json}");
+        }
+        // Two events, both complete-phase, comma-separated (valid JSON).
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_export_is_still_well_formed() {
+        let json = export_chrome_json(&[], 0);
+        assert!(json.contains("\"traceEvents\": [\n  ]"));
+        assert!(json.contains("\"spans\": 0"));
+    }
+
+    #[test]
+    fn disarmed_recording_is_a_no_op_and_armed_spans_drain() {
+        // Tests in this binary share the global sink, so only assert on
+        // spans with a name unique to this test.
+        let (_, _) = drain();
+        record(
+            "span-test-disarmed",
+            "phase",
+            Instant::now(),
+            Duration::ZERO,
+        );
+        let (events, _) = drain();
+        assert!(events.iter().all(|e| e.name != "span-test-disarmed"));
+
+        arm();
+        let start = Instant::now();
+        record("span-test-armed", "phase", start, Duration::from_micros(7));
+        ARMED.store(false, Ordering::Relaxed);
+        let (events, _) = drain();
+        let mine: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "span-test-armed")
+            .collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].dur_us, 7);
+        assert_eq!(mine[0].cat, "phase");
+    }
+}

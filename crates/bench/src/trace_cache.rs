@@ -43,6 +43,7 @@
 //! compared.
 
 use crate::profile;
+use crate::spans;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -457,7 +458,9 @@ pub fn record_trace(bench: PolyBench, size: ProblemSize, transforms: Transformat
         .lock()
         .expect("capacity hint lock")
         .insert((bench, size), trace.len());
-    profile::add_record(start.elapsed());
+    let took = start.elapsed();
+    profile::add_record(took);
+    spans::record("record", "phase", start, took);
     trace
 }
 
@@ -486,7 +489,9 @@ pub fn cached_compiled(
         let trace = cached_trace(bench, size, transforms);
         let start = Instant::now();
         let compiled = CompiledTrace::compile(&trace, geometry);
-        profile::add_compile(start.elapsed());
+        let took = start.elapsed();
+        profile::add_compile(took);
+        spans::record("compile", "phase", start, took);
         compiled
     })
 }
@@ -547,7 +552,9 @@ pub fn run_config(
         let start = Instant::now();
         let kernel = bench.kernel(size);
         let result = platform.run(|e: &mut dyn Engine| kernel.run(e, transforms));
-        profile::add_direct(start.elapsed());
+        let took = start.elapsed();
+        profile::add_direct(took);
+        spans::record("direct", "phase", start, took);
         return result;
     }
     let memo_key = (format!("{cfg:?}"), TraceKey::new(bench, size, transforms));
@@ -565,7 +572,9 @@ pub fn run_config(
         let compiled = cached_compiled(bench, size, transforms, platform.dl1_geometry());
         let start = Instant::now();
         let result = platform.run_compiled(&compiled);
-        profile::add_compiled_replay(start.elapsed());
+        let took = start.elapsed();
+        profile::add_compiled_replay(took);
+        spans::record("compiled_replay", "phase", start, took);
         if trace_check_requested() {
             assert_eq!(
                 platform.run_trace(&trace),
@@ -579,7 +588,9 @@ pub fn run_config(
     } else {
         let start = Instant::now();
         let result = platform.run_trace(&trace);
-        profile::add_replay(start.elapsed());
+        let took = start.elapsed();
+        profile::add_replay(took);
+        spans::record("replay", "phase", start, took);
         result
     };
     if trace_check_requested() && cfg.organization == DCacheOrganization::SramBaseline {
@@ -623,11 +634,15 @@ pub fn drive<E: Engine>(
         let trace = cached_trace(bench, size, transforms);
         let start = Instant::now();
         trace.replay_into(e);
-        profile::add_replay(start.elapsed());
+        let took = start.elapsed();
+        profile::add_replay(took);
+        spans::record("replay", "phase", start, took);
     } else {
         let start = Instant::now();
         bench.kernel(size).run(e, transforms);
-        profile::add_direct(start.elapsed());
+        let took = start.elapsed();
+        profile::add_direct(took);
+        spans::record("direct", "phase", start, took);
     }
 }
 

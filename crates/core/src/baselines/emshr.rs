@@ -13,7 +13,7 @@
 //! full STT-MRAM sensing latency.
 
 use crate::buffer::FaBuffer;
-use crate::stage::{BufferStage, BufferStats, Buffered};
+use crate::stage::{BufferStage, BufferStats, Buffered, StageTelemetry};
 use crate::SttError;
 use sttcache_mem::{AccessOutcome, Addr, Cache, Cycle, MemoryLevel, ServedBy};
 
@@ -101,6 +101,9 @@ impl EmshrStage {
                 let base = evicted.line.base(line_bytes);
                 let _ = below.write(base, ready_at);
             }
+        }
+        if sttcache_mem::telemetry::enabled() {
+            sttcache_mem::telemetry::observe("emshr", "depth", self.buffer.len() as u64);
         }
     }
 }
@@ -204,6 +207,15 @@ impl BufferStage for EmshrStage {
 
     fn stats(&self) -> BufferStats {
         self.stats
+    }
+
+    fn collect_telemetry(&self, _line_bytes: usize, out: &mut Vec<StageTelemetry>) {
+        out.push(StageTelemetry {
+            kind: self.kind(),
+            resident: self.buffer.len(),
+            dirty: self.dirty_entries(),
+            capacity: self.buffer.capacity(),
+        });
     }
 
     fn boxed_clone(&self) -> Box<dyn BufferStage> {

@@ -1,6 +1,6 @@
 //! The unified data-port front-end.
 
-use crate::stage::{probe_then_fetch, BufferStage, Buffered, StageStats};
+use crate::stage::{probe_then_fetch, BufferStage, Buffered, StageStats, StageTelemetry};
 use crate::Hierarchy;
 use sttcache_cpu::{DataPort, MemPort};
 use sttcache_mem::{Addr, CacheStats, Cycle, DecodedAddr, MemoryLevel};
@@ -78,6 +78,21 @@ impl FrontEnd {
             FrontEnd::Buffered(b) => {
                 let mut out = Vec::new();
                 b.stage().collect_stats(&mut out);
+                out
+            }
+        }
+    }
+
+    /// Occupancy snapshots of every buffer stage in the front-end,
+    /// outermost first (empty for `Plain`); the telemetry-side companion
+    /// of [`FrontEnd::stage_stats`].
+    pub fn stage_telemetry(&self) -> Vec<StageTelemetry> {
+        match self {
+            FrontEnd::Plain(_) => Vec::new(),
+            FrontEnd::Buffered(b) => {
+                let mut out = Vec::new();
+                b.stage()
+                    .collect_telemetry(b.below().config().line_bytes(), &mut out);
                 out
             }
         }
@@ -270,6 +285,39 @@ mod tests {
         let mut fe = buffered(StageSpec::Vwb(VwbConfig::default()));
         fe.prefetch(Addr(0), 0);
         assert_eq!(fe.stage_stats()[0].stats.prefetch_fills, 1);
+    }
+
+    #[test]
+    fn stage_telemetry_reports_capacity_and_residency() {
+        let plain = FrontEnd::Plain(MemPort::new(dl1(nvm_dl1_config().unwrap())));
+        assert!(plain.stage_telemetry().is_empty());
+        let mut fe = buffered(StageSpec::Vwb(VwbConfig::default()));
+        let t = fe.read(Addr(0), 0);
+        fe.write(Addr(8), t);
+        let tel = fe.stage_telemetry();
+        assert_eq!(tel.len(), 1);
+        assert_eq!(tel[0].kind, "vwb");
+        assert_eq!(tel[0].capacity, 4);
+        assert_eq!(tel[0].resident, 1);
+        assert_eq!(tel[0].dirty, 1);
+    }
+
+    #[test]
+    fn stacked_stage_telemetry_lists_both_constituents() {
+        let spec = StackSpec {
+            name: "test stack",
+            outer: StageSpec::Vwb(VwbConfig::default()),
+            inner: StageSpec::Emshr(crate::baselines::EmshrConfig::default()),
+        };
+        let dl1 = dl1(nvm_dl1_config().unwrap());
+        let line_bits = dl1.config().line_bytes() * 8;
+        let mut fe = FrontEnd::buffered(Box::new(spec.build(line_bits).unwrap()), dl1);
+        fe.read(Addr(0), 0);
+        let tel = fe.stage_telemetry();
+        assert_eq!(tel.len(), 2);
+        assert_eq!(tel[0].kind, "vwb");
+        assert_eq!(tel[1].kind, "emshr");
+        assert!(tel.iter().all(|t| t.capacity == 4));
     }
 
     #[test]

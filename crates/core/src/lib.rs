@@ -79,7 +79,7 @@ pub use platform::{
 };
 pub use stage::{
     probe_then_fetch, BufferStage, BufferStats, Buffered, StackSpec, StackedStage, StageSpec,
-    StageStats,
+    StageStats, StageTelemetry,
 };
 pub use vwb::{VwbConfig, VwbFrontEnd, VwbStage};
 

@@ -193,8 +193,10 @@ impl Platform {
             Some(cfg) => cfg,
             None => l2_config()?,
         };
-        let tail = Cache::new(l2cfg, MainMemory::new(self.config.memory_latency));
-        let dl1 = Cache::new(self.dl1_config()?, tail);
+        let mut tail = Cache::new(l2cfg, MainMemory::new(self.config.memory_latency));
+        tail.set_telemetry_component("l2");
+        let mut dl1 = Cache::new(self.dl1_config()?, tail);
+        dl1.set_telemetry_component("dl1");
         let line_bits = dl1.config().line_bytes() * 8;
         Ok(match self.config.organization {
             DCacheOrganization::SramBaseline | DCacheOrganization::NvmDropIn => {

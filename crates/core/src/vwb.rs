@@ -32,9 +32,9 @@
 //! bank for extra cycles past the critical word (ablation knob).
 
 use crate::buffer::FaBuffer;
-use crate::stage::{BufferStage, BufferStats, Buffered};
+use crate::stage::{BufferStage, BufferStats, Buffered, StageTelemetry};
 use crate::SttError;
-use sttcache_mem::{AccessOutcome, Addr, Cache, Cycle, MemoryLevel, ServedBy};
+use sttcache_mem::{telemetry, AccessOutcome, Addr, Cache, Cycle, MemoryLevel, ServedBy};
 
 /// VWB configuration.
 ///
@@ -132,6 +132,11 @@ pub struct VwbStage {
     pub(crate) buffer: FaBuffer,
     pub(crate) stats: BufferStats,
     hit_cycles: u64,
+    /// Length of the current run of consecutive stores absorbed by the
+    /// buffer. Only maintained while the telemetry gate is armed (it
+    /// feeds the coalescing-run histogram and nothing else, so disarmed
+    /// runs skip even the bookkeeping).
+    coalesce_run: u64,
 }
 
 impl VwbStage {
@@ -148,6 +153,7 @@ impl VwbStage {
             hit_cycles: config.effective_hit_cycles(line_bits),
             config,
             stats: BufferStats::default(),
+            coalesce_run: 0,
         })
     }
 
@@ -183,6 +189,11 @@ impl VwbStage {
         if sttcache_mem::invariants::enabled() {
             self.check_invariants(out.complete_at);
         }
+        if telemetry::enabled() {
+            let depth = self.buffer.len() as u64;
+            telemetry::observe("vwb", "depth", depth);
+            telemetry::sample("vwb", "depth", out.complete_at, depth);
+        }
         out
     }
 }
@@ -217,6 +228,9 @@ impl BufferStage for VwbStage {
             self.stats.write_hits += 1;
             let ready = self.buffer.entry(idx).ready_at.max(now);
             self.buffer.touch(idx, ready, true);
+            if telemetry::enabled() {
+                self.coalesce_run += 1;
+            }
             return AccessOutcome {
                 complete_at: ready + self.hit_cycles,
                 served_by: ServedBy::ThisLevel,
@@ -224,6 +238,11 @@ impl BufferStage for VwbStage {
         }
         // "Otherwise, it's directly updated via the processor": write
         // straight into the DL1 (write-allocate there, no VWB allocation).
+        if telemetry::enabled() && self.coalesce_run > 0 {
+            // A write miss ends the current run of buffer-absorbed stores.
+            telemetry::observe("vwb", "coalesce_run", self.coalesce_run);
+            self.coalesce_run = 0;
+        }
         below.write(addr, now)
     }
 
@@ -308,6 +327,15 @@ impl BufferStage for VwbStage {
 
     fn stats(&self) -> BufferStats {
         self.stats
+    }
+
+    fn collect_telemetry(&self, _line_bytes: usize, out: &mut Vec<StageTelemetry>) {
+        out.push(StageTelemetry {
+            kind: self.kind(),
+            resident: self.buffer.len(),
+            dirty: self.dirty_entries(),
+            capacity: self.buffer.capacity(),
+        });
     }
 
     fn boxed_clone(&self) -> Box<dyn BufferStage> {

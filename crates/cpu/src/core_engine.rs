@@ -173,6 +173,15 @@ impl<P: DataPort> Core<P> {
         let raw_stall = data_ready.saturating_sub(issue + 1);
         let stall = raw_stall.saturating_sub(self.config.load_overlap_cycles);
         self.read_stall_cycles += stall;
+        if sttcache_mem::telemetry::enabled() {
+            sttcache_mem::telemetry::observe("core", "load_stall", stall);
+            sttcache_mem::telemetry::sample(
+                "core",
+                "read_stall_cycles",
+                issue,
+                self.read_stall_cycles,
+            );
+        }
         self.now = issue + 1 + stall;
     }
 

@@ -60,6 +60,13 @@ impl StoreBuffer {
     pub fn admit(&mut self, now: Cycle) -> Cycle {
         self.drain(now);
         self.stores += 1;
+        if sttcache_mem::telemetry::enabled() {
+            // Depth after the drain, before this store's completion is
+            // recorded (read-only observation).
+            let depth = self.completions.len() as u64;
+            sttcache_mem::telemetry::observe("store-buffer", "depth", depth);
+            sttcache_mem::telemetry::sample("store-buffer", "depth", now, depth);
+        }
         if self.completions.len() >= self.capacity {
             let oldest = *self.completions.front().expect("full buffer is non-empty");
             let stall = oldest.saturating_sub(now);

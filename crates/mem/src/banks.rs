@@ -27,6 +27,9 @@ use crate::addr::Cycle;
 pub struct BankSchedule {
     free_at: Vec<Cycle>,
     conflict_cycles: u64,
+    /// Telemetry component label (the owning cache's name; see
+    /// [`BankSchedule::set_telemetry_component`]).
+    component: &'static str,
 }
 
 impl BankSchedule {
@@ -40,7 +43,14 @@ impl BankSchedule {
         BankSchedule {
             free_at: vec![0; banks],
             conflict_cycles: 0,
+            component: "cache",
         }
+    }
+
+    /// Names the component telemetry is recorded under (the owning
+    /// cache's label, e.g. `"dl1"`).
+    pub fn set_telemetry_component(&mut self, component: &'static str) {
+        self.component = component;
     }
 
     /// Number of banks.
@@ -59,6 +69,18 @@ impl BankSchedule {
         let start = self.free_at[bank].max(now);
         self.conflict_cycles += start - now;
         self.free_at[bank] = start + occupancy;
+        if crate::telemetry::enabled() {
+            crate::telemetry::record_indexed(self.component, "bank_reservations", bank, 1);
+            crate::telemetry::record_indexed(self.component, "bank_busy_cycles", bank, occupancy);
+            if start > now {
+                crate::telemetry::record_indexed(
+                    self.component,
+                    "bank_conflict_cycles",
+                    bank,
+                    start - now,
+                );
+            }
+        }
         if crate::invariants::enabled() && self.free_at[bank] < now + occupancy {
             // The schedule lost time: the reservation we just made ends
             // before `now + occupancy`, so the conflict accounting above

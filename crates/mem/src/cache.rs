@@ -69,6 +69,8 @@ pub struct Cache<N> {
     /// Array writes performed (drives the deterministic AWARE slow-write
     /// cadence).
     array_writes: u64,
+    /// Telemetry component label (`"dl1"`, `"l2"`, …).
+    component: &'static str,
 }
 
 impl<N: MemoryLevel> Cache<N> {
@@ -91,6 +93,35 @@ impl<N: MemoryLevel> Cache<N> {
             next,
             stats: CacheStats::new(),
             array_writes: 0,
+            component: "cache",
+        }
+    }
+
+    /// Names the component this cache's telemetry is recorded under
+    /// (propagated to the banks, MSHRs and write buffer). The platform
+    /// labels its levels `"dl1"` and `"l2"`; standalone caches default to
+    /// `"cache"`.
+    pub fn set_telemetry_component(&mut self, component: &'static str) {
+        self.component = component;
+        self.banks.set_telemetry_component(component);
+        self.mshrs.set_telemetry_component(component);
+        self.write_buffer.set_telemetry_component(component);
+    }
+
+    /// Records one data-array write for the wear map and per-bank shares.
+    #[inline]
+    fn telemetry_array_write(&self, set_index: usize, bank: usize) {
+        if crate::telemetry::enabled() {
+            crate::telemetry::record_indexed(self.component, "set_writes", set_index, 1);
+            crate::telemetry::record_indexed(self.component, "bank_writes", bank, 1);
+        }
+    }
+
+    /// Records one data/tag-array read for the per-bank shares.
+    #[inline]
+    fn telemetry_array_read(&self, bank: usize) {
+        if crate::telemetry::enabled() {
+            crate::telemetry::record_indexed(self.component, "bank_reads", bank, 1);
         }
     }
 
@@ -303,6 +334,7 @@ impl<N: MemoryLevel> Cache<N> {
         let bank = line.bank(self.config.banks());
         let lookup_start = self.banks.reserve(bank, at, self.config.read_cycles());
         let lookup_done = lookup_start + self.config.read_cycles();
+        self.telemetry_array_read(bank);
 
         let base = line.base(self.config.line_bytes());
         let below = self.next.read(base, lookup_done);
@@ -334,6 +366,7 @@ impl<N: MemoryLevel> Cache<N> {
         let sets_len = self.config.sets();
         self.sets[line.set_index(sets_len)].fill(victim, tag, false, fill_ready);
         self.stats.fills += 1;
+        self.telemetry_array_write(line.set_index(sets_len), bank);
         self.mshrs.complete(line, fill_ready);
         (fill_ready, served_by)
     }
@@ -382,6 +415,7 @@ impl<N: MemoryLevel> Cache<N> {
                 // Data of an in-flight fill may not have arrived yet.
                 let avail = self.mshrs.ready_time(line, now).map_or(now, |r| r.max(now));
                 let start = self.banks.reserve(bank, avail, self.config.read_cycles());
+                self.telemetry_array_read(bank);
                 self.sets[set_index].touch(way, start, false);
                 AccessOutcome {
                     complete_at: start + self.config.read_cycles(),
@@ -426,6 +460,7 @@ impl<N: MemoryLevel> Cache<N> {
                 let avail = self.mshrs.ready_time(line, now).map_or(now, |r| r.max(now));
                 let wc = self.next_write_cycles();
                 let start = self.banks.reserve(bank, avail, wc);
+                self.telemetry_array_write(set_index, bank);
                 self.sets[set_index].touch(way, start, true);
                 AccessOutcome {
                     complete_at: start + wc,
@@ -435,6 +470,7 @@ impl<N: MemoryLevel> Cache<N> {
             (LookupResult::Hit(way), WritePolicy::WriteThrough) => {
                 self.stats.write_hits += 1;
                 let start = self.banks.reserve(bank, now, self.config.write_cycles());
+                self.telemetry_array_write(set_index, bank);
                 self.sets[set_index].touch(way, start, false);
                 let below = self.next.write(line.base(self.config.line_bytes()), start);
                 AccessOutcome {
@@ -469,6 +505,7 @@ impl<N: MemoryLevel> Cache<N> {
                 };
                 let wc = self.next_write_cycles();
                 let start = self.banks.reserve(bank, ready, wc);
+                self.telemetry_array_write(set_index, bank);
                 self.sets[set_index].touch(way, start, true);
                 AccessOutcome {
                     complete_at: start + wc,
@@ -887,6 +924,43 @@ mod tests {
         }
         assert_eq!(plain.stats(), decoded.stats());
         assert_eq!(plain.dirty_lines(), decoded.dirty_lines());
+    }
+
+    #[test]
+    fn telemetry_records_wear_bank_shares_and_occupancy() {
+        use crate::telemetry;
+        telemetry::take();
+        telemetry::set_enabled(true);
+        let mut c = dl1();
+        c.set_telemetry_component("dl1");
+        let mut t = 0;
+        for i in 0..8u64 {
+            t = c.write(Addr(i * 64), t).complete_at + 1;
+        }
+        telemetry::set_enabled(false);
+        let snap = telemetry::take();
+        // Every cold write is a fill (one array write) plus the write hit
+        // that follows it (another), so the wear map totals 2 per access.
+        let wear = snap.indexed_for("dl1", "set_writes").unwrap();
+        assert_eq!(wear.total(), 16);
+        assert_eq!(
+            snap.indexed_for("dl1", "bank_writes").unwrap().total(),
+            wear.total()
+        );
+        // The tag read of each miss is a bank read.
+        assert_eq!(snap.indexed_for("dl1", "bank_reads").unwrap().total(), 8);
+        // MSHR occupancy was observed once per miss.
+        let occ = snap.histogram("dl1", "mshr_occupancy").unwrap();
+        assert_eq!(occ.total, 8);
+        // The same run with telemetry off must behave identically (the
+        // instrumentation is read-only).
+        let mut quiet = dl1();
+        let mut t2 = 0;
+        for i in 0..8u64 {
+            t2 = quiet.write(Addr(i * 64), t2).complete_at + 1;
+        }
+        assert_eq!(t, t2);
+        assert_eq!(c.stats(), quiet.stats());
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod replacement;
 mod set;
 mod shared;
 mod stats;
+pub mod telemetry;
 mod write_buffer;
 
 pub use addr::{Addr, Cycle, DecodedAddr, LineAddr};
@@ -69,6 +70,7 @@ pub use replacement::ReplacementPolicy;
 pub use set::{CacheSet, LookupResult, Way};
 pub use shared::Shared;
 pub use stats::CacheStats;
+pub use telemetry::TelemetrySnapshot;
 pub use write_buffer::WriteBuffer;
 
 /// A timed level of the memory hierarchy.

@@ -61,6 +61,8 @@ pub struct MshrFile {
     capacity: usize,
     merges: u64,
     full_events: u64,
+    /// Telemetry component label (the owning cache's name).
+    component: &'static str,
 }
 
 impl MshrFile {
@@ -76,7 +78,14 @@ impl MshrFile {
             capacity,
             merges: 0,
             full_events: 0,
+            component: "cache",
         }
+    }
+
+    /// Names the component telemetry is recorded under (the owning
+    /// cache's label, e.g. `"dl1"`).
+    pub fn set_telemetry_component(&mut self, component: &'static str) {
+        self.component = component;
     }
 
     /// Capacity in entries.
@@ -98,6 +107,13 @@ impl MshrFile {
         self.entries.retain(|e| e.ready_at > now || e.ready_at == 0);
         if invariants::enabled() {
             self.check_reclaimed(now);
+        }
+        if crate::telemetry::enabled() {
+            // Outstanding-miss depth right after lazy reclamation: every
+            // remaining entry is live (in flight or awaiting completion).
+            let depth = self.entries.len() as u64;
+            crate::telemetry::observe(self.component, "mshr_occupancy", depth);
+            crate::telemetry::sample(self.component, "mshr_occupancy", now, depth);
         }
         if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
             e.targets += 1;

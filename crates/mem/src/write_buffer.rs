@@ -30,6 +30,8 @@ pub struct WriteBuffer {
     capacity: usize,
     pushes: u64,
     full_stall_cycles: u64,
+    /// Telemetry component label (the owning cache's name).
+    component: &'static str,
 }
 
 impl WriteBuffer {
@@ -45,7 +47,14 @@ impl WriteBuffer {
             capacity,
             pushes: 0,
             full_stall_cycles: 0,
+            component: "cache",
         }
+    }
+
+    /// Names the component telemetry is recorded under (the owning
+    /// cache's label, e.g. `"dl1"`).
+    pub fn set_telemetry_component(&mut self, component: &'static str) {
+        self.component = component;
     }
 
     /// Capacity in entries.
@@ -74,6 +83,14 @@ impl WriteBuffer {
         self.entries.push_back((line, proceed_at + drain_cycles));
         if crate::invariants::enabled() {
             self.check_invariants(now);
+        }
+        if crate::telemetry::enabled() {
+            // Depth after the push; `entries.len()` directly — calling
+            // `occupancy(now)` here would drain early and change
+            // `contains()` behaviour under telemetry.
+            let depth = self.entries.len() as u64;
+            crate::telemetry::observe(self.component, "write_buffer_depth", depth);
+            crate::telemetry::sample(self.component, "write_buffer_depth", now, depth);
         }
         proceed_at
     }

@@ -94,6 +94,40 @@ impl EnduranceModel {
     pub fn lines(&self) -> usize {
         self.lines
     }
+
+    /// Estimates lifetime from an observed per-line (or per-set) wear map:
+    /// the uniformity factor is derived from the map's write distribution
+    /// via [`wear_uniformity`] and the write rate from its total.
+    ///
+    /// `seconds_observed` is the wall-clock (at the modelled clock rate)
+    /// over which `wear_map` was collected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds_observed` is not positive.
+    pub fn lifetime_from_wear_map(&self, wear_map: &[u64], seconds_observed: f64) -> Lifetime {
+        assert!(
+            seconds_observed > 0.0,
+            "observation window must be positive"
+        );
+        let total: u64 = wear_map.iter().sum();
+        self.lifetime(total as f64 / seconds_observed, wear_uniformity(wear_map))
+    }
+}
+
+/// Jain's fairness index of a wear map: `(Σw)² / (N·Σw²)`, in `(0, 1]`.
+///
+/// `1.0` means perfectly uniform wear (every line written equally often);
+/// `1/N` means all writes landed on a single line. An empty or all-zero
+/// map reports `1.0` (no wear to be non-uniform about), so the result is
+/// always a valid uniformity factor for [`EnduranceModel::lifetime`].
+pub fn wear_uniformity(wear_map: &[u64]) -> f64 {
+    let total: f64 = wear_map.iter().map(|&w| w as f64).sum();
+    if wear_map.is_empty() || total == 0.0 {
+        return 1.0;
+    }
+    let sum_sq: f64 = wear_map.iter().map(|&w| (w as f64) * (w as f64)).sum();
+    (total * total) / (wear_map.len() as f64 * sum_sq)
 }
 
 #[cfg(test)]
@@ -155,5 +189,52 @@ mod tests {
     #[should_panic(expected = "at least one line")]
     fn zero_lines_panics() {
         let _ = EnduranceModel::new(CellModel::new(CellKind::SttMram), 0);
+    }
+
+    #[test]
+    fn uniformity_is_one_for_uniform_and_empty_maps() {
+        assert_eq!(wear_uniformity(&[]), 1.0);
+        assert_eq!(wear_uniformity(&[0, 0, 0]), 1.0);
+        assert!((wear_uniformity(&[7, 7, 7, 7]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniformity_of_a_single_hot_line_is_one_over_n() {
+        let mut map = vec![0u64; 16];
+        map[3] = 1000;
+        assert!((wear_uniformity(&map) - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniformity_decreases_with_skew() {
+        let even = wear_uniformity(&[10, 10, 10, 10]);
+        let skewed = wear_uniformity(&[37, 1, 1, 1]);
+        assert!(skewed < even);
+        assert!(skewed > 0.25); // better than a single hot line
+    }
+
+    #[test]
+    fn wear_map_lifetime_matches_manual_rate_and_uniformity() {
+        let m = model(CellKind::SttMram);
+        let map = vec![100u64; 1024];
+        let from_map = m.lifetime_from_wear_map(&map, 2.0);
+        let manual = m.lifetime(1024.0 * 100.0 / 2.0, 1.0);
+        assert!((from_map.seconds - manual.seconds).abs() < 1e-6 * manual.seconds);
+    }
+
+    #[test]
+    fn hot_set_shortens_wear_map_lifetime() {
+        let m = model(CellKind::SttMram);
+        let uniform = m.lifetime_from_wear_map(&vec![10u64; 1024], 1.0);
+        let mut hot = vec![0u64; 1024];
+        hot[0] = 10 * 1024;
+        let skewed = m.lifetime_from_wear_map(&hot, 1.0);
+        assert!(skewed.seconds < uniform.seconds);
+    }
+
+    #[test]
+    fn zero_wear_map_is_infinite_lifetime() {
+        let lt = model(CellKind::SttMram).lifetime_from_wear_map(&[0, 0], 1.0);
+        assert!(lt.seconds.is_infinite());
     }
 }

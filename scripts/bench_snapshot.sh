@@ -5,7 +5,10 @@
 # root — the committed snapshot). Also measures the overhead of the
 # invariant-checker gate (STTCACHE_INVARIANTS) on the same sweep and
 # prints both wall-clocks, so a regression in the "checkers off" cost
-# of the gate is visible in CI logs.
+# of the gate is visible in CI logs; the telemetry gate
+# (STTCACHE_TELEMETRY) gets the same treatment and its overhead is
+# recorded *into the snapshot*, so scripts/bench_gate.sh can gate the
+# zero-cost-when-off claim instead of taking it on faith.
 #
 # usage: scripts/bench_snapshot.sh [output.json]
 set -euo pipefail
@@ -14,7 +17,6 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_sweep.json}"
 cargo build --release --offline -p sttcache-bench --bin figures
 ./target/release/figures all --profile-json "$out" > /dev/null
-echo "bench_snapshot: wrote $out"
 
 # Invariant-gate overhead: the gate is a relaxed atomic load on hot
 # paths, so the disarmed sweep must cost the same as the plain one.
@@ -25,3 +27,37 @@ t_on_start=$(date +%s%N)
 STTCACHE_INVARIANTS=1 ./target/release/figures all > /dev/null
 t_on=$((($(date +%s%N) - t_on_start) / 1000000))
 echo "bench_snapshot: figures all ${t_off} ms (invariants off), ${t_on} ms (invariants armed)"
+
+# Telemetry-gate overhead. "Disarmed" is a second plain run against the
+# first one — the gate is compiled in either way, so the honest claim is
+# that its cost is below back-to-back measurement noise; "armed" runs
+# the sweep with the registry recording. Negative deltas clamp to 0.
+t_dis_start=$(date +%s%N)
+./target/release/figures all > /dev/null
+t_dis=$((($(date +%s%N) - t_dis_start) / 1000000))
+t_arm_start=$(date +%s%N)
+STTCACHE_TELEMETRY=1 ./target/release/figures all > /dev/null
+t_arm=$((($(date +%s%N) - t_arm_start) / 1000000))
+dis_pct=$(awk -v a="$t_dis" -v b="$t_off" \
+    'BEGIN{p = b > 0 ? 100.0 * (a - b) / b : 0.0; printf "%.2f", p < 0 ? 0.0 : p}')
+arm_pct=$(awk -v a="$t_arm" -v b="$t_off" \
+    'BEGIN{p = b > 0 ? 100.0 * (a - b) / b : 0.0; printf "%.2f", p < 0 ? 0.0 : p}')
+echo "bench_snapshot: telemetry ${t_dis} ms disarmed (${dis_pct}% overhead)," \
+    "${t_arm} ms armed (${arm_pct}% overhead)"
+
+# Splice the telemetry numbers into the snapshot (the profile JSON ends
+# with '  ]\n}'; re-open the object, keep one key per line for the
+# grep-based readers in scripts/bench_gate.sh).
+sed -i '$ d' "$out"
+sed -i '$ s/]$/],/' "$out"
+cat >> "$out" <<EOF
+  "telemetry_overhead": {
+    "baseline_ms": $t_off,
+    "disarmed_ms": $t_dis,
+    "armed_ms": $t_arm,
+    "disarmed_overhead_pct": $dis_pct,
+    "armed_overhead_pct": $arm_pct
+  }
+}
+EOF
+echo "bench_snapshot: wrote $out"

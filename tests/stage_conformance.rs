@@ -10,7 +10,7 @@ use sttcache::{BufferStats, FrontEnd, Platform};
 use sttcache_bench::check;
 use sttcache_bench::trace_cache;
 use sttcache_cpu::DataPort;
-use sttcache_mem::{invariants, Addr, CacheStats, Cycle, ShadowOracle};
+use sttcache_mem::{invariants, telemetry, Addr, CacheStats, Cycle, ShadowOracle};
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 fn front_end_of(org: sttcache::DCacheOrganization) -> FrontEnd {
@@ -110,6 +110,99 @@ fn every_catalog_organization_honors_the_stage_contract() {
                 "{name}: {level} kept counters across reset_stats"
             );
         }
+    }
+}
+
+/// Merging stage statistics is well-behaved across the whole catalog:
+/// the default value is the identity, merging commutes, and the merge of
+/// a stage with itself doubles every counter.
+#[test]
+fn stage_stats_merge_is_identity_and_commutative_over_the_catalog() {
+    for entry in catalog() {
+        let name = entry.name;
+        let mut fe = front_end_of(entry.organization);
+        let mut oracle = ShadowOracle::default();
+        drive(&mut fe, &mut oracle);
+        for stage in fe.stage_stats() {
+            let s = &stage.stats;
+            assert_eq!(
+                s.merged(&BufferStats::default()),
+                *s,
+                "{name}: merging with the default changed stage '{}'",
+                stage.kind
+            );
+            assert_eq!(
+                BufferStats::default().merged(s),
+                *s,
+                "{name}: identity merge is not commutative on stage '{}'",
+                stage.kind
+            );
+            let doubled = s.merged(s);
+            assert_eq!(doubled.reads, s.reads * 2, "{name}: reads");
+            assert_eq!(doubled.read_hits, s.read_hits * 2, "{name}: read_hits");
+            assert_eq!(doubled.writes, s.writes * 2, "{name}: writes");
+        }
+        // Pairwise commutativity across the composition's stages.
+        let stats = fe.stage_stats();
+        for a in &stats {
+            for b in &stats {
+                assert_eq!(
+                    a.stats.merged(&b.stats),
+                    b.stats.merged(&a.stats),
+                    "{name}: merge order changed the result"
+                );
+            }
+        }
+        // And after a reset every stage merges as the identity.
+        fe.reset_stats();
+        for stage in fe.stage_stats() {
+            assert_eq!(stage.stats, BufferStats::default(), "{name}: reset");
+        }
+    }
+}
+
+/// Arming the telemetry gate is observation-only: every catalog
+/// organization produces bit-identical timing, statistics and resident
+/// state with the gate armed and disarmed.
+#[test]
+fn telemetry_armed_runs_leave_every_organization_unchanged() {
+    for entry in catalog() {
+        let name = entry.name;
+
+        let gate_was_on = telemetry::enabled();
+        telemetry::set_enabled(false);
+        let mut plain = front_end_of(entry.organization);
+        let mut oracle = ShadowOracle::default();
+        let plain_now = drive(&mut plain, &mut oracle);
+
+        telemetry::set_enabled(true);
+        let mut armed = front_end_of(entry.organization);
+        let mut oracle = ShadowOracle::default();
+        let armed_now = drive(&mut armed, &mut oracle);
+        telemetry::set_enabled(gate_was_on);
+        let _ = telemetry::take();
+
+        assert_eq!(plain_now, armed_now, "{name}: telemetry changed timing");
+        assert_eq!(
+            plain.stage_stats(),
+            armed.stage_stats(),
+            "{name}: telemetry changed stage statistics"
+        );
+        assert_eq!(
+            plain.dl1_stats(),
+            armed.dl1_stats(),
+            "{name}: telemetry changed DL1 statistics"
+        );
+        assert_eq!(
+            plain.resident_lines(),
+            armed.resident_lines(),
+            "{name}: telemetry changed resident state"
+        );
+        assert_eq!(
+            plain.dirty_line_count(),
+            armed.dirty_line_count(),
+            "{name}: telemetry changed dirty state"
+        );
     }
 }
 
