@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sttcache-check [--quick] [--seed N] [--cases N] [--events N]
-//!                [--kind NAME|compiled] [--shrink] [--list-kinds]
+//!                [--kind NAME|compiled|lane] [--shrink] [--list-kinds]
 //! ```
 //!
 //! Every generated trace runs on every catalog L1 D-cache organization with
@@ -22,14 +22,38 @@
 //! still generates traces, but each one is cross-checked through the
 //! compiled structure-of-arrays replay pass (validate, decompile round
 //! trip, bit-identity with interpreted replay on every organization)
-//! instead of the shadow-oracle differential.
+//! instead of the shadow-oracle differential. `--kind lane` likewise
+//! switches the check: every trace replays through the monomorphic
+//! data-path lanes and through the generic dynamic-dispatch referee
+//! (interpreted and compiled), and the results must be bit-identical.
 
 use sttcache_bench::check::{self, Adversary};
+
+/// Which cross-check every generated trace runs through.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Shadow-oracle differential against the SRAM baseline.
+    Oracle,
+    /// Compiled structure-of-arrays replay vs interpreted replay.
+    Compiled,
+    /// Monomorphic replay lanes vs the generic dispatch referee.
+    Lane,
+}
+
+impl Mode {
+    fn tag(self) -> &'static str {
+        match self {
+            Mode::Oracle => "",
+            Mode::Compiled => " compiled",
+            Mode::Lane => " lane",
+        }
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: sttcache-check [--quick] [--seed N] [--cases N] [--events N] \
-         [--kind NAME|compiled] [--shrink] [--list-kinds]"
+         [--kind NAME|compiled|lane] [--shrink] [--list-kinds]"
     );
     std::process::exit(2);
 }
@@ -41,7 +65,7 @@ fn main() {
     let mut events = 4000usize;
     let mut kinds: Vec<Adversary> = Adversary::ALL.to_vec();
     let mut shrink = false;
-    let mut compiled = false;
+    let mut mode = Mode::Oracle;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -79,9 +103,10 @@ fn main() {
             "--kind" => {
                 i += 1;
                 match args.get(i).map(String::as_str) {
-                    // Not a generator family: runs every family through the
-                    // compiled-vs-interpreted replay cross-check instead.
-                    Some("compiled") => compiled = true,
+                    // Not generator families: these switch the cross-check
+                    // every family's traces run through.
+                    Some("compiled") => mode = Mode::Compiled,
+                    Some("lane") => mode = Mode::Lane,
                     Some(name) => match Adversary::from_name(name) {
                         Some(kind) => kinds = vec![kind],
                         None => {
@@ -101,6 +126,7 @@ fn main() {
                     println!("{}", k.name());
                 }
                 println!("compiled");
+                println!("lane");
                 return;
             }
             "-h" | "--help" => usage(),
@@ -134,12 +160,12 @@ fn main() {
     }
 
     let total = plan.len();
-    let run_one: fn(Adversary, u64, usize) -> Result<(), check::CheckFailure> = if compiled {
-        check::run_compiled_case
-    } else {
-        check::run_case
+    let run_one: fn(Adversary, u64, usize) -> Result<(), check::CheckFailure> = match mode {
+        Mode::Oracle => check::run_case,
+        Mode::Compiled => check::run_compiled_case,
+        Mode::Lane => check::run_lane_case,
     };
-    let tag = if compiled { " compiled" } else { "" };
+    let tag = mode.tag();
     let mut failures = Vec::new();
     for (n, (kind, s)) in plan.into_iter().enumerate() {
         match run_one(kind, s, events) {
@@ -162,21 +188,27 @@ fn main() {
 
     if failures.is_empty() {
         let orgs = sttcache_bench::check::all_organizations().len();
-        if compiled {
-            println!(
-                "{total} traces x {orgs} organizations: compiled and interpreted replay agree everywhere"
-            );
-        } else {
-            println!(
+        match mode {
+            Mode::Oracle => println!(
                 "{total} traces x {orgs} organizations: all oracle, drain and invariant checks passed"
-            );
+            ),
+            Mode::Compiled => println!(
+                "{total} traces x {orgs} organizations: compiled and interpreted replay agree everywhere"
+            ),
+            Mode::Lane => println!(
+                "{total} traces x {orgs} organizations: lane and generic replay agree everywhere"
+            ),
         }
         return;
     }
 
     eprintln!();
     for f in &failures {
-        let replay_kind = if compiled { "compiled" } else { f.kind.name() };
+        let replay_kind = match mode {
+            Mode::Oracle => f.kind.name(),
+            Mode::Compiled => "compiled",
+            Mode::Lane => "lane",
+        };
         eprintln!(
             "FAILURE: kind {}{tag} seed {:#018x} events {} (replay: sttcache-check --kind {} --seed {} --events {} --cases 1)",
             f.kind.name(),
@@ -198,10 +230,10 @@ fn main() {
             first.kind.name(),
             first.seed
         );
-        let minimal = if compiled {
-            check::shrink_compiled_failure(first)
-        } else {
-            check::shrink_failure(first)
+        let minimal = match mode {
+            Mode::Oracle => check::shrink_failure(first),
+            Mode::Compiled => check::shrink_compiled_failure(first),
+            Mode::Lane => check::shrink_lane_failure(first),
         };
         eprintln!("minimal reproducer: {} event(s)", minimal.len());
         for e in minimal.events().iter().take(64) {

@@ -31,7 +31,7 @@
 //! interpreted one (`sttcache-check --kind compiled`).
 
 use crate::testkit::{Rng, DEFAULT_SEED};
-use sttcache::{DCacheOrganization, FrontEnd, Platform};
+use sttcache::{DCacheOrganization, FrontEnd, LaneMode, Platform};
 use sttcache_cpu::{CompiledTrace, Core, Engine, TeeEngine, Trace, TraceEvent, TraceRecorder};
 use sttcache_mem::{invariants, InvariantViolation, ShadowOracle};
 
@@ -542,6 +542,77 @@ pub fn run_compiled_case(kind: Adversary, seed: u64, events: usize) -> Result<()
     }
 }
 
+/// Cross-checks the monomorphic replay lanes against the generic
+/// dynamic-dispatch referee on every catalog organization. For each one
+/// the trace replays four ways — interpreted and compiled, each through
+/// the organization's lane ([`LaneMode::Auto`]) and through the generic
+/// [`FrontEnd`] path ([`LaneMode::Generic`]) — and all four
+/// [`RunResult`](sttcache::RunResult)s must be bit-identical. Returns
+/// one message per divergence; empty when the trace passes everywhere.
+pub fn check_lane(label: &str, trace: &Trace) -> Vec<String> {
+    let mut failures = Vec::new();
+    for org in all_organizations() {
+        let platform = Platform::new(org).expect("canonical organization validates");
+        let lane = platform.run_trace_with(trace, LaneMode::Auto);
+        let generic = platform.run_trace_with(trace, LaneMode::Generic);
+        if lane != generic {
+            failures.push(format!(
+                "[{}] {label}: lane replay diverged from the generic referee \
+                 ({} vs {} cycles)",
+                org.name(),
+                lane.cycles(),
+                generic.cycles()
+            ));
+            continue;
+        }
+        let compiled = CompiledTrace::compile(trace, platform.dl1_geometry());
+        let lane_compiled = platform.run_compiled_with(&compiled, LaneMode::Auto);
+        let generic_compiled = platform.run_compiled_with(&compiled, LaneMode::Generic);
+        if lane_compiled != generic_compiled {
+            failures.push(format!(
+                "[{}] {label}: compiled lane replay diverged from the generic referee \
+                 ({} vs {} cycles)",
+                org.name(),
+                lane_compiled.cycles(),
+                generic_compiled.cycles()
+            ));
+            continue;
+        }
+        if lane_compiled != lane {
+            failures.push(format!(
+                "[{}] {label}: compiled lane replay diverged from interpreted lane replay \
+                 ({} vs {} cycles)",
+                org.name(),
+                lane_compiled.cycles(),
+                lane.cycles()
+            ));
+        }
+    }
+    failures
+}
+
+/// Generates one adversarial trace and runs [`check_lane`] on it — the
+/// `--kind lane` leg of `sttcache-check`.
+///
+/// # Errors
+///
+/// Returns the structured [`CheckFailure`] when any organization's lane
+/// replay (interpreted or compiled) diverges from the generic referee.
+pub fn run_lane_case(kind: Adversary, seed: u64, events: usize) -> Result<(), CheckFailure> {
+    let trace = adversarial_trace(kind, seed, events);
+    let failures = check_lane(&format!("{}#{seed:#x}", kind.name()), &trace);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CheckFailure {
+            kind,
+            seed,
+            events,
+            failures,
+        })
+    }
+}
+
 /// The fixed seeds `--quick` runs (plus [`testkit::base_seed`]'s
 /// override when `STTCACHE_TEST_SEED` is set).
 ///
@@ -624,6 +695,16 @@ pub fn shrink_compiled_failure(failure: &CheckFailure) -> Trace {
     trace_from_events(&minimal)
 }
 
+/// [`shrink_failure`]'s counterpart for `--kind lane` failures: the
+/// probe is [`check_lane`] against the generic referee.
+pub fn shrink_lane_failure(failure: &CheckFailure) -> Trace {
+    let trace = adversarial_trace(failure.kind, failure.seed, failure.events);
+    let minimal = shrink_events(trace.events(), |evs| {
+        !check_lane("shrink-probe", &trace_from_events(evs)).is_empty()
+    });
+    trace_from_events(&minimal)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -683,6 +764,20 @@ mod tests {
     #[test]
     fn compiled_case_runner_reports_clean_on_a_quick_seed() {
         assert!(run_compiled_case(Adversary::BankPingPong, DEFAULT_SEED, 300).is_ok());
+    }
+
+    #[test]
+    fn lane_cross_check_passes_on_adversarial_traces() {
+        for kind in [Adversary::AliasWriteBurst, Adversary::RandomMix] {
+            let trace = adversarial_trace(kind, DEFAULT_SEED, 400);
+            let failures = check_lane("unit", &trace);
+            assert!(failures.is_empty(), "failures: {failures:#?}");
+        }
+    }
+
+    #[test]
+    fn lane_case_runner_reports_clean_on_a_quick_seed() {
+        assert!(run_lane_case(Adversary::MshrSaturation, DEFAULT_SEED, 300).is_ok());
     }
 
     #[test]

@@ -29,16 +29,18 @@ enum Phase {
     Direct,
 }
 
-/// One phase's accumulated wall-clock and run count.
+/// One phase's accumulated wall-clock, run count and event count.
 struct PhaseCounter {
     ns: AtomicU64,
     runs: AtomicU64,
+    events: AtomicU64,
 }
 
 #[allow(clippy::declare_interior_mutable_const)] // template for the array below
 const ZERO_PHASE: PhaseCounter = PhaseCounter {
     ns: AtomicU64::new(0),
     runs: AtomicU64::new(0),
+    events: AtomicU64::new(0),
 };
 
 /// Per-phase counters, indexed by [`Phase`].
@@ -49,7 +51,7 @@ fn saturating_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
-fn add(phase: Phase, d: Duration) {
+fn add(phase: Phase, d: Duration, events: u64) {
     let c = &PHASES[phase as usize];
     // Saturate at the cast *and* at the accumulation: a counter that
     // reaches the ceiling pins there instead of silently wrapping (a
@@ -60,31 +62,35 @@ fn add(phase: Phase, d: Duration) {
             Some(cur.saturating_add(ns))
         });
     c.runs.fetch_add(1, Ordering::Relaxed);
+    c.events.fetch_add(events, Ordering::Relaxed);
 }
 
-/// Credits one trace-recording run.
-pub fn add_record(d: Duration) {
-    add(Phase::Record, d);
+/// Credits one trace-recording run over `events` recorded events.
+pub fn add_record(d: Duration, events: u64) {
+    add(Phase::Record, d, events);
 }
 
-/// Credits one trace-compilation pass (structure-of-arrays lowering).
-pub fn add_compile(d: Duration) {
-    add(Phase::Compile, d);
+/// Credits one trace-compilation pass (structure-of-arrays lowering)
+/// over `events` lowered events.
+pub fn add_compile(d: Duration, events: u64) {
+    add(Phase::Compile, d, events);
 }
 
-/// Credits one compiled-trace replay.
-pub fn add_compiled_replay(d: Duration) {
-    add(Phase::CompiledReplay, d);
+/// Credits one compiled-trace replay over `events` replayed events.
+pub fn add_compiled_replay(d: Duration, events: u64) {
+    add(Phase::CompiledReplay, d, events);
 }
 
-/// Credits one interpreted cached-trace replay.
-pub fn add_replay(d: Duration) {
-    add(Phase::Replay, d);
+/// Credits one interpreted cached-trace replay over `events` replayed
+/// events.
+pub fn add_replay(d: Duration, events: u64) {
+    add(Phase::Replay, d, events);
 }
 
-/// Credits one direct (uncached) kernel execution.
-pub fn add_direct(d: Duration) {
-    add(Phase::Direct, d);
+/// Credits one direct (uncached) kernel execution over `events` memory
+/// operations (loads + stores + prefetches the core issued).
+pub fn add_direct(d: Duration, events: u64) {
+    add(Phase::Direct, d, events);
 }
 
 /// Point-in-time view of the phase counters and the trace cache.
@@ -94,22 +100,32 @@ pub struct ProfileSnapshot {
     pub record_seconds: f64,
     /// Number of recordings.
     pub record_runs: u64,
+    /// Events recorded.
+    pub record_events: u64,
     /// Seconds spent compiling traces into structure-of-arrays columns.
     pub compile_seconds: f64,
     /// Number of trace compilations.
     pub compile_runs: u64,
+    /// Events lowered by the compile passes.
+    pub compile_events: u64,
     /// Seconds spent replaying compiled traces.
     pub compiled_replay_seconds: f64,
     /// Number of compiled replays.
     pub compiled_replay_runs: u64,
+    /// Events replayed through compiled traces.
+    pub compiled_replay_events: u64,
     /// Seconds spent replaying cached traces interpretively.
     pub replay_seconds: f64,
     /// Number of interpreted replays.
     pub replay_runs: u64,
+    /// Events replayed interpretively.
+    pub replay_events: u64,
     /// Seconds spent in direct (uncached) kernel execution.
     pub direct_seconds: f64,
     /// Number of direct executions.
     pub direct_runs: u64,
+    /// Memory operations the core issued across direct executions.
+    pub direct_events: u64,
     /// Trace-cache counters.
     pub cache: trace_cache::TraceCacheStats,
     /// Bytes of trace data resident in the process-wide cache.
@@ -126,18 +142,24 @@ pub struct ProfileSnapshot {
 pub fn snapshot() -> ProfileSnapshot {
     let secs = |p: Phase| PHASES[p as usize].ns.load(Ordering::Relaxed) as f64 / 1e9;
     let runs = |p: Phase| PHASES[p as usize].runs.load(Ordering::Relaxed);
+    let events = |p: Phase| PHASES[p as usize].events.load(Ordering::Relaxed);
     let (cache_resident_bytes, cache_entries) = trace_cache::global_footprint();
     ProfileSnapshot {
         record_seconds: secs(Phase::Record),
         record_runs: runs(Phase::Record),
+        record_events: events(Phase::Record),
         compile_seconds: secs(Phase::Compile),
         compile_runs: runs(Phase::Compile),
+        compile_events: events(Phase::Compile),
         compiled_replay_seconds: secs(Phase::CompiledReplay),
         compiled_replay_runs: runs(Phase::CompiledReplay),
+        compiled_replay_events: events(Phase::CompiledReplay),
         replay_seconds: secs(Phase::Replay),
         replay_runs: runs(Phase::Replay),
+        replay_events: events(Phase::Replay),
         direct_seconds: secs(Phase::Direct),
         direct_runs: runs(Phase::Direct),
+        direct_events: events(Phase::Direct),
         cache: trace_cache::global_stats(),
         cache_resident_bytes,
         cache_entries,
@@ -160,6 +182,28 @@ impl ProfileSnapshot {
     /// the quantity the bench regression gate bounds.
     pub fn replay_phase_seconds(&self) -> f64 {
         self.compiled_replay_seconds + self.replay_seconds
+    }
+
+    /// Events replayed through either flavour.
+    pub fn replay_phase_events(&self) -> u64 {
+        self.compiled_replay_events + self.replay_events
+    }
+
+    /// Nanoseconds per replayed event across both replay flavours — the
+    /// machine-size-independent metric the bench regression gate bounds
+    /// alongside the raw wall-clock.
+    pub fn replay_phase_ns_per_event(&self) -> f64 {
+        ns_per_event(self.replay_phase_seconds(), self.replay_phase_events())
+    }
+}
+
+/// Nanoseconds per event, 0.0 when no events were credited (a phase
+/// that never ran has no meaningful rate).
+fn ns_per_event(seconds: f64, events: u64) -> f64 {
+    if events == 0 {
+        0.0
+    } else {
+        seconds * 1e9 / events as f64
     }
 }
 
@@ -207,6 +251,16 @@ impl ProfileReport {
             (self.total_seconds - p.simulation_seconds()).max(0.0),
         ));
         out.push_str(&format!(
+            "  ns/event: record {:.1}, compile {:.1}, compiled replay {:.1}, \
+             replay {:.1}, direct {:.1} (replay phase {:.1})\n",
+            ns_per_event(p.record_seconds, p.record_events),
+            ns_per_event(p.compile_seconds, p.compile_events),
+            ns_per_event(p.compiled_replay_seconds, p.compiled_replay_events),
+            ns_per_event(p.replay_seconds, p.replay_events),
+            ns_per_event(p.direct_seconds, p.direct_events),
+            p.replay_phase_ns_per_event(),
+        ));
+        out.push_str(&format!(
             "  trace cache: {} hits, {} misses, {} evictions \
              ({:.1}% hit rate), {} traces / {} KiB resident\n",
             p.cache.hits,
@@ -241,25 +295,32 @@ impl ProfileReport {
             self.cache_enabled
         ));
         out.push_str("  \"phases\": {\n");
+        let mut phase = |name: &str, seconds: f64, runs: u64, events: u64| {
+            out.push_str(&format!(
+                "    \"{name}_seconds\": {seconds:.6},\n    \"{name}_runs\": {runs},\n\
+                 \x20   \"{name}_events\": {events},\n\
+                 \x20   \"{name}_ns_per_event\": {:.3},\n",
+                ns_per_event(seconds, events)
+            ));
+        };
+        phase("record", p.record_seconds, p.record_runs, p.record_events);
+        phase(
+            "compile",
+            p.compile_seconds,
+            p.compile_runs,
+            p.compile_events,
+        );
+        phase(
+            "compiled_replay",
+            p.compiled_replay_seconds,
+            p.compiled_replay_runs,
+            p.compiled_replay_events,
+        );
+        phase("replay", p.replay_seconds, p.replay_runs, p.replay_events);
+        phase("direct", p.direct_seconds, p.direct_runs, p.direct_events);
         out.push_str(&format!(
-            "    \"record_seconds\": {:.6},\n    \"record_runs\": {},\n",
-            p.record_seconds, p.record_runs
-        ));
-        out.push_str(&format!(
-            "    \"compile_seconds\": {:.6},\n    \"compile_runs\": {},\n",
-            p.compile_seconds, p.compile_runs
-        ));
-        out.push_str(&format!(
-            "    \"compiled_replay_seconds\": {:.6},\n    \"compiled_replay_runs\": {},\n",
-            p.compiled_replay_seconds, p.compiled_replay_runs
-        ));
-        out.push_str(&format!(
-            "    \"replay_seconds\": {:.6},\n    \"replay_runs\": {},\n",
-            p.replay_seconds, p.replay_runs
-        ));
-        out.push_str(&format!(
-            "    \"direct_seconds\": {:.6},\n    \"direct_runs\": {},\n",
-            p.direct_seconds, p.direct_runs
+            "    \"replay_phase_ns_per_event\": {:.3},\n",
+            p.replay_phase_ns_per_event()
         ));
         out.push_str(&format!(
             "    \"aggregate_seconds\": {:.6}\n  }},\n",
@@ -305,14 +366,19 @@ mod tests {
             phases: ProfileSnapshot {
                 record_seconds: 0.2,
                 record_runs: 3,
+                record_events: 30_000,
                 compile_seconds: 0.01,
                 compile_runs: 3,
+                compile_events: 30_000,
                 compiled_replay_seconds: 0.3,
                 compiled_replay_runs: 80,
+                compiled_replay_events: 800_000,
                 replay_seconds: 0.9,
                 replay_runs: 100,
+                replay_events: 1_000_000,
                 direct_seconds: 0.0,
                 direct_runs: 0,
+                direct_events: 0,
                 cache: trace_cache::TraceCacheStats {
                     hits: 97,
                     misses: 3,
@@ -358,11 +424,11 @@ mod tests {
     #[test]
     fn snapshot_accumulates_phase_time() {
         let before = snapshot();
-        add_record(Duration::from_millis(5));
-        add_compile(Duration::from_millis(3));
-        add_compiled_replay(Duration::from_millis(2));
-        add_replay(Duration::from_millis(7));
-        add_direct(Duration::from_millis(11));
+        add_record(Duration::from_millis(5), 10);
+        add_compile(Duration::from_millis(3), 10);
+        add_compiled_replay(Duration::from_millis(2), 10);
+        add_replay(Duration::from_millis(7), 10);
+        add_direct(Duration::from_millis(11), 10);
         let after = snapshot();
         assert!(after.record_seconds >= before.record_seconds + 0.004);
         assert!(after.compile_seconds >= before.compile_seconds + 0.002);
@@ -376,6 +442,9 @@ mod tests {
         assert!(after.compiled_replay_runs > before.compiled_replay_runs);
         assert!(after.replay_runs > before.replay_runs);
         assert!(after.direct_runs > before.direct_runs);
+        assert!(after.record_events >= before.record_events + 10);
+        assert!(after.replay_events >= before.replay_events + 10);
+        assert!(after.direct_events >= before.direct_events + 10);
     }
 
     #[test]
@@ -423,6 +492,17 @@ mod tests {
             "\"replay_runs\"",
             "\"direct_seconds\"",
             "\"direct_runs\"",
+            "\"record_events\"",
+            "\"record_ns_per_event\"",
+            "\"compile_events\"",
+            "\"compile_ns_per_event\"",
+            "\"compiled_replay_events\"",
+            "\"compiled_replay_ns_per_event\"",
+            "\"replay_events\"",
+            "\"replay_ns_per_event\"",
+            "\"direct_events\"",
+            "\"direct_ns_per_event\"",
+            "\"replay_phase_ns_per_event\"",
             "\"aggregate_seconds\"",
             "\"trace_cache\"",
             "\"hits\"",
@@ -439,8 +519,19 @@ mod tests {
             assert!(json.contains(key), "missing schema key {key} in:\n{json}");
         }
         // `replay_seconds` must stay distinct from `compiled_replay_seconds`
-        // (the gate sums them); exactly one occurrence of each key.
+        // (the gate sums them); exactly one occurrence of each key. Same
+        // for the per-event keys the ns/event gate greps.
         assert_eq!(json.matches("\"compiled_replay_seconds\"").count(), 1);
         assert_eq!(json.matches("\"replay_seconds\"").count(), 1);
+        assert_eq!(json.matches("\"replay_phase_ns_per_event\"").count(), 1);
+    }
+
+    #[test]
+    fn ns_per_event_is_zero_when_no_events_ran() {
+        assert_eq!(ns_per_event(1.0, 0), 0.0);
+        assert!((ns_per_event(0.9, 1_000_000) - 900.0).abs() < 1e-9);
+        let p = sample().phases;
+        // (0.3 + 0.9)s over (0.8 + 1.0)M events = 666.67 ns/event.
+        assert!((p.replay_phase_ns_per_event() - 1.2e9 / 1.8e6).abs() < 1e-6);
     }
 }

@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use sttcache::{DCacheOrganization, Platform, PlatformConfig, RunResult};
-use sttcache_cpu::{CompiledTrace, Engine, Trace, TraceEvent, TraceGeometry, TraceRecorder};
+use sttcache_cpu::{CompiledTrace, Engine, Trace, TraceGeometry, TraceRecorder};
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 /// Identifies one recorded event stream: the organization-independent
@@ -148,9 +148,14 @@ pub struct TraceCache {
     inner: Mutex<Inner>,
 }
 
-/// In-memory size of a trace: its event array (16 bytes per event).
+/// In-memory size of a trace: the heap footprint of its event buffer
+/// (16 bytes per *capacity* slot, not per event). Charging length while
+/// recorders over-allocate let sweeps sit far above the configured cap
+/// without a single eviction; [`record_trace`] shrinks fresh recordings
+/// so the two numbers coincide on the sweep path, and any slack that
+/// does survive is charged honestly.
 fn trace_bytes(trace: &Trace) -> usize {
-    trace.len() * std::mem::size_of::<TraceEvent>()
+    trace.heap_bytes()
 }
 
 impl TraceCache {
@@ -453,13 +458,16 @@ pub fn record_trace(bench: PolyBench, size: ProblemSize, transforms: Transformat
         .unwrap_or(0);
     let mut rec = TraceRecorder::with_capacity(hint);
     bench.kernel(size).run(&mut rec, transforms);
-    let trace = rec.into_trace();
+    let mut trace = rec.into_trace();
+    // Drop the hint/growth slack before the cache charges the trace
+    // against its byte cap — resident memory then equals accounted bytes.
+    trace.shrink_to_fit();
     capacity_hint()
         .lock()
         .expect("capacity hint lock")
         .insert((bench, size), trace.len());
     let took = start.elapsed();
-    profile::add_record(took);
+    profile::add_record(took, trace.len() as u64);
     spans::record("record", "phase", start, took);
     trace
 }
@@ -490,7 +498,7 @@ pub fn cached_compiled(
         let start = Instant::now();
         let compiled = CompiledTrace::compile(&trace, geometry);
         let took = start.elapsed();
-        profile::add_compile(took);
+        profile::add_compile(took, trace.len() as u64);
         spans::record("compile", "phase", start, took);
         compiled
     })
@@ -553,7 +561,8 @@ pub fn run_config(
         let kernel = bench.kernel(size);
         let result = platform.run(|e: &mut dyn Engine| kernel.run(e, transforms));
         let took = start.elapsed();
-        profile::add_direct(took);
+        let ops = result.core.loads + result.core.stores + result.core.prefetches;
+        profile::add_direct(took, ops);
         spans::record("direct", "phase", start, took);
         return result;
     }
@@ -573,7 +582,7 @@ pub fn run_config(
         let start = Instant::now();
         let result = platform.run_compiled(&compiled);
         let took = start.elapsed();
-        profile::add_compiled_replay(took);
+        profile::add_compiled_replay(took, trace.len() as u64);
         spans::record("compiled_replay", "phase", start, took);
         if trace_check_requested() {
             assert_eq!(
@@ -589,7 +598,7 @@ pub fn run_config(
         let start = Instant::now();
         let result = platform.run_trace(&trace);
         let took = start.elapsed();
-        profile::add_replay(took);
+        profile::add_replay(took, trace.len() as u64);
         spans::record("replay", "phase", start, took);
         result
     };
@@ -635,13 +644,15 @@ pub fn drive<E: Engine>(
         let start = Instant::now();
         trace.replay_into(e);
         let took = start.elapsed();
-        profile::add_replay(took);
+        profile::add_replay(took, trace.len() as u64);
         spans::record("replay", "phase", start, took);
     } else {
         let start = Instant::now();
         bench.kernel(size).run(e, transforms);
         let took = start.elapsed();
-        profile::add_direct(took);
+        // The borrowed engine exposes no event counter; credit the time
+        // with zero events (the rate renders as 0 rather than a guess).
+        profile::add_direct(took, 0);
         spans::record("direct", "phase", start, took);
     }
 }
@@ -661,6 +672,7 @@ fn trace_check_requested() -> bool {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use sttcache_cpu::TraceEvent;
 
     fn trace_of(n: usize) -> Trace {
         (0..n)
@@ -748,6 +760,33 @@ mod tests {
         assert_eq!(cache.resident_bytes(), 0);
         assert!(cache.is_empty());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn growth_slack_is_charged_and_shrinking_removes_it() {
+        let mut rec = TraceRecorder::with_capacity(64);
+        rec.compute(1);
+        let mut fat = rec.into_trace();
+        assert!(trace_bytes(&fat) >= 64 * std::mem::size_of::<TraceEvent>());
+        fat.shrink_to_fit();
+        assert_eq!(trace_bytes(&fat), std::mem::size_of::<TraceEvent>());
+    }
+
+    #[test]
+    fn over_allocated_traces_evict_at_their_true_footprint() {
+        // One compute event, forty slots of capacity. Under length-based
+        // accounting this entry would sit comfortably inside a cap sized
+        // for twenty events; its real footprint is double the cap, so it
+        // must be charged — and evicted — at capacity.
+        let cache = TraceCache::with_cap_bytes(20 * std::mem::size_of::<TraceEvent>());
+        let t = cache.get_or_record(key(PolyBench::Gemm), || {
+            let mut rec = TraceRecorder::with_capacity(40);
+            rec.compute(1);
+            rec.into_trace()
+        });
+        assert_eq!(t.len(), 1); // the caller's Arc is unaffected
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.resident_bytes(), 0);
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub struct EmshrStage {
     pub(crate) config: EmshrConfig,
     pub(crate) buffer: FaBuffer,
     pub(crate) stats: BufferStats,
+    /// Cached DL1 line size (fixed at construction) so the per-access
+    /// line decode skips the virtual `below.line_bytes()` call.
+    line_bytes: usize,
 }
 
 impl EmshrStage {
@@ -82,6 +85,7 @@ impl EmshrStage {
             buffer: FaBuffer::new(config.entries(line_bits)),
             config,
             stats: BufferStats::default(),
+            line_bytes: line_bits / 8,
         })
     }
 
@@ -92,7 +96,7 @@ impl EmshrStage {
 
     /// Captures a just-missed line into the data-bearing MSHR.
     fn capture(&mut self, below: &mut dyn MemoryLevel, addr: Addr, ready_at: Cycle, dirty: bool) {
-        let line_bytes = below.line_bytes();
+        let line_bytes = self.line_bytes;
         let line = addr.line(line_bytes);
         self.stats.fills += 1;
         if let Some(evicted) = self.buffer.insert(line, ready_at, ready_at, dirty) {
@@ -103,7 +107,12 @@ impl EmshrStage {
             }
         }
         if sttcache_mem::telemetry::enabled() {
-            sttcache_mem::telemetry::observe("emshr", "depth", self.buffer.len() as u64);
+            use std::sync::OnceLock;
+            use sttcache_mem::telemetry::Slot;
+            static DEPTH_HIST: OnceLock<Slot> = OnceLock::new();
+            DEPTH_HIST
+                .get_or_init(|| Slot::histogram("emshr", "depth"))
+                .observe(self.buffer.len() as u64);
         }
     }
 }
@@ -115,7 +124,7 @@ impl BufferStage for EmshrStage {
 
     fn read(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
         self.stats.reads += 1;
-        let line = addr.line(below.line_bytes());
+        let line = addr.line(self.line_bytes);
         if let Some(idx) = self.buffer.find(line) {
             self.stats.read_hits += 1;
             let ready = self.buffer.entry(idx).ready_at.max(now);
@@ -135,7 +144,7 @@ impl BufferStage for EmshrStage {
 
     fn write(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
         self.stats.writes += 1;
-        let line = addr.line(below.line_bytes());
+        let line = addr.line(self.line_bytes);
         if let Some(idx) = self.buffer.find(line) {
             // Coalesce into the retained entry; it flushes on replacement.
             self.stats.write_hits += 1;

@@ -50,6 +50,9 @@ pub struct L0Stage {
     pub(crate) config: L0Config,
     pub(crate) buffer: FaBuffer,
     pub(crate) stats: BufferStats,
+    /// Cached DL1 line size (fixed at construction) so the per-access
+    /// line decode skips the virtual `below.line_bytes()` call.
+    line_bytes: usize,
 }
 
 impl L0Stage {
@@ -79,6 +82,7 @@ impl L0Stage {
             buffer: FaBuffer::new(config.entries(line_bits)),
             config,
             stats: BufferStats::default(),
+            line_bytes: line_bits / 8,
         })
     }
 
@@ -97,7 +101,7 @@ impl L0Stage {
         now: Cycle,
         dirty: bool,
     ) -> AccessOutcome {
-        let line_bytes = below.line_bytes();
+        let line_bytes = self.line_bytes;
         let line = addr.line(line_bytes);
         let out = below.read(addr, now);
         self.stats.fills += 1;
@@ -112,7 +116,12 @@ impl L0Stage {
             }
         }
         if sttcache_mem::telemetry::enabled() {
-            sttcache_mem::telemetry::observe("l0", "depth", self.buffer.len() as u64);
+            use std::sync::OnceLock;
+            use sttcache_mem::telemetry::Slot;
+            static DEPTH_HIST: OnceLock<Slot> = OnceLock::new();
+            DEPTH_HIST
+                .get_or_init(|| Slot::histogram("l0", "depth"))
+                .observe(self.buffer.len() as u64);
         }
         out
     }
@@ -125,7 +134,7 @@ impl BufferStage for L0Stage {
 
     fn read(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
         self.stats.reads += 1;
-        let line = addr.line(below.line_bytes());
+        let line = addr.line(self.line_bytes);
         if let Some(idx) = self.buffer.find(line) {
             self.stats.read_hits += 1;
             let ready = self.buffer.entry(idx).ready_at.max(now);
@@ -140,7 +149,7 @@ impl BufferStage for L0Stage {
 
     fn write(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
         self.stats.writes += 1;
-        let line = addr.line(below.line_bytes());
+        let line = addr.line(self.line_bytes);
         if let Some(idx) = self.buffer.find(line) {
             self.stats.write_hits += 1;
             let ready = self.buffer.entry(idx).ready_at.max(now);

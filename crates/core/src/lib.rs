@@ -61,6 +61,7 @@ pub mod catalog;
 mod dl1;
 mod error;
 mod front_end;
+mod lane;
 mod penalty;
 mod platform;
 mod report;
@@ -73,6 +74,7 @@ pub use dl1::{
 };
 pub use error::SttError;
 pub use front_end::FrontEnd;
+pub use lane::{LaneMode, LanePort, PlainLane, ReplayLane};
 pub use penalty::{average_penalty, penalty_pct, PenaltyRow};
 pub use platform::{
     DCacheOrganization, EnergyReport, IcacheConfig, Platform, PlatformConfig, RunResult,

@@ -8,13 +8,17 @@
 //! ratio.
 
 use crate::baselines::{EmshrConfig, L0Config};
+use crate::baselines::{EmshrStage, L0Stage};
 use crate::dl1::{
     l2_config, nvm_dl1_config, nvm_il1_config, sram_dl1_config, sram_il1_config, DlOneTechnology,
 };
 use crate::front_end::FrontEnd;
-use crate::stage::{BufferStats, StackSpec, StageSpec, StageStats};
-use crate::vwb::VwbConfig;
-use crate::SttError;
+use crate::lane::{
+    CompiledDriver, LaneDriver, LaneMode, LanePort, PlainLane, ReplayLane, TraceDriver,
+};
+use crate::stage::{BufferStats, Buffered, StackSpec, StageSpec, StageStats};
+use crate::vwb::{VwbConfig, VwbStage};
+use crate::{Hierarchy, SttError};
 use sttcache_cpu::{
     CompiledTrace, Core, CoreConfig, CoreReport, Engine, FetchUnit, MemPort, Trace, TraceGeometry,
 };
@@ -188,7 +192,9 @@ impl Platform {
         }
     }
 
-    fn build_front_end(&self) -> Result<FrontEnd, SttError> {
+    /// Builds the cold concrete hierarchy (DL1 → L2 → memory) every
+    /// front-end and replay lane wraps.
+    fn build_hierarchy(&self) -> Result<Hierarchy, SttError> {
         let l2cfg = match self.config.l2_override {
             Some(cfg) => cfg,
             None => l2_config()?,
@@ -197,6 +203,11 @@ impl Platform {
         tail.set_telemetry_component("l2");
         let mut dl1 = Cache::new(self.dl1_config()?, tail);
         dl1.set_telemetry_component("dl1");
+        Ok(dl1)
+    }
+
+    fn build_front_end(&self) -> Result<FrontEnd, SttError> {
+        let dl1 = self.build_hierarchy()?;
         let line_bits = dl1.config().line_bytes() * 8;
         Ok(match self.config.organization {
             DCacheOrganization::SramBaseline | DCacheOrganization::NvmDropIn => {
@@ -247,11 +258,74 @@ impl Platform {
     ///
     /// Statistically and cycle-for-cycle identical to [`Platform::run`]
     /// with a workload that emits the same event stream, but events are
-    /// dispatched through [`Trace::replay_into`] into the concrete core —
-    /// static calls instead of one virtual call per access. This is the
+    /// dispatched through [`Trace::replay_into`] into a monomorphic
+    /// [`ReplayLane`] selected once for this configuration — static calls
+    /// instead of one virtual call per access. This is the
     /// record-once/replay-many path the sweep engine's trace cache uses.
+    /// Set `STTCACHE_REPLAY_LANE=generic` to force the generic referee
+    /// path (see [`LaneMode::from_env`]).
     pub fn run_trace(&self, trace: &Trace) -> RunResult {
-        self.run_core(|core| trace.replay_into(core))
+        self.run_trace_with(trace, LaneMode::from_env())
+    }
+
+    /// [`Platform::run_trace`] with an explicit lane mode — the handle the
+    /// lane-equivalence battery uses to compare the monomorphic lanes
+    /// against the generic referee without touching process-global state.
+    pub fn run_trace_with(&self, trace: &Trace, mode: LaneMode) -> RunResult {
+        let lane = self
+            .build_lane(mode)
+            .expect("configuration was validated eagerly");
+        self.run_lane(lane, TraceDriver(trace))
+    }
+
+    /// Which [`ReplayLane`] this configuration selects under the given
+    /// mode — the [`ReplayLane::kind`] identifier, for diagnostics and
+    /// for the lane-equivalence battery to assert that stock
+    /// organizations really replay monomorphically (and would not pass
+    /// trivially by comparing the generic path against itself).
+    pub fn replay_lane_kind(&self, mode: LaneMode) -> &'static str {
+        self.build_lane(mode)
+            .expect("configuration was validated eagerly")
+            .kind()
+    }
+
+    /// Builds the replay lane for this configuration: monomorphic for the
+    /// stock organizations under [`LaneMode::Auto`], the generic
+    /// [`FrontEnd`] for ad-hoc stage stacks or under [`LaneMode::Generic`].
+    fn build_lane(&self, mode: LaneMode) -> Result<ReplayLane, SttError> {
+        use DCacheOrganization as Org;
+        if matches!(mode, LaneMode::Generic) || matches!(self.config.organization, Org::NvmStack(_))
+        {
+            return Ok(ReplayLane::Generic(self.build_front_end()?));
+        }
+        let dl1 = self.build_hierarchy()?;
+        let line_bits = dl1.config().line_bytes() * 8;
+        Ok(match self.config.organization {
+            Org::SramBaseline | Org::NvmDropIn => ReplayLane::Plain(PlainLane::new(dl1)),
+            Org::NvmVwb(cfg) => {
+                ReplayLane::Vwb(Buffered::compose(VwbStage::new(cfg, line_bits)?, dl1))
+            }
+            Org::NvmL0(cfg) => {
+                ReplayLane::L0(Buffered::compose(L0Stage::new(cfg, line_bits)?, dl1))
+            }
+            Org::NvmEmshr(cfg) => {
+                ReplayLane::Emshr(Buffered::compose(EmshrStage::new(cfg, line_bits)?, dl1))
+            }
+            Org::NvmStack(_) => unreachable!("stacks were routed to the generic lane above"),
+        })
+    }
+
+    /// Runs `driver` on `lane` — one [`Platform::run_core_on`]
+    /// monomorphization per lane variant, so the whole replay loop
+    /// devirtualizes at compile time.
+    fn run_lane(&self, lane: ReplayLane, driver: impl LaneDriver) -> RunResult {
+        match lane {
+            ReplayLane::Plain(p) => self.run_core_on(p, |c| driver.drive(c)),
+            ReplayLane::Vwb(p) => self.run_core_on(p, |c| driver.drive(c)),
+            ReplayLane::L0(p) => self.run_core_on(p, |c| driver.drive(c)),
+            ReplayLane::Emshr(p) => self.run_core_on(p, |c| driver.drive(c)),
+            ReplayLane::Generic(fe) => self.run_core_on(fe, |c| driver.drive(c)),
+        }
     }
 
     /// The DL1's `(line_bytes, sets, banks)` triple — the geometry a trace
@@ -279,22 +353,43 @@ impl Platform {
     /// Panics if `compiled.geometry()` differs from this platform's DL1
     /// geometry (replaying would silently mis-index sets and banks).
     pub fn run_compiled(&self, compiled: &CompiledTrace) -> RunResult {
+        self.run_compiled_with(compiled, LaneMode::from_env())
+    }
+
+    /// [`Platform::run_compiled`] with an explicit lane mode; see
+    /// [`Platform::run_trace_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compiled.geometry()` differs from this platform's DL1
+    /// geometry.
+    pub fn run_compiled_with(&self, compiled: &CompiledTrace, mode: LaneMode) -> RunResult {
         assert_eq!(
             compiled.geometry(),
             self.dl1_geometry(),
             "compiled trace geometry does not match the platform's DL1"
         );
-        self.run_core(|core| compiled.replay_into_core(core))
+        let lane = self
+            .build_lane(mode)
+            .expect("configuration was validated eagerly");
+        self.run_lane(lane, CompiledDriver(compiled))
     }
 
-    /// Shared body of [`Platform::run`] and [`Platform::run_trace`]:
-    /// builds the cold hierarchy, lets `drive` push events into the
+    /// Shared body of [`Platform::run`] and the generic replay path:
+    /// builds the cold front-end, lets `drive` push events into the
     /// concrete core, then assembles the full [`RunResult`].
     fn run_core(&self, drive: impl FnOnce(&mut Core<FrontEnd>)) -> RunResult {
         let front_end = self
             .build_front_end()
             .expect("configuration was validated eagerly");
-        let mut core = Core::new(self.config.core, front_end);
+        self.run_core_on(front_end, drive)
+    }
+
+    /// [`Platform::run_core`] generic over the port type: the replay
+    /// lanes instantiate this once per monomorphic organization, so the
+    /// per-event path below `Core` carries no dynamic dispatch.
+    fn run_core_on<P: LanePort>(&self, port: P, drive: impl FnOnce(&mut Core<P>)) -> RunResult {
+        let mut core = Core::new(self.config.core, port);
         if let Some(ic) = self.config.icache {
             let il1_cfg = match ic.technology {
                 DlOneTechnology::Sram => sram_il1_config(),
@@ -312,15 +407,18 @@ impl Platform {
         let report = core.report();
         let il1 = core.fetch_unit().map(|f| *f.il1().stats());
         let fe = core.into_port();
-        let energy = self.energy_report(&report, &fe);
+        let dl1 = *fe.dl1_stats();
+        let l2 = *fe.l2_stats();
+        let buffers = fe.stage_stats();
+        let energy = self.energy_report(&report, &dl1, &l2, &buffers);
         RunResult {
             organization: self.config.organization,
             core: report,
-            dl1: *fe.dl1_stats(),
-            l2: *fe.l2_stats(),
+            dl1,
+            l2,
             memory: *fe.memory_stats(),
             il1,
-            buffers: fe.stage_stats(),
+            buffers,
             energy,
         }
     }
@@ -350,22 +448,33 @@ impl Platform {
         workload(&mut core);
         let report = core.report();
         let fe = core.into_port();
-        let energy = self.energy_report(&report, &fe);
+        let dl1 = *fe.dl1_stats();
+        let l2 = *fe.l2_stats();
+        let buffers = fe.stage_stats();
+        let energy = self.energy_report(&report, &dl1, &l2, &buffers);
         RunResult {
             organization: self.config.organization,
             core: report,
-            dl1: *fe.dl1_stats(),
-            l2: *fe.l2_stats(),
+            dl1,
+            l2,
             memory: *fe.memory_stats(),
             il1: None,
-            buffers: fe.stage_stats(),
+            buffers,
             energy,
         }
     }
 
     /// First-order energy model: per-access dynamic energy from the
     /// `sttcache-tech` array models plus leakage integrated over the run.
-    fn energy_report(&self, report: &CoreReport, fe: &FrontEnd) -> EnergyReport {
+    /// Takes the extracted statistics rather than a port so every lane
+    /// type (and the generic front-end) feeds the same model.
+    fn energy_report(
+        &self,
+        report: &CoreReport,
+        dl1: &CacheStats,
+        l2: &CacheStats,
+        buffers: &[StageStats],
+    ) -> EnergyReport {
         let dl1_cfg = self.dl1_config().expect("validated");
         let cell = self.config.organization.dl1_technology().cell_kind();
         let dl1_model = dl1_cfg
@@ -381,8 +490,6 @@ impl Platform {
             .map(ArrayModel::new)
             .expect("l2 geometry has an array realization");
 
-        let dl1 = fe.dl1_stats();
-        let l2 = fe.l2_stats();
         let line_bits = dl1_cfg.line_bytes() * 8;
         let l2_line_bits = l2_cfg.line_bytes() * 8;
         let dl1_dynamic_pj = dl1.reads as f64 * dl1_model.read_energy_pj(line_bits)
@@ -391,11 +498,7 @@ impl Platform {
             + l2.writes as f64 * l2_model.write_energy_pj(l2_line_bits);
         // Register-file-class buffers: ~0.5 pJ per access, summed over
         // every stage in the composition.
-        let buffer_accesses: u64 = fe
-            .stage_stats()
-            .iter()
-            .map(|s| s.stats.reads + s.stats.writes)
-            .sum();
+        let buffer_accesses: u64 = buffers.iter().map(|s| s.stats.reads + s.stats.writes).sum();
         let buffer_dynamic_pj = buffer_accesses as f64 * 0.5;
 
         let mut leak = LeakageIntegrator::new(self.config.clock_ghz);
@@ -655,6 +758,60 @@ mod tests {
                 entry.organization.name()
             );
         }
+    }
+
+    #[test]
+    fn monomorphic_lanes_match_the_generic_referee() {
+        let trace: sttcache_cpu::Trace = {
+            let mut rec = sttcache_cpu::TraceRecorder::new();
+            workload(&mut rec);
+            rec.prefetch(Addr(0x4000));
+            rec.into_trace()
+        };
+        for entry in crate::catalog::catalog() {
+            let p = Platform::new(entry.organization).unwrap();
+            let lane = p.run_trace_with(&trace, crate::LaneMode::Auto);
+            let referee = p.run_trace_with(&trace, crate::LaneMode::Generic);
+            assert_eq!(lane, referee, "{}", entry.organization.name());
+            let compiled = CompiledTrace::compile(&trace, p.dl1_geometry());
+            let lane_c = p.run_compiled_with(&compiled, crate::LaneMode::Auto);
+            let referee_c = p.run_compiled_with(&compiled, crate::LaneMode::Generic);
+            assert_eq!(
+                lane_c,
+                referee_c,
+                "{} (compiled)",
+                entry.organization.name()
+            );
+            assert_eq!(
+                lane,
+                lane_c,
+                "{} (lane trace vs compiled)",
+                entry.organization.name()
+            );
+        }
+    }
+
+    #[test]
+    fn lane_selection_covers_the_stock_organizations() {
+        let kinds: Vec<&str> = crate::catalog::catalog()
+            .iter()
+            .map(|e| {
+                Platform::new(e.organization)
+                    .unwrap()
+                    .build_lane(crate::LaneMode::Auto)
+                    .unwrap()
+                    .kind()
+            })
+            .collect();
+        for k in ["plain", "vwb", "l0", "emshr", "generic"] {
+            assert!(kinds.contains(&k), "no catalog entry selects lane {k}");
+        }
+        // The generic mode forces the referee everywhere.
+        let p = Platform::new(DCacheOrganization::nvm_vwb_default()).unwrap();
+        assert_eq!(
+            p.build_lane(crate::LaneMode::Generic).unwrap().kind(),
+            "generic"
+        );
     }
 
     #[test]

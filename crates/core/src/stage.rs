@@ -97,7 +97,10 @@ pub struct StageTelemetry {
 /// level's tags and fetches the line on a miss, without blocking the core.
 /// Stages that promote resident lines into their own storage (the VWB)
 /// override [`BufferStage::prefetch`] instead.
-pub fn probe_then_fetch(below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) {
+/// Generic over the backing level so monomorphic replay lanes keep
+/// static dispatch; `?Sized` keeps the `&mut dyn MemoryLevel` callers
+/// inside boxed stages working unchanged.
+pub fn probe_then_fetch<M: MemoryLevel + ?Sized>(below: &mut M, addr: Addr, now: Cycle) {
     if !below.contains(addr) {
         let _ = below.read(addr, now);
     }

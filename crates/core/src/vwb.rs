@@ -132,6 +132,9 @@ pub struct VwbStage {
     pub(crate) buffer: FaBuffer,
     pub(crate) stats: BufferStats,
     hit_cycles: u64,
+    /// Cached DL1 line size (fixed at construction) so the per-access
+    /// line decode skips the virtual `below.line_bytes()` call.
+    line_bytes: usize,
     /// Length of the current run of consecutive stores absorbed by the
     /// buffer. Only maintained while the telemetry gate is armed (it
     /// feeds the coalescing-run histogram and nothing else, so disarmed
@@ -154,6 +157,7 @@ impl VwbStage {
             config,
             stats: BufferStats::default(),
             coalesce_run: 0,
+            line_bytes: line_bits / 8,
         })
     }
 
@@ -167,7 +171,7 @@ impl VwbStage {
     /// and models the wide transfer's bank occupancy. Returns the backing
     /// level's outcome (critical-word availability).
     fn promote(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
-        let line_bytes = below.line_bytes();
+        let line_bytes = self.line_bytes;
         let line = addr.line(line_bytes);
         let out = below.read(addr, now);
         self.stats.fills += 1;
@@ -190,9 +194,16 @@ impl VwbStage {
             self.check_invariants(out.complete_at);
         }
         if telemetry::enabled() {
+            use std::sync::OnceLock;
+            static DEPTH_HIST: OnceLock<telemetry::Slot> = OnceLock::new();
+            static DEPTH_SERIES: OnceLock<telemetry::Slot> = OnceLock::new();
             let depth = self.buffer.len() as u64;
-            telemetry::observe("vwb", "depth", depth);
-            telemetry::sample("vwb", "depth", out.complete_at, depth);
+            DEPTH_HIST
+                .get_or_init(|| telemetry::Slot::histogram("vwb", "depth"))
+                .observe(depth);
+            DEPTH_SERIES
+                .get_or_init(|| telemetry::Slot::series("vwb", "depth"))
+                .sample(out.complete_at, depth);
         }
         out
     }
@@ -205,7 +216,7 @@ impl BufferStage for VwbStage {
 
     fn read(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
         self.stats.reads += 1;
-        let line = addr.line(below.line_bytes());
+        let line = addr.line(self.line_bytes);
         if let Some(idx) = self.buffer.find(line) {
             // VWB hit: register-file latency once the data has landed.
             self.stats.read_hits += 1;
@@ -221,7 +232,7 @@ impl BufferStage for VwbStage {
 
     fn write(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) -> AccessOutcome {
         self.stats.writes += 1;
-        let line = addr.line(below.line_bytes());
+        let line = addr.line(self.line_bytes);
         if let Some(idx) = self.buffer.find(line) {
             // Present in the VWB: update it there (write-back to the DL1
             // happens on eviction).
@@ -239,15 +250,19 @@ impl BufferStage for VwbStage {
         // "Otherwise, it's directly updated via the processor": write
         // straight into the DL1 (write-allocate there, no VWB allocation).
         if telemetry::enabled() && self.coalesce_run > 0 {
+            use std::sync::OnceLock;
+            static RUN_HIST: OnceLock<telemetry::Slot> = OnceLock::new();
             // A write miss ends the current run of buffer-absorbed stores.
-            telemetry::observe("vwb", "coalesce_run", self.coalesce_run);
+            RUN_HIST
+                .get_or_init(|| telemetry::Slot::histogram("vwb", "coalesce_run"))
+                .observe(self.coalesce_run);
             self.coalesce_run = 0;
         }
         below.write(addr, now)
     }
 
     fn prefetch(&mut self, below: &mut dyn MemoryLevel, addr: Addr, now: Cycle) {
-        let line = addr.line(below.line_bytes());
+        let line = addr.line(self.line_bytes);
         if self.buffer.find(line).is_some() {
             self.stats.prefetch_drops += 1;
             return;

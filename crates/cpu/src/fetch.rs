@@ -48,6 +48,9 @@ const INSTR_BYTES: u64 = 4;
 /// ```
 pub struct FetchUnit {
     il1: Box<dyn MemoryLevel>,
+    /// Cached `il1.line_bytes()` so the per-instruction line-boundary
+    /// check skips the virtual call (the IL1 geometry never changes).
+    line_mask: u64,
     /// Simulated code-region base.
     base: u64,
     /// Active code footprint in bytes; the PC wraps inside it.
@@ -80,7 +83,10 @@ impl FetchUnit {
     pub fn new(il1: Box<dyn MemoryLevel>, footprint_bytes: u64) -> Self {
         assert!(footprint_bytes >= INSTR_BYTES, "code footprint too small");
         let base = 0x4000_0000; // away from the data space
+        let line_bytes = il1.line_bytes() as u64;
+        assert!(line_bytes.is_power_of_two(), "IL1 line size");
         FetchUnit {
+            line_mask: line_bytes - 1,
             il1,
             base,
             footprint: footprint_bytes,
@@ -97,8 +103,7 @@ impl FetchUnit {
     pub fn step(&mut self, now: Cycle, control: Option<Option<bool>>) -> u64 {
         // Only a PC that enters a new line touches the IL1 (the fetch
         // buffer holds the current line).
-        let line_bytes = self.il1.line_bytes() as u64;
-        let stall = if self.pc.is_multiple_of(line_bytes) || self.fetches == 0 {
+        let stall = if self.pc & self.line_mask == 0 || self.fetches == 0 {
             self.fetches += 1;
             let out = self.il1.read(Addr(self.pc), now);
             let extra = out.complete_at.saturating_sub(now + 1);
@@ -129,7 +134,15 @@ impl FetchUnit {
     }
 
     fn wrap(&self, pc: u64) -> u64 {
-        self.base + (pc - self.base) % self.footprint
+        // The PC advances one instruction at a time, so it exceeds the
+        // footprint only on the step that crosses the end — the division
+        // runs once per wrap-around, not per instruction.
+        let off = pc - self.base;
+        if off < self.footprint {
+            pc
+        } else {
+            self.base + off % self.footprint
+        }
     }
 
     /// Total cycles lost to instruction-fetch stalls.

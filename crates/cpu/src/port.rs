@@ -96,6 +96,18 @@ impl<M: MemoryLevel> DataPort for MemPort<M> {
     fn write(&mut self, addr: Addr, now: Cycle) -> Cycle {
         self.level.write(addr, now).complete_at
     }
+
+    fn read_pre(&mut self, d: DecodedAddr, now: Cycle) -> Cycle {
+        // Levels that can use the pre-computed decomposition take it
+        // through `MemoryLevel::read_decoded` (a cache debug_asserts the
+        // geometry match there); everything else falls back to the plain
+        // path inside the default trait method.
+        self.level.read_decoded(d, now).complete_at
+    }
+
+    fn write_pre(&mut self, d: DecodedAddr, now: Cycle) -> Cycle {
+        self.level.write_decoded(d, now).complete_at
+    }
 }
 
 #[cfg(test)]

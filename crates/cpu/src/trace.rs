@@ -97,6 +97,20 @@ impl Trace {
         &self.events
     }
 
+    /// Heap footprint of the event buffer in bytes — the unit the trace
+    /// cache's LRU byte cap accounts recorded entries in. Capacity-based,
+    /// so a recorder's growth slack (or an oversized capacity hint)
+    /// counts until [`Trace::shrink_to_fit`] drops it.
+    pub fn heap_bytes(&self) -> usize {
+        self.events.capacity() * std::mem::size_of::<TraceEvent>()
+    }
+
+    /// Releases the event buffer's growth slack so [`Trace::heap_bytes`]
+    /// matches the event count.
+    pub fn shrink_to_fit(&mut self) {
+        self.events.shrink_to_fit();
+    }
+
     /// Counts of (loads, stores, prefetches, branches) in the trace.
     pub fn summary(&self) -> (u64, u64, u64, u64) {
         let mut c = (0, 0, 0, 0);

@@ -7,6 +7,7 @@
 //! so the platform can attribute the stall.
 
 use crate::addr::Cycle;
+use crate::telemetry::Slot;
 
 /// Per-bank busy-until scheduler.
 ///
@@ -30,6 +31,11 @@ pub struct BankSchedule {
     /// Telemetry component label (the owning cache's name; see
     /// [`BankSchedule::set_telemetry_component`]).
     component: &'static str,
+    /// Pre-resolved telemetry slots for the armed fast path, re-resolved
+    /// whenever the component label changes.
+    slot_reservations: Slot,
+    slot_busy_cycles: Slot,
+    slot_conflicts: Slot,
 }
 
 impl BankSchedule {
@@ -44,6 +50,9 @@ impl BankSchedule {
             free_at: vec![0; banks],
             conflict_cycles: 0,
             component: "cache",
+            slot_reservations: Slot::indexed("cache", "bank_reservations"),
+            slot_busy_cycles: Slot::indexed("cache", "bank_busy_cycles"),
+            slot_conflicts: Slot::indexed("cache", "bank_conflict_cycles"),
         }
     }
 
@@ -51,6 +60,9 @@ impl BankSchedule {
     /// cache's label, e.g. `"dl1"`).
     pub fn set_telemetry_component(&mut self, component: &'static str) {
         self.component = component;
+        self.slot_reservations = Slot::indexed(component, "bank_reservations");
+        self.slot_busy_cycles = Slot::indexed(component, "bank_busy_cycles");
+        self.slot_conflicts = Slot::indexed(component, "bank_conflict_cycles");
     }
 
     /// Number of banks.
@@ -70,15 +82,10 @@ impl BankSchedule {
         self.conflict_cycles += start - now;
         self.free_at[bank] = start + occupancy;
         if crate::telemetry::enabled() {
-            crate::telemetry::record_indexed(self.component, "bank_reservations", bank, 1);
-            crate::telemetry::record_indexed(self.component, "bank_busy_cycles", bank, occupancy);
+            self.slot_reservations.add_at(bank, 1);
+            self.slot_busy_cycles.add_at(bank, occupancy);
             if start > now {
-                crate::telemetry::record_indexed(
-                    self.component,
-                    "bank_conflict_cycles",
-                    bank,
-                    start - now,
-                );
+                self.slot_conflicts.add_at(bank, start - now);
             }
         }
         if crate::invariants::enabled() && self.free_at[bank] < now + occupancy {
@@ -95,6 +102,18 @@ impl BankSchedule {
                 ),
             );
         }
+        start
+    }
+
+    /// [`BankSchedule::reserve`] minus the gated telemetry/invariant
+    /// observers: identical `free_at`/`conflict_cycles` mutation, no gate
+    /// probes. Only sound to call when both gates are known to be off —
+    /// the cache's hit fast path establishes exactly that before using it.
+    #[inline]
+    pub(crate) fn reserve_quiet(&mut self, bank: usize, now: Cycle, occupancy: u64) -> Cycle {
+        let start = self.free_at[bank].max(now);
+        self.conflict_cycles += start - now;
+        self.free_at[bank] = start + occupancy;
         start
     }
 

@@ -60,6 +60,9 @@ pub struct AccessOutcome {
 #[derive(Debug, Clone)]
 pub struct Cache<N> {
     config: CacheConfig,
+    /// Cached [`CacheConfig::sets`]: the set count is derived by integer
+    /// division, and the decode math needs it on every access.
+    set_count: usize,
     sets: Vec<CacheSet>,
     banks: BankSchedule,
     mshrs: MshrFile,
@@ -69,13 +72,32 @@ pub struct Cache<N> {
     /// Array writes performed (drives the deterministic AWARE slow-write
     /// cadence).
     array_writes: u64,
+    /// Compact tag mirror of `sets` for the hit fast path: one `u64` tag
+    /// per way, ways of a set contiguous (`set * ways + way`). Kept in
+    /// lock-step with [`CacheSet::fill`]/invalidate by the only two code
+    /// paths that change residency; audited against `sets` whenever the
+    /// invariant gate is armed. Empty when the mirror is disabled
+    /// (associativity above [`MIRROR_MAX_WAYS`]).
+    mirror_tags: Vec<u64>,
+    /// Valid-way bitmask per set, same lifetime rules as `mirror_tags`.
+    mirror_valid: Vec<u64>,
     /// Telemetry component label (`"dl1"`, `"l2"`, …).
     component: &'static str,
+    /// Pre-resolved wear/share telemetry slots, re-resolved whenever the
+    /// component label changes.
+    slot_set_writes: crate::telemetry::Slot,
+    slot_bank_writes: crate::telemetry::Slot,
+    slot_bank_reads: crate::telemetry::Slot,
 }
+
+/// Widest associativity the compact tag mirror can represent (one valid
+/// bit per way in a `u64`). Wider caches simply take the general path.
+const MIRROR_MAX_WAYS: usize = 64;
 
 impl<N: MemoryLevel> Cache<N> {
     /// Creates a cache with the given configuration in front of `next`.
     pub fn new(config: CacheConfig, next: N) -> Self {
+        let mirrored = config.associativity() <= MIRROR_MAX_WAYS;
         Cache {
             sets: (0..config.sets())
                 .map(|i| {
@@ -89,12 +111,73 @@ impl<N: MemoryLevel> Cache<N> {
             banks: BankSchedule::new(config.banks()),
             mshrs: MshrFile::new(config.mshr_entries()),
             write_buffer: WriteBuffer::new(config.write_buffer_entries()),
+            mirror_tags: vec![
+                0;
+                if mirrored {
+                    config.sets() * config.associativity()
+                } else {
+                    0
+                }
+            ],
+            mirror_valid: vec![0; if mirrored { config.sets() } else { 0 }],
+            set_count: config.sets(),
             config,
             next,
             stats: CacheStats::new(),
             array_writes: 0,
             component: "cache",
+            slot_set_writes: crate::telemetry::Slot::indexed("cache", "set_writes"),
+            slot_bank_writes: crate::telemetry::Slot::indexed("cache", "bank_writes"),
+            slot_bank_reads: crate::telemetry::Slot::indexed("cache", "bank_reads"),
         }
+    }
+
+    /// Whether the compact tag mirror is maintained for this geometry.
+    #[inline]
+    fn mirrored(&self) -> bool {
+        !self.mirror_valid.is_empty()
+    }
+
+    /// Records `tag` landing in `(set_index, way)` in the tag mirror.
+    #[inline]
+    fn mirror_fill(&mut self, set_index: usize, way: usize, tag: u64) {
+        if self.mirrored() {
+            self.mirror_tags[set_index * self.config.associativity() + way] = tag;
+            self.mirror_valid[set_index] |= 1 << way;
+        }
+    }
+
+    /// Rebuilds one set's slice of the tag mirror from the authoritative
+    /// way state (used after invalidations, which do not know the way).
+    fn mirror_rebuild_set(&mut self, set_index: usize) {
+        if !self.mirrored() {
+            return;
+        }
+        let ways = self.config.associativity();
+        let base = set_index * ways;
+        let mut mask = 0u64;
+        for (way, tag) in self.sets[set_index].way_tags().enumerate() {
+            if let Some(tag) = tag {
+                self.mirror_tags[base + way] = tag;
+                mask |= 1 << way;
+            }
+        }
+        self.mirror_valid[set_index] = mask;
+    }
+
+    /// Probes the compact tag mirror for `tag` in `set_index`.
+    #[inline]
+    fn mirror_probe(&self, set_index: usize, tag: u64) -> Option<usize> {
+        let base = set_index * self.config.associativity();
+        let mut mask = self.mirror_valid[set_index];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            if self.mirror_tags[base + way] == tag {
+                return Some(way);
+            }
+            mask &= mask - 1;
+        }
+        None
     }
 
     /// Names the component this cache's telemetry is recorded under
@@ -103,6 +186,9 @@ impl<N: MemoryLevel> Cache<N> {
     /// `"cache"`.
     pub fn set_telemetry_component(&mut self, component: &'static str) {
         self.component = component;
+        self.slot_set_writes = crate::telemetry::Slot::indexed(component, "set_writes");
+        self.slot_bank_writes = crate::telemetry::Slot::indexed(component, "bank_writes");
+        self.slot_bank_reads = crate::telemetry::Slot::indexed(component, "bank_reads");
         self.banks.set_telemetry_component(component);
         self.mshrs.set_telemetry_component(component);
         self.write_buffer.set_telemetry_component(component);
@@ -112,8 +198,8 @@ impl<N: MemoryLevel> Cache<N> {
     #[inline]
     fn telemetry_array_write(&self, set_index: usize, bank: usize) {
         if crate::telemetry::enabled() {
-            crate::telemetry::record_indexed(self.component, "set_writes", set_index, 1);
-            crate::telemetry::record_indexed(self.component, "bank_writes", bank, 1);
+            self.slot_set_writes.add_at(set_index, 1);
+            self.slot_bank_writes.add_at(bank, 1);
         }
     }
 
@@ -121,7 +207,7 @@ impl<N: MemoryLevel> Cache<N> {
     #[inline]
     fn telemetry_array_read(&self, bank: usize) {
         if crate::telemetry::enabled() {
-            crate::telemetry::record_indexed(self.component, "bank_reads", bank, 1);
+            self.slot_bank_reads.add_at(bank, 1);
         }
     }
 
@@ -154,8 +240,8 @@ impl<N: MemoryLevel> Cache<N> {
     /// state change, no timing).
     pub fn contains(&self, addr: Addr) -> bool {
         let line = self.line_of(addr);
-        let set = &self.sets[line.set_index(self.config.sets())];
-        set.probe(line.tag(self.config.sets())).is_some()
+        let set = &self.sets[line.set_index(self.set_count)];
+        set.probe(line.tag(self.set_count)).is_some()
     }
 
     /// Occupies the bank serving `addr` for `cycles` starting no earlier
@@ -189,7 +275,7 @@ impl<N: MemoryLevel> Cache<N> {
     /// against a functional oracle: a drained hierarchy may only hold
     /// lines the program actually touched.
     pub fn resident_lines(&self) -> Vec<Addr> {
-        let sets_count = self.config.sets();
+        let sets_count = self.set_count;
         let line_bytes = self.config.line_bytes();
         let mut lines = Vec::new();
         for (set_index, set) in self.sets.iter().enumerate() {
@@ -207,8 +293,51 @@ impl<N: MemoryLevel> Cache<N> {
         for (i, set) in self.sets.iter().enumerate() {
             set.check_invariants(i, now);
         }
+        self.check_mirror(now);
         self.mshrs.check_invariants(now);
         self.write_buffer.check_invariants(now);
+    }
+
+    /// Audits the compact tag mirror against the authoritative way state.
+    /// The fast path never runs while the invariant gate is armed, so this
+    /// catches maintenance bugs (a residency change that bypassed
+    /// [`Cache::mirror_fill`]/[`Cache::mirror_rebuild_set`]) rather than
+    /// fast-path bugs.
+    fn check_mirror(&self, now: Cycle) {
+        if !self.mirrored() {
+            return;
+        }
+        let ways = self.config.associativity();
+        for (i, set) in self.sets.iter().enumerate() {
+            let mut mask = 0u64;
+            for (way, tag) in set.way_tags().enumerate() {
+                if let Some(tag) = tag {
+                    mask |= 1 << way;
+                    if self.mirror_tags[i * ways + way] != tag {
+                        crate::invariants::report(
+                            "cache",
+                            now,
+                            None,
+                            format!(
+                                "tag mirror stale in set {i} way {way}: mirror {:#x}, set {tag:#x}",
+                                self.mirror_tags[i * ways + way]
+                            ),
+                        );
+                    }
+                }
+            }
+            if mask != self.mirror_valid[i] {
+                crate::invariants::report(
+                    "cache",
+                    now,
+                    None,
+                    format!(
+                        "valid mirror stale in set {i}: mirror {:#b}, set {mask:#b}",
+                        self.mirror_valid[i]
+                    ),
+                );
+            }
+        }
     }
 
     /// End-of-run verification of this level: reports leaked MSHR
@@ -244,7 +373,7 @@ impl<N: MemoryLevel> Cache<N> {
     /// flushed and the cycle at which the last write-back has been
     /// accepted below.
     pub fn flush_dirty(&mut self, now: Cycle) -> (usize, Cycle) {
-        let sets_count = self.config.sets();
+        let sets_count = self.set_count;
         let line_bytes = self.config.line_bytes();
         let mut flushed = 0;
         let mut done = now;
@@ -275,10 +404,11 @@ impl<N: MemoryLevel> Cache<N> {
     /// write buffer when dirty. Returns whether a line was invalidated.
     pub fn invalidate(&mut self, addr: Addr, now: Cycle) -> bool {
         let line = self.line_of(addr);
-        let sets = self.config.sets();
+        let sets = self.set_count;
         let tag = line.tag(sets);
         match self.sets[line.set_index(sets)].invalidate(tag) {
             Some(dirty) => {
+                self.mirror_rebuild_set(line.set_index(sets));
                 if dirty {
                     self.push_writeback(line, now);
                 }
@@ -342,7 +472,7 @@ impl<N: MemoryLevel> Cache<N> {
 
         // Victim handling: a dirty victim goes to the write buffer. A full
         // buffer back-pressures the fill.
-        let sets = self.config.sets();
+        let sets = self.set_count;
         let tag = line.tag(sets);
         let (victim, dirty_tag) = match self.sets[line.set_index(sets)].lookup(tag) {
             LookupResult::Miss { victim, dirty_tag } => (victim, dirty_tag),
@@ -363,8 +493,9 @@ impl<N: MemoryLevel> Cache<N> {
         // Install the line; writing the fill occupies the bank.
         let fill_write = self.next_write_cycles();
         self.banks.reserve(bank, fill_ready, fill_write);
-        let sets_len = self.config.sets();
+        let sets_len = self.set_count;
         self.sets[line.set_index(sets_len)].fill(victim, tag, false, fill_ready);
+        self.mirror_fill(line.set_index(sets_len), victim, tag);
         self.stats.fills += 1;
         self.telemetry_array_write(line.set_index(sets_len), bank);
         self.mshrs.complete(line, fill_ready);
@@ -380,7 +511,7 @@ impl<N: MemoryLevel> Cache<N> {
     /// geometry (checked in debug builds).
     pub fn read_decoded(&mut self, d: DecodedAddr, now: Cycle) -> AccessOutcome {
         debug_assert_eq!(d.line, self.line_of(d.addr));
-        debug_assert_eq!(d.set_index, d.line.set_index(self.config.sets()));
+        debug_assert_eq!(d.set_index, d.line.set_index(self.set_count));
         debug_assert_eq!(d.bank, d.line.bank(self.config.banks()));
         self.read_at(d.addr, d.line, d.set_index, d.bank, now)
     }
@@ -388,9 +519,89 @@ impl<N: MemoryLevel> Cache<N> {
     /// [`Cache::read_decoded`] for writes.
     pub fn write_decoded(&mut self, d: DecodedAddr, now: Cycle) -> AccessOutcome {
         debug_assert_eq!(d.line, self.line_of(d.addr));
-        debug_assert_eq!(d.set_index, d.line.set_index(self.config.sets()));
+        debug_assert_eq!(d.set_index, d.line.set_index(self.set_count));
         debug_assert_eq!(d.bank, d.line.bank(self.config.banks()));
         self.write_at(d.addr, d.line, d.set_index, d.bank, now)
+    }
+
+    /// The resident-hit fast path for reads: answers from the compact tag
+    /// mirror without scanning the MSHR file or probing the gated
+    /// observers. Byte-identical to the general path because it performs
+    /// the same mutations in the same order (stats, bank schedule,
+    /// replacement touch) and bails — returning `None` — in every
+    /// situation where the general path would do anything more:
+    ///
+    /// * a fill is still in flight anywhere in this cache (the general
+    ///   hit path consults [`MshrFile::ready_time`]);
+    /// * the telemetry or invariant gate is armed (the general path
+    ///   records observations / runs checks) — checked as one combined
+    ///   atomic load through the `gates` cache;
+    /// * the mirror misses (the access is a miss, or the mirror is
+    ///   disabled for this geometry).
+    #[inline]
+    fn try_read_hit_fast(
+        &mut self,
+        line: LineAddr,
+        set_index: usize,
+        bank: usize,
+        now: Cycle,
+    ) -> Option<AccessOutcome> {
+        if !self.mirrored() || self.mshrs.fills_pending(now) || crate::gates::any_observer_armed() {
+            return None;
+        }
+        let tag = line.tag(self.set_count);
+        let way = self.mirror_probe(set_index, tag)?;
+        debug_assert_eq!(self.sets[set_index].probe(tag), Some(way));
+        self.stats.reads += 1;
+        self.stats.read_hits += 1;
+        let start = self
+            .banks
+            .reserve_quiet(bank, now, self.config.read_cycles());
+        self.sets[set_index].touch(way, start, false);
+        // The full sync (not an incremental `start - now` bump) is
+        // load-bearing: stage wrappers advance the bank tally between
+        // accesses through `occupy_bank`, and the sync is what folds
+        // those contributions into the report.
+        self.sync_component_stats();
+        Some(AccessOutcome {
+            complete_at: start + self.config.read_cycles(),
+            served_by: ServedBy::ThisLevel,
+        })
+    }
+
+    /// [`Cache::try_read_hit_fast`] for write-back write hits. Also bails
+    /// on write-through configurations (those touch the next level even on
+    /// a hit). The AWARE slow-write cadence is preserved: the fast path
+    /// advances the same `array_writes` counter through
+    /// [`Cache::next_write_cycles`].
+    #[inline]
+    fn try_write_hit_fast(
+        &mut self,
+        line: LineAddr,
+        set_index: usize,
+        bank: usize,
+        now: Cycle,
+    ) -> Option<AccessOutcome> {
+        if !self.mirrored()
+            || !matches!(self.config.write_policy(), WritePolicy::WriteBack)
+            || self.mshrs.fills_pending(now)
+            || crate::gates::any_observer_armed()
+        {
+            return None;
+        }
+        let tag = line.tag(self.set_count);
+        let way = self.mirror_probe(set_index, tag)?;
+        debug_assert_eq!(self.sets[set_index].probe(tag), Some(way));
+        self.stats.writes += 1;
+        self.stats.write_hits += 1;
+        let wc = self.next_write_cycles();
+        let start = self.banks.reserve_quiet(bank, now, wc);
+        self.sets[set_index].touch(way, start, true);
+        self.sync_component_stats();
+        Some(AccessOutcome {
+            complete_at: start + wc,
+            served_by: ServedBy::ThisLevel,
+        })
     }
 
     /// Shared body of [`MemoryLevel::read`] and [`Cache::read_decoded`]:
@@ -405,8 +616,25 @@ impl<N: MemoryLevel> Cache<N> {
         bank: usize,
         now: Cycle,
     ) -> AccessOutcome {
+        if let Some(out) = self.try_read_hit_fast(line, set_index, bank, now) {
+            return out;
+        }
+        self.read_at_general(addr, line, set_index, bank, now)
+    }
+
+    /// The full read path (misses, in-flight fills, armed gates). The fast
+    /// path falls through to this; the lane-equivalence tests drive it
+    /// directly as the referee.
+    fn read_at_general(
+        &mut self,
+        addr: Addr,
+        line: LineAddr,
+        set_index: usize,
+        bank: usize,
+        now: Cycle,
+    ) -> AccessOutcome {
         self.stats.reads += 1;
-        let tag = line.tag(self.config.sets());
+        let tag = line.tag(self.set_count);
 
         let lookup = self.sets[set_index].lookup(tag);
         let outcome = match lookup {
@@ -449,8 +677,23 @@ impl<N: MemoryLevel> Cache<N> {
         bank: usize,
         now: Cycle,
     ) -> AccessOutcome {
+        if let Some(out) = self.try_write_hit_fast(line, set_index, bank, now) {
+            return out;
+        }
+        self.write_at_general(addr, line, set_index, bank, now)
+    }
+
+    /// The full write path; see [`Cache::read_at_general`].
+    fn write_at_general(
+        &mut self,
+        addr: Addr,
+        line: LineAddr,
+        set_index: usize,
+        bank: usize,
+        now: Cycle,
+    ) -> AccessOutcome {
         self.stats.writes += 1;
-        let sets = self.config.sets();
+        let sets = self.set_count;
         let tag = line.tag(sets);
 
         let lookup = self.sets[set_index].lookup(tag);
@@ -547,7 +790,7 @@ impl<N: MemoryLevel> Cache<N> {
             );
         }
         let line = self.line_of(addr);
-        let set_index = line.set_index(self.config.sets());
+        let set_index = line.set_index(self.set_count);
         self.sets[set_index].check_invariants(set_index, complete_at);
         if self.mshrs.unfinished_allocations() > 0 {
             crate::invariants::report(
@@ -567,14 +810,14 @@ impl<N: MemoryLevel> Cache<N> {
 impl<N: MemoryLevel> MemoryLevel for Cache<N> {
     fn read(&mut self, addr: Addr, now: Cycle) -> AccessOutcome {
         let line = self.line_of(addr);
-        let set_index = line.set_index(self.config.sets());
+        let set_index = line.set_index(self.set_count);
         let bank = line.bank(self.config.banks());
         self.read_at(addr, line, set_index, bank, now)
     }
 
     fn write(&mut self, addr: Addr, now: Cycle) -> AccessOutcome {
         let line = self.line_of(addr);
-        let set_index = line.set_index(self.config.sets());
+        let set_index = line.set_index(self.set_count);
         let bank = line.bank(self.config.banks());
         self.write_at(addr, line, set_index, bank, now)
     }
@@ -593,6 +836,14 @@ impl<N: MemoryLevel> MemoryLevel for Cache<N> {
         self.mshrs.reset_stats();
         self.write_buffer.reset_stats();
         self.next.reset_stats();
+    }
+
+    fn read_decoded(&mut self, d: DecodedAddr, now: Cycle) -> AccessOutcome {
+        Cache::read_decoded(self, d, now)
+    }
+
+    fn write_decoded(&mut self, d: DecodedAddr, now: Cycle) -> AccessOutcome {
+        Cache::write_decoded(self, d, now)
     }
 
     fn contains(&self, addr: Addr) -> bool {
@@ -924,6 +1175,105 @@ mod tests {
         }
         assert_eq!(plain.stats(), decoded.stats());
         assert_eq!(plain.dirty_lines(), decoded.dirty_lines());
+    }
+
+    #[test]
+    fn hit_fast_path_matches_general_path() {
+        // Drive one cache through the public entry points (fast path
+        // eligible) and a twin through the general bodies only; every
+        // outcome, the stats block and the dirty set must agree.
+        let mut fast = dl1();
+        let mut slow = dl1();
+        let sets = fast.config().sets();
+        let banks = fast.config().banks();
+        let lb = fast.config().line_bytes();
+        let stride = (sets * lb) as u64;
+        // Misses, hits, same-set conflict evictions, same-bank conflicts,
+        // an adversarial tag, and re-reads during fill shadows.
+        let addrs = [
+            0u64,
+            0,
+            8,
+            64,
+            64,
+            stride,
+            2 * stride,
+            0,
+            4 * lb as u64,
+            4 * lb as u64,
+            u64::MAX,
+            u64::MAX,
+            0,
+        ];
+        let mut t = 0;
+        for (i, &raw) in addrs.iter().enumerate() {
+            let a = Addr(raw);
+            let line = a.line(lb);
+            let (si, bk) = (line.set_index(sets), line.bank(banks));
+            let (f, s) = if i % 3 == 2 {
+                (fast.write(a, t), slow.write_at_general(a, line, si, bk, t))
+            } else {
+                (fast.read(a, t), slow.read_at_general(a, line, si, bk, t))
+            };
+            assert_eq!(f, s, "fast path diverged at access {i} ({a})");
+            // Alternate between back-to-back issue (fill shadows, bank
+            // conflicts) and drained issue (fast-path hits).
+            t = if i % 2 == 0 {
+                f.complete_at + 20
+            } else {
+                t + 1
+            };
+        }
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.dirty_lines(), slow.dirty_lines());
+    }
+
+    #[test]
+    fn fast_path_preserves_aware_cadence() {
+        use crate::config::AsymmetricWrite;
+        let cfg = || {
+            CacheConfig::builder()
+                .asymmetric_write(AsymmetricWrite {
+                    slow_cycles: 6,
+                    slow_period: 2,
+                })
+                .build()
+                .unwrap()
+        };
+        let mut fast = Cache::new(cfg(), MainMemory::new(100));
+        let mut slow = Cache::new(cfg(), MainMemory::new(100));
+        let sets = fast.config().sets();
+        let banks = fast.config().banks();
+        let lb = fast.config().line_bytes();
+        let mut t = 0;
+        for i in 0..6u64 {
+            // Write-hit the same line repeatedly: the slow-write cadence is
+            // global array-write count, so fast and general paths must
+            // advance it identically.
+            let a = Addr((i % 2) * 64);
+            let line = a.line(lb);
+            let f = fast.write(a, t);
+            let s = slow.write_at_general(a, line, line.set_index(sets), line.bank(banks), t);
+            assert_eq!(f, s, "cadence diverged at write {i}");
+            t = f.complete_at + 20;
+        }
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn mirror_survives_invalidation() {
+        let mut c = dl1();
+        c.write(Addr(0), 0);
+        let t = c.read(Addr(64), 300).complete_at + 20;
+        assert!(c.invalidate(Addr(0), t));
+        // The invalidated line must miss — a stale mirror entry would let
+        // the fast path "hit" it.
+        let out = c.read(Addr(0), t + 10);
+        assert_eq!(out.served_by, ServedBy::Lower);
+        // The surviving line still fast-hits.
+        let out2 = c.read(Addr(64), out.complete_at + 20);
+        assert_eq!(out2.served_by, ServedBy::ThisLevel);
+        assert_eq!(out2.complete_at, out.complete_at + 20 + 4);
     }
 
     #[test]

@@ -61,8 +61,16 @@ pub struct MshrFile {
     capacity: usize,
     merges: u64,
     full_events: u64,
+    /// High-water mark over every `ready_at` ever recorded by
+    /// [`MshrFile::complete`]. Entries are reclaimed lazily, so
+    /// `entries.is_empty()` is useless as an idleness test; this watermark
+    /// gives an O(1) sound one (see [`MshrFile::fills_pending`]).
+    max_ready_at: Cycle,
     /// Telemetry component label (the owning cache's name).
     component: &'static str,
+    /// Pre-resolved occupancy telemetry slots (histogram + series).
+    slot_occ_hist: crate::telemetry::Slot,
+    slot_occ_series: crate::telemetry::Slot,
 }
 
 impl MshrFile {
@@ -78,7 +86,10 @@ impl MshrFile {
             capacity,
             merges: 0,
             full_events: 0,
+            max_ready_at: 0,
             component: "cache",
+            slot_occ_hist: crate::telemetry::Slot::histogram("cache", "mshr_occupancy"),
+            slot_occ_series: crate::telemetry::Slot::series("cache", "mshr_occupancy"),
         }
     }
 
@@ -86,6 +97,8 @@ impl MshrFile {
     /// cache's label, e.g. `"dl1"`).
     pub fn set_telemetry_component(&mut self, component: &'static str) {
         self.component = component;
+        self.slot_occ_hist = crate::telemetry::Slot::histogram(component, "mshr_occupancy");
+        self.slot_occ_series = crate::telemetry::Slot::series(component, "mshr_occupancy");
     }
 
     /// Capacity in entries.
@@ -112,8 +125,8 @@ impl MshrFile {
             // Outstanding-miss depth right after lazy reclamation: every
             // remaining entry is live (in flight or awaiting completion).
             let depth = self.entries.len() as u64;
-            crate::telemetry::observe(self.component, "mshr_occupancy", depth);
-            crate::telemetry::sample(self.component, "mshr_occupancy", now, depth);
+            self.slot_occ_hist.observe(depth);
+            self.slot_occ_series.sample(now, depth);
         }
         if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
             e.targets += 1;
@@ -153,6 +166,21 @@ impl MshrFile {
             .find(|e| e.line == line && e.ready_at == 0)
             .expect("complete() without a matching allocation");
         e.ready_at = ready_at;
+        self.max_ready_at = self.max_ready_at.max(ready_at);
+    }
+
+    /// Whether any fill could still be in flight at cycle `now`.
+    ///
+    /// `false` guarantees [`MshrFile::ready_time`] returns `None` for
+    /// *every* line at `now` (an entry is in flight only while
+    /// `ready_at > now`, and `max_ready_at` bounds all of them), so the
+    /// cache's hit fast path can skip the per-access entry scan. The test
+    /// is conservative: it may report `true` for a while after the last
+    /// fill has retired, which merely routes those accesses through the
+    /// general path.
+    #[inline]
+    pub fn fills_pending(&self, now: Cycle) -> bool {
+        self.max_ready_at > now
     }
 
     /// Whether `line` is currently tracked (in flight or awaiting

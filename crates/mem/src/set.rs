@@ -178,6 +178,13 @@ impl CacheSet {
         self.ways.iter().filter(|w| w.valid).count()
     }
 
+    /// The tag held by each way in way order (`None` for invalid ways).
+    /// Feeds the owning cache's compact tag mirror, which must see way
+    /// indices — [`CacheSet::iter_valid`] deliberately hides them.
+    pub fn way_tags(&self) -> impl Iterator<Item = Option<u64>> + '_ {
+        self.ways.iter().map(|w| w.valid.then_some(w.tag))
+    }
+
     /// Iterates over the valid `(tag, dirty)` pairs in this set.
     pub fn iter_valid(&self) -> impl Iterator<Item = (u64, bool)> + '_ {
         self.ways

@@ -19,11 +19,19 @@
 //! shares) stop growing at [`INDEXED_CAP`] slots. The registry is
 //! thread-local so parallel sweep workers never contaminate each other;
 //! harnesses drain it with [`take`].
+//!
+//! Armed recording is direct-indexed: a [`Slot`] interns its
+//! `(component, metric)` key once (at component construction) and every
+//! subsequent record is a vector index into thread-local storage — no
+//! per-event map walk. The by-name functions ([`count`], [`observe`],
+//! [`sample`], [`record_indexed`]) stay as the convenient cold-path API
+//! and resolve their slot on each call.
 
 use crate::addr::Cycle;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
 
 /// Gate state: 0 = uninitialised, 1 = off, 2 = on.
 static GATE: AtomicU8 = AtomicU8::new(0);
@@ -57,6 +65,7 @@ fn init_from_env() -> bool {
 /// Forces the gate on or off, overriding `STTCACHE_TELEMETRY`.
 pub fn set_enabled(on: bool) {
     GATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    crate::gates::refresh();
 }
 
 /// Histogram values at or above this index share one overflow bucket.
@@ -277,59 +286,200 @@ impl TelemetrySnapshot {
     }
 }
 
+/// What a slot records into — one storage variant per recording surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    Counter,
+    Histogram,
+    Series,
+    Indexed,
+}
+
+/// Process-wide metric intern table: slot id → `(key, kind)`. Appended
+/// under a mutex when a [`Slot`] is first resolved (component
+/// construction, or the legacy by-name entry points); the id is stable
+/// for the life of the process, so recording never consults the table.
+static INTERN: Mutex<Vec<(MetricKey, SlotKind)>> = Mutex::new(Vec::new());
+
+/// A pre-resolved metric handle.
+///
+/// Recording by name walks a key map on every event; armed sweeps spend
+/// more time in that lookup than in the simulation being measured. A
+/// `Slot` does the lookup once — components resolve their slots at
+/// construction (and again in `set_telemetry_component`) and armed
+/// recording becomes a direct index into a thread-local vector.
+///
+/// Resolving the same `(component, metric)` pair always yields the same
+/// slot, so equality of slot-holding structs matches equality of their
+/// component labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot(u32);
+
+fn intern(key: MetricKey, kind: SlotKind) -> Slot {
+    let mut table = INTERN.lock().expect("telemetry intern table poisoned");
+    if let Some(id) = table.iter().position(|&(k, kd)| k == key && kd == kind) {
+        return Slot(id as u32);
+    }
+    table.push((key, kind));
+    Slot((table.len() - 1) as u32)
+}
+
+impl Slot {
+    /// Resolves the plain-counter slot for `(component, metric)`.
+    pub fn counter(component: &'static str, metric: &'static str) -> Slot {
+        intern((component, metric), SlotKind::Counter)
+    }
+
+    /// Resolves the histogram slot for `(component, metric)`.
+    pub fn histogram(component: &'static str, metric: &'static str) -> Slot {
+        intern((component, metric), SlotKind::Histogram)
+    }
+
+    /// Resolves the time-series slot for `(component, metric)`.
+    pub fn series(component: &'static str, metric: &'static str) -> Slot {
+        intern((component, metric), SlotKind::Series)
+    }
+
+    /// Resolves the indexed-counter slot for `(component, metric)`.
+    pub fn indexed(component: &'static str, metric: &'static str) -> Slot {
+        intern((component, metric), SlotKind::Indexed)
+    }
+
+    /// Adds `n` to this counter slot on this thread.
+    #[inline]
+    pub fn add(self, n: u64) {
+        self.with(|d| match d {
+            SlotData::Counter(c) => *c += n,
+            _ => debug_assert!(false, "add on a non-counter slot"),
+        });
+    }
+
+    /// Observes `value` in this histogram slot.
+    #[inline]
+    pub fn observe(self, value: u64) {
+        self.with(|d| match d {
+            SlotData::Histogram(h) => h.observe(value),
+            _ => debug_assert!(false, "observe on a non-histogram slot"),
+        });
+    }
+
+    /// Offers a `(cycle, value)` point to this series slot.
+    #[inline]
+    pub fn sample(self, cycle: Cycle, value: u64) {
+        self.with(|d| match d {
+            SlotData::Series(s) => s.sample(cycle, value),
+            _ => debug_assert!(false, "sample on a non-series slot"),
+        });
+    }
+
+    /// Adds `n` at `index` in this indexed-counter slot.
+    #[inline]
+    pub fn add_at(self, index: usize, n: u64) {
+        self.with(|d| match d {
+            SlotData::Indexed(x) => x.add(index, n),
+            _ => debug_assert!(false, "add_at on a non-indexed slot"),
+        });
+    }
+
+    /// Runs `f` on this slot's thread-local storage, materializing it on
+    /// first touch (the only point that consults the intern table).
+    #[inline]
+    fn with(self, f: impl FnOnce(&mut SlotData)) {
+        SLOTS.with(|s| {
+            let mut slots = s.borrow_mut();
+            let i = self.0 as usize;
+            if slots.len() <= i {
+                slots.resize_with(i + 1, || None);
+            }
+            if slots[i].is_none() {
+                slots[i] = Some(SlotData::fresh(self));
+            }
+            f(slots[i].as_mut().expect("slot just materialized"));
+        });
+    }
+}
+
+/// One slot's thread-local storage.
+#[derive(Debug, Clone)]
+enum SlotData {
+    Counter(u64),
+    Histogram(Histogram),
+    Series(Series),
+    Indexed(IndexedCounter),
+}
+
+impl SlotData {
+    #[cold]
+    fn fresh(slot: Slot) -> SlotData {
+        let kind = INTERN.lock().expect("telemetry intern table poisoned")[slot.0 as usize].1;
+        match kind {
+            SlotKind::Counter => SlotData::Counter(0),
+            SlotKind::Histogram => SlotData::Histogram(Histogram::default()),
+            SlotKind::Series => SlotData::Series(Series::default()),
+            SlotKind::Indexed => SlotData::Indexed(IndexedCounter::default()),
+        }
+    }
+}
+
 thread_local! {
-    static REGISTRY: RefCell<TelemetrySnapshot> = RefCell::new(TelemetrySnapshot::default());
+    /// Direct-indexed per-thread storage: `SLOTS[id]` is the data of the
+    /// intern table's slot `id`, `None` until first touched on this
+    /// thread. Parallel sweep workers share the global ids but never each
+    /// other's data.
+    static SLOTS: RefCell<Vec<Option<SlotData>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Adds `n` to the counter `(component, metric)` on this thread.
 ///
 /// Callers are expected to have consulted [`enabled`] first; recording
 /// itself is unconditional so harnesses can feed the registry directly.
+/// By-name entry points resolve the [`Slot`] on every call — hot paths
+/// hold a pre-resolved `Slot` instead.
 pub fn count(component: &'static str, metric: &'static str, n: u64) {
-    REGISTRY.with(|r| {
-        *r.borrow_mut()
-            .counters
-            .entry((component, metric))
-            .or_insert(0) += n;
-    });
+    Slot::counter(component, metric).add(n);
 }
 
 /// Observes `value` in the histogram `(component, metric)`.
 pub fn observe(component: &'static str, metric: &'static str, value: u64) {
-    REGISTRY.with(|r| {
-        r.borrow_mut()
-            .histograms
-            .entry((component, metric))
-            .or_default()
-            .observe(value);
-    });
+    Slot::histogram(component, metric).observe(value);
 }
 
 /// Offers a `(cycle, value)` point to the series `(component, metric)`.
 pub fn sample(component: &'static str, metric: &'static str, cycle: Cycle, value: u64) {
-    REGISTRY.with(|r| {
-        r.borrow_mut()
-            .series
-            .entry((component, metric))
-            .or_default()
-            .sample(cycle, value);
-    });
+    Slot::series(component, metric).sample(cycle, value);
 }
 
 /// Adds `n` at `index` in the indexed counter `(component, metric)`.
 pub fn record_indexed(component: &'static str, metric: &'static str, index: usize, n: u64) {
-    REGISTRY.with(|r| {
-        r.borrow_mut()
-            .indexed
-            .entry((component, metric))
-            .or_default()
-            .add(index, n);
-    });
+    Slot::indexed(component, metric).add_at(index, n);
 }
 
 /// Drains and returns everything recorded on this thread.
 pub fn take() -> TelemetrySnapshot {
-    REGISTRY.with(|r| std::mem::take(&mut *r.borrow_mut()))
+    SLOTS.with(|s| {
+        let mut slots = s.borrow_mut();
+        let table = INTERN.lock().expect("telemetry intern table poisoned");
+        let mut snap = TelemetrySnapshot::default();
+        for (id, data) in slots.iter_mut().enumerate() {
+            let Some(data) = data.take() else { continue };
+            let (key, _) = table[id];
+            match data {
+                SlotData::Counter(c) => {
+                    snap.counters.insert(key, c);
+                }
+                SlotData::Histogram(h) => {
+                    snap.histograms.insert(key, h);
+                }
+                SlotData::Series(series) => {
+                    snap.series.insert(key, series);
+                }
+                SlotData::Indexed(x) => {
+                    snap.indexed.insert(key, x);
+                }
+            }
+        }
+        snap
+    })
 }
 
 #[cfg(test)]
@@ -446,6 +596,32 @@ mod tests {
         x.add(2, 7);
         assert_eq!(x.hottest(), Some((2, 7)));
         assert_eq!(IndexedCounter::default().hottest(), None);
+    }
+
+    #[test]
+    fn slots_are_stable_and_merge_with_by_name_recording() {
+        take();
+        let slot = Slot::counter("slot-test", "events");
+        assert_eq!(slot, Slot::counter("slot-test", "events"));
+        slot.add(5);
+        // The by-name path resolves to the same slot, so both recordings
+        // land in one counter.
+        count("slot-test", "events", 2);
+        let snap = take();
+        assert_eq!(snap.counter("slot-test", "events"), 7);
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn same_key_different_kind_gets_its_own_slot() {
+        take();
+        let h = Slot::histogram("slot-test", "depth");
+        let s = Slot::series("slot-test", "depth");
+        h.observe(3);
+        s.sample(10, 3);
+        let snap = take();
+        assert_eq!(snap.histogram("slot-test", "depth").unwrap().total, 1);
+        assert_eq!(snap.series_for("slot-test", "depth").unwrap().seen, 1);
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct WriteBuffer {
     full_stall_cycles: u64,
     /// Telemetry component label (the owning cache's name).
     component: &'static str,
+    /// Pre-resolved depth telemetry slots (histogram + series).
+    slot_depth_hist: crate::telemetry::Slot,
+    slot_depth_series: crate::telemetry::Slot,
 }
 
 impl WriteBuffer {
@@ -48,6 +51,8 @@ impl WriteBuffer {
             pushes: 0,
             full_stall_cycles: 0,
             component: "cache",
+            slot_depth_hist: crate::telemetry::Slot::histogram("cache", "write_buffer_depth"),
+            slot_depth_series: crate::telemetry::Slot::series("cache", "write_buffer_depth"),
         }
     }
 
@@ -55,6 +60,8 @@ impl WriteBuffer {
     /// cache's label, e.g. `"dl1"`).
     pub fn set_telemetry_component(&mut self, component: &'static str) {
         self.component = component;
+        self.slot_depth_hist = crate::telemetry::Slot::histogram(component, "write_buffer_depth");
+        self.slot_depth_series = crate::telemetry::Slot::series(component, "write_buffer_depth");
     }
 
     /// Capacity in entries.
@@ -89,8 +96,8 @@ impl WriteBuffer {
             // `occupancy(now)` here would drain early and change
             // `contains()` behaviour under telemetry.
             let depth = self.entries.len() as u64;
-            crate::telemetry::observe(self.component, "write_buffer_depth", depth);
-            crate::telemetry::sample(self.component, "write_buffer_depth", now, depth);
+            self.slot_depth_hist.observe(depth);
+            self.slot_depth_series.sample(now, depth);
         }
         proceed_at
     }

@@ -3,9 +3,12 @@
 # against the committed snapshot (BENCH_sweep.json). The gate fails when
 # the fresh run regresses by more than 25 % on either
 #
-#   * total_seconds — the whole sweep's wall-clock, or
+#   * total_seconds — the whole sweep's wall-clock,
 #   * the replay phase — replay_seconds + compiled_replay_seconds, the
-#     part the compiled structure-of-arrays fast path is responsible for,
+#     part the compiled structure-of-arrays fast path and the
+#     monomorphic replay lanes are responsible for, or
+#   * replay_phase_ns_per_event — the same phase normalized per replayed
+#     event, so a regression shows even if the event mix shrinks,
 #
 # and when the committed snapshot's recorded telemetry-gate overhead
 # (disarmed_overhead_pct, written by scripts/bench_snapshot.sh) exceeds
@@ -67,18 +70,25 @@ base_replay="$(awk -v a="$(num_or_zero "$committed" replay_seconds)" \
 
 status=0
 check_metric() {
-    local name="$1" fresh_v="$2" base_v="$3"
+    local name="$1" fresh_v="$2" base_v="$3" unit="${4:-s}"
     if awk -v f="$fresh_v" -v b="$base_v" -v k="$factor" \
         'BEGIN{exit !(b > 0 && f > b * k)}'; then
-        echo "bench_gate: REGRESSION on $name: $fresh_v s vs committed $base_v s (> ${factor}x)"
+        echo "bench_gate: REGRESSION on $name: $fresh_v $unit vs committed $base_v $unit (> ${factor}x)"
         status=1
     else
-        echo "bench_gate: $name ok: $fresh_v s vs committed $base_v s (limit ${factor}x)"
+        echo "bench_gate: $name ok: $fresh_v $unit vs committed $base_v $unit (limit ${factor}x)"
     fi
 }
 
 check_metric "total_seconds" "$fresh_total" "$base_total"
 check_metric "replay phase (replay + compiled replay)" "$fresh_replay" "$base_replay"
+
+# Per-event replay cost: wall-clock normalized by the number of replayed
+# events, so the gate still bites when a perf regression hides behind a
+# smaller event mix (and vice versa).
+fresh_nspe="$(num_or_zero "$fresh" replay_phase_ns_per_event)"
+base_nspe="$(num_or_zero "$committed" replay_phase_ns_per_event)"
+check_metric "replay phase ns/event" "$fresh_nspe" "$base_nspe" "ns/event"
 
 # The committed snapshot must uphold the telemetry zero-cost-when-off
 # claim: the recorded disarmed-gate overhead stays under 2 %.

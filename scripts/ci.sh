@@ -16,9 +16,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # Differential fuzzer: adversarial traces on every catalog organization,
 # cross-checked against the shadow-memory oracle and the SRAM baseline —
 # then the same trace battery through the compiled-vs-interpreted replay
-# cross-check.
+# cross-check and the monomorphic-lane-vs-generic-referee cross-check.
 ./target/release/sttcache-check --quick
 ./target/release/sttcache-check --quick --kind compiled
+./target/release/sttcache-check --quick --kind lane
 
 smoke="$(mktemp)"
 trap 'rm -f "$smoke"' EXIT
@@ -38,6 +39,11 @@ diff -u figures_output.txt "$smoke"
 diff -u figures_output.txt "$smoke"
 
 ./target/release/figures all --no-compiled-replay > "$smoke"
+diff -u figures_output.txt "$smoke"
+
+# The monomorphic replay lanes must also be invisible: byte-identical
+# with every replay forced through the generic dispatch referee.
+STTCACHE_REPLAY_LANE=generic ./target/release/figures all > "$smoke"
 diff -u figures_output.txt "$smoke"
 
 STTCACHE_TRACE_CHECK=1 ./target/release/figures all > "$smoke"
