@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sttcache-check [--quick] [--seed N] [--cases N] [--events N]
-//!                [--kind NAME|compiled|lane] [--shrink] [--list-kinds]
+//!                [--kind NAME|compiled|lane|multicore] [--shrink] [--list-kinds]
 //! ```
 //!
 //! Every generated trace runs on every catalog L1 D-cache organization with
@@ -26,6 +26,12 @@
 //! switches the check: every trace replays through the monomorphic
 //! data-path lanes and through the generic dynamic-dispatch referee
 //! (interpreted and compiled), and the results must be bit-identical.
+//! `--kind multicore` derives a random 2–4 core mix per case (per-core
+//! adversarial traces, organizations and phase offsets) and cross-checks
+//! the co-scheduled run against per-core isolated runs, the per-core
+//! shadow oracles and the shared-level residency/conservation audit;
+//! `--shrink` drops whole cores before ddmin-shrinking the survivors'
+//! events.
 
 use sttcache_bench::check::{self, Adversary};
 
@@ -38,6 +44,8 @@ enum Mode {
     Compiled,
     /// Monomorphic replay lanes vs the generic dispatch referee.
     Lane,
+    /// Co-scheduled multi-core mixes vs per-core isolated runs.
+    Multicore,
 }
 
 impl Mode {
@@ -46,6 +54,7 @@ impl Mode {
             Mode::Oracle => "",
             Mode::Compiled => " compiled",
             Mode::Lane => " lane",
+            Mode::Multicore => " multicore",
         }
     }
 }
@@ -53,7 +62,7 @@ impl Mode {
 fn usage() -> ! {
     eprintln!(
         "usage: sttcache-check [--quick] [--seed N] [--cases N] [--events N] \
-         [--kind NAME|compiled|lane] [--shrink] [--list-kinds]"
+         [--kind NAME|compiled|lane|multicore] [--shrink] [--list-kinds]"
     );
     std::process::exit(2);
 }
@@ -107,6 +116,7 @@ fn main() {
                     // every family's traces run through.
                     Some("compiled") => mode = Mode::Compiled,
                     Some("lane") => mode = Mode::Lane,
+                    Some("multicore") => mode = Mode::Multicore,
                     Some(name) => match Adversary::from_name(name) {
                         Some(kind) => kinds = vec![kind],
                         None => {
@@ -127,6 +137,7 @@ fn main() {
                 }
                 println!("compiled");
                 println!("lane");
+                println!("multicore");
                 return;
             }
             "-h" | "--help" => usage(),
@@ -164,6 +175,7 @@ fn main() {
         Mode::Oracle => check::run_case,
         Mode::Compiled => check::run_compiled_case,
         Mode::Lane => check::run_lane_case,
+        Mode::Multicore => check::run_multicore_case,
     };
     let tag = mode.tag();
     let mut failures = Vec::new();
@@ -198,6 +210,10 @@ fn main() {
             Mode::Lane => println!(
                 "{total} traces x {orgs} organizations: lane and generic replay agree everywhere"
             ),
+            Mode::Multicore => println!(
+                "{total} multi-core mixes: determinism, isolated differentials, residency \
+                 and conservation all passed"
+            ),
         }
         return;
     }
@@ -208,6 +224,7 @@ fn main() {
             Mode::Oracle => f.kind.name(),
             Mode::Compiled => "compiled",
             Mode::Lane => "lane",
+            Mode::Multicore => "multicore",
         };
         eprintln!(
             "FAILURE: kind {}{tag} seed {:#018x} events {} (replay: sttcache-check --kind {} --seed {} --events {} --cases 1)",
@@ -230,17 +247,37 @@ fn main() {
             first.kind.name(),
             first.seed
         );
-        let minimal = match mode {
-            Mode::Oracle => check::shrink_failure(first),
-            Mode::Compiled => check::shrink_compiled_failure(first),
-            Mode::Lane => check::shrink_lane_failure(first),
-        };
-        eprintln!("minimal reproducer: {} event(s)", minimal.len());
-        for e in minimal.events().iter().take(64) {
-            eprintln!("  {e:?}");
-        }
-        if minimal.len() > 64 {
-            eprintln!("  … and {} more", minimal.len() - 64);
+        if mode == Mode::Multicore {
+            let minimal = check::shrink_multicore_failure(first);
+            eprintln!("minimal reproducer: {} core(s)", minimal.traces.len());
+            for (idx, trace) in minimal.traces.iter().enumerate() {
+                eprintln!(
+                    "  core {idx}: {} @{} — {} event(s)",
+                    minimal.orgs[idx].name(),
+                    minimal.offsets[idx],
+                    trace.len()
+                );
+                for e in trace.events().iter().take(16) {
+                    eprintln!("    {e:?}");
+                }
+                if trace.len() > 16 {
+                    eprintln!("    … and {} more", trace.len() - 16);
+                }
+            }
+        } else {
+            let minimal = match mode {
+                Mode::Oracle => check::shrink_failure(first),
+                Mode::Compiled => check::shrink_compiled_failure(first),
+                Mode::Lane => check::shrink_lane_failure(first),
+                Mode::Multicore => unreachable!("handled above"),
+            };
+            eprintln!("minimal reproducer: {} event(s)", minimal.len());
+            for e in minimal.events().iter().take(64) {
+                eprintln!("  {e:?}");
+            }
+            if minimal.len() > 64 {
+                eprintln!("  … and {} more", minimal.len() - 64);
+            }
         }
     }
     std::process::exit(1);

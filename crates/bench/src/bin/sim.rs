@@ -18,16 +18,24 @@
 //!   buffer occupancy percentiles, per-bank write shares and the per-set
 //!   wear map with its projected STT-MRAM lifetime — after the stats
 //!   dump. Implies the SRAM baseline run.
+//! * `--cores N`: run an N-core multi-programmed mix over one shared
+//!   banked L2 (the default staggered kernel mix unless `--mix` names
+//!   one). `--explain` then attributes per-core contention penalties and
+//!   shared-bank conflict shares instead of the single-core report.
+//! * `--mix <spec>`: the mix grammar is `bench[@offset][:org]` entries
+//!   joined by `+`, e.g. `gemm:vwb+mvt@500:sram`; entries without `:org`
+//!   use `--org`. Implies `--cores <entry count>`.
+//! * `--l2-banks N`: bank the shared L2 `N` ways (multi-core only).
 
 use sttcache::{
     DCacheOrganization, DlOneTechnology, IcacheConfig, Platform, PlatformConfig, RunResult,
     VwbConfig,
 };
-use sttcache_bench::{explain, parallel, profile, trace_cache, SweepRunner};
+use sttcache_bench::{explain, multicore, parallel, profile, trace_cache, SweepRunner};
 use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
 
 struct Options {
-    bench: PolyBench,
+    bench: Option<PolyBench>,
     org: DCacheOrganization,
     size: ProblemSize,
     opts: Transformations,
@@ -35,14 +43,18 @@ struct Options {
     baseline: bool,
     profile: bool,
     explain: bool,
+    cores: usize,
+    mix: Option<String>,
+    l2_banks: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sim --bench <name> [--org {}] [--size mini|small]\n\
          \x20          [--opts none|all|v+p+o subset] [--vwb-bits N] [--icache sram|nvm]\n\
-         \x20          [--baseline] [--explain <org>] [--jobs N | --serial]\n\
+         \x20          [--baseline] [--explain [org]] [--jobs N | --serial]\n\
          \x20          [--no-trace-cache] [--no-compiled-replay] [--profile]\n\
+         \x20          [--cores N] [--mix bench[@offset][:org]+...] [--l2-banks N]\n\
          benchmarks: {}",
         sttcache::catalog::catalog()
             .iter()
@@ -88,6 +100,9 @@ fn parse_args() -> Options {
     let mut baseline = false;
     let mut profile = false;
     let mut explain = false;
+    let mut cores = 1usize;
+    let mut mix = None;
+    let mut l2_banks = None;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -121,7 +136,29 @@ fn parse_args() -> Options {
             "--baseline" => baseline = true,
             "--explain" => {
                 explain = true;
-                org = next(&mut i);
+                // The org operand is optional: bare `--explain` explains
+                // the `--org` selection (or the whole mix when
+                // `--cores`/`--mix` is in play).
+                if let Some(arg) = args.get(i + 1) {
+                    if !arg.starts_with("--") {
+                        i += 1;
+                        org = arg.clone();
+                    }
+                }
+            }
+            "--cores" => {
+                cores = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if cores == 0 {
+                    usage();
+                }
+            }
+            "--mix" => mix = Some(next(&mut i)),
+            "--l2-banks" => {
+                let n: usize = next(&mut i).parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                l2_banks = Some(n);
             }
             "--no-trace-cache" => trace_cache::set_enabled(false),
             "--no-compiled-replay" => trace_cache::set_compiled_enabled(false),
@@ -156,8 +193,13 @@ fn parse_args() -> Options {
                 .organization
         }
     };
+    // Single-core runs need `--bench`; a multi-core mix names its own
+    // kernels (the default mix if `--mix` is absent).
+    if bench.is_none() && cores == 1 && mix.is_none() {
+        usage();
+    }
     Options {
-        bench: bench.unwrap_or_else(|| usage()),
+        bench,
         org,
         size,
         opts,
@@ -165,12 +207,71 @@ fn parse_args() -> Options {
         baseline,
         profile,
         explain,
+        cores,
+        mix,
+        l2_banks,
+    }
+}
+
+/// The `--cores`/`--mix` path: one co-scheduled run over the shared
+/// banked L2, per-core stats blocks, and (with `--explain`) per-core
+/// contention attribution instead of the single-core wear report.
+fn run_multicore(o: &Options) {
+    let mix = match &o.mix {
+        Some(spec) => multicore::MixSpec::parse(spec).unwrap_or_else(|e| {
+            eprintln!("bad --mix: {e}");
+            std::process::exit(2);
+        }),
+        None => multicore::MixSpec::default_mix(o.cores),
+    };
+    if o.mix.is_some() && o.cores > 1 && mix.cores() != o.cores {
+        eprintln!(
+            "--cores {} disagrees with the {}-entry --mix",
+            o.cores,
+            mix.cores()
+        );
+        std::process::exit(2);
+    }
+    if let Err(e) = multicore::mix_platform(&mix, o.org, o.l2_banks) {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "# sim: {}-core mix {} over shared L2 ({:?}, opts {})",
+        mix.cores(),
+        mix.label(),
+        o.size,
+        o.opts
+    );
+    if o.explain {
+        let e = multicore::explain_mix(&mix, o.org, o.size, o.opts, o.l2_banks);
+        print!("{}", multicore::mix_stats_text(&e.result, &mix));
+        println!();
+        print!("{}", e.render());
+    } else {
+        let r = multicore::run_mix(&mix, o.org, o.size, o.opts, o.l2_banks);
+        print!("{}", multicore::mix_stats_text(&r, &mix));
     }
 }
 
 fn main() {
     let o = parse_args();
     let start = std::time::Instant::now();
+    if o.cores > 1 || o.mix.is_some() {
+        run_multicore(&o);
+        if o.profile {
+            let report = profile::ProfileReport {
+                figures: Vec::new(),
+                total_seconds: start.elapsed().as_secs_f64(),
+                workers: SweepRunner::current().workers(),
+                cache_enabled: trace_cache::enabled(),
+                phases: profile::snapshot(),
+            };
+            eprint!("{}", report.render_text());
+        }
+        return;
+    }
+    let bench = o.bench.unwrap_or_else(|| usage());
     let mut cfg = PlatformConfig::new(o.org);
     cfg.icache = o.icache;
     if let Err(e) = Platform::with_config(cfg.clone()) {
@@ -185,7 +286,7 @@ fn main() {
     // registry is thread-local, so a sweep worker's records would be
     // lost) and the SRAM baseline after it.
     let (results, explanation): (Vec<RunResult>, _) = if o.explain {
-        let e = explain::explain(&cfg, o.bench, o.size, o.opts);
+        let e = explain::explain(&cfg, bench, o.size, o.opts);
         (vec![e.result.clone(), e.baseline.clone()], Some(e))
     } else {
         let mut configs = vec![cfg];
@@ -195,7 +296,7 @@ fn main() {
             configs.push(base_cfg);
         }
         let results = SweepRunner::current().map_ok(&configs, |_, cfg| {
-            trace_cache::run_config(cfg, o.bench, o.size, o.opts)
+            trace_cache::run_config(cfg, bench, o.size, o.opts)
         });
         (results, None)
     };
@@ -203,7 +304,7 @@ fn main() {
     let result = &results[0];
     println!(
         "# sim: {} on {} ({:?}, opts {})",
-        o.bench.name(),
+        bench.name(),
         o.org.name(),
         o.size,
         o.opts

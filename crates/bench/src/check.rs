@@ -31,9 +31,12 @@
 //! interpreted one (`sttcache-check --kind compiled`).
 
 use crate::testkit::{Rng, DEFAULT_SEED};
-use sttcache::{DCacheOrganization, FrontEnd, LaneMode, Platform};
+use sttcache::{
+    CoreSpec, DCacheOrganization, FrontEnd, LaneMode, MultiPlatform, MultiPlatformConfig, Platform,
+    CORE_ADDRESS_STRIDE,
+};
 use sttcache_cpu::{CompiledTrace, Core, Engine, TeeEngine, Trace, TraceEvent, TraceRecorder};
-use sttcache_mem::{invariants, InvariantViolation, ShadowOracle};
+use sttcache_mem::{invariants, Cycle, InvariantViolation, ShadowOracle};
 
 /// An [`Engine`] that mirrors every architectural event into a
 /// [`ShadowOracle`]. Hang it on the second leg of a [`TeeEngine`] so a
@@ -703,6 +706,258 @@ pub fn shrink_lane_failure(failure: &CheckFailure) -> Trace {
         !check_lane("shrink-probe", &trace_from_events(evs)).is_empty()
     });
     trace_from_events(&minimal)
+}
+
+/// One multi-core fuzz case: 2–4 cores, each with its own adversarial
+/// trace, catalog organization and phase offset, co-scheduled over one
+/// shared L2.
+#[derive(Debug, Clone)]
+pub struct MulticoreCase {
+    /// Per-core private front-end organizations.
+    pub orgs: Vec<DCacheOrganization>,
+    /// Per-core phase offsets.
+    pub offsets: Vec<Cycle>,
+    /// Per-core traces (untranslated; the platform stripes addresses).
+    pub traces: Vec<Trace>,
+}
+
+/// Derives a deterministic multi-core case from `(kind, seed)`: core
+/// count (2–4), per-core organizations, staggered offsets and one
+/// adversarial trace per core (core 0 always uses `kind`, the others
+/// draw their family from the seed). Same inputs — same case.
+pub fn multicore_case(kind: Adversary, seed: u64, events: usize) -> MulticoreCase {
+    let mut rng = Rng::new(seed ^ 0x6D63_6F72_6531_u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let n = rng.usize_in(2, 4);
+    let pool = all_organizations();
+    let mut orgs = Vec::with_capacity(n);
+    let mut offsets = Vec::with_capacity(n);
+    let mut traces = Vec::with_capacity(n);
+    for i in 0..n {
+        let family = if i == 0 {
+            kind
+        } else {
+            Adversary::ALL[rng.usize_in(0, Adversary::ALL.len() - 1)]
+        };
+        let trace_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        traces.push(adversarial_trace(family, trace_seed, (events / n).max(16)));
+        orgs.push(pool[rng.usize_in(0, pool.len() - 1)]);
+        offsets.push(rng.u64_in(0, 777));
+    }
+    MulticoreCase {
+        orgs,
+        offsets,
+        traces,
+    }
+}
+
+/// Cross-checks one co-scheduled multi-core run, five ways:
+///
+/// 1. **Determinism** — two runs of the same case are bit-identical,
+///    and the audited run schedules the cores identically.
+/// 2. **Per-core isolated differential** — each core's functional event
+///    counts match both its trace summary and the same trace run alone
+///    on [`MultiPlatform::isolated_config`]: co-scheduling may change
+///    *when* things happen, never *what* happens.
+/// 3. **Per-core shadow oracle** — after the audited drain, every line
+///    still resident in a core's private front-end must sit inside that
+///    core's address stripe *and* cover bytes its own program touched:
+///    no phantom lines, and none leaked from another core.
+/// 4. **Shared-level residency** — every line left in the shared L2
+///    must belong to the stripe of some core that actually touched it.
+/// 5. **Conservation + invariants** — shared-L2 reads equal the summed
+///    private-DL1 fills, shared-L2 writes the summed write-backs, the
+///    drain leaves nothing dirty, and the armed invariant gate stays
+///    silent.
+///
+/// Returns one message per finding; empty when the case passes.
+pub fn check_multicore(label: &str, case: &MulticoreCase) -> Vec<String> {
+    let mut failures = Vec::new();
+    let specs: Vec<CoreSpec> = case
+        .orgs
+        .iter()
+        .zip(&case.offsets)
+        .map(|(&org, &off)| CoreSpec::staggered(org, off))
+        .collect();
+    let platform = match MultiPlatform::new(MultiPlatformConfig::new(specs)) {
+        Ok(p) => p,
+        Err(e) => return vec![format!("{label}: platform rejected the case: {e}")],
+    };
+    let refs: Vec<&Trace> = case.traces.iter().collect();
+
+    let gate_was_on = invariants::enabled();
+    invariants::set_enabled(true);
+    let _ = invariants::take_violations();
+    let first = platform.run_traces(&refs);
+    let second = platform.run_traces(&refs);
+    let (audited, audit) = platform.run_traces_audited(&refs);
+    let (violations, total) = invariants::take_violations();
+    invariants::set_enabled(gate_was_on);
+
+    if first != second {
+        failures.push(format!("{label}: co-scheduled run is not deterministic"));
+    }
+    if audited
+        .cores
+        .iter()
+        .zip(&first.cores)
+        .any(|(a, b)| a.core != b.core)
+    {
+        failures.push(format!(
+            "{label}: the audited run scheduled the cores differently"
+        ));
+    }
+    for v in &violations {
+        failures.push(format!("{label}: invariant: {v}"));
+    }
+    if total > violations.len() {
+        failures.push(format!(
+            "{label}: … and {} more violations past the retention cap",
+            total - violations.len()
+        ));
+    }
+    if audit.dirty_after_drain != 0 {
+        failures.push(format!(
+            "{label}: {} dirty lines survived the audited drain",
+            audit.dirty_after_drain
+        ));
+    }
+
+    // Per-core: trace summary, isolated differential, private residency.
+    let mut mirrors = Vec::with_capacity(case.traces.len());
+    for (idx, trace) in case.traces.iter().enumerate() {
+        let r = &first.cores[idx];
+        let (t_loads, t_stores, t_prefetches, t_branches) = trace.summary();
+        if (
+            r.core.loads,
+            r.core.stores,
+            r.core.prefetches,
+            r.core.branches,
+        ) != (t_loads, t_stores, t_prefetches, t_branches)
+        {
+            failures.push(format!(
+                "{label}: core {idx} executed {}L/{}S/{}P/{}B, its trace holds \
+                 {t_loads}L/{t_stores}S/{t_prefetches}P/{t_branches}B",
+                r.core.loads, r.core.stores, r.core.prefetches, r.core.branches
+            ));
+        }
+        let iso = Platform::with_config(platform.isolated_config(idx))
+            .expect("validated configuration builds")
+            .run_trace(trace);
+        if (iso.core.loads, iso.core.stores, iso.core.instructions)
+            != (r.core.loads, r.core.stores, r.core.instructions)
+        {
+            failures.push(format!(
+                "{label}: core {idx}'s functional counts diverged from its isolated run"
+            ));
+        }
+        let mut mirror = OracleMirror::new();
+        trace.replay_into(&mut mirror);
+        let stripe = idx as u64 * CORE_ADDRESS_STRIDE;
+        for &(base, len) in &audit.core_resident[idx] {
+            if base.0 < stripe || base.0 - stripe >= CORE_ADDRESS_STRIDE {
+                failures.push(format!(
+                    "{label}: core {idx} holds line {base} from outside its address stripe"
+                ));
+            } else if !mirror.oracle().intersects_accessed(base.0 - stripe, len) {
+                failures.push(format!(
+                    "{label}: phantom line {base} ({len} B) resident in core {idx}'s \
+                     front-end: its program never touched it"
+                ));
+            }
+        }
+        mirrors.push(mirror);
+    }
+
+    // Shared level: every surviving line belongs to the stripe of a core
+    // whose program touched it.
+    for &(base, len) in &audit.shared_resident {
+        let idx = (base.0 / CORE_ADDRESS_STRIDE) as usize;
+        match mirrors.get(idx) {
+            None => failures.push(format!(
+                "{label}: shared L2 holds line {base} outside every core's address stripe"
+            )),
+            Some(mirror) => {
+                let stripe = idx as u64 * CORE_ADDRESS_STRIDE;
+                if !mirror.oracle().intersects_accessed(base.0 - stripe, len) {
+                    failures.push(format!(
+                        "{label}: phantom line {base} ({len} B) resident in the shared L2: \
+                         core {idx}'s program never touched it"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Conservation: the shared level's demand is exactly the sum of the
+    // private DL1s' fills and write-backs.
+    let fills: u64 = first.cores.iter().map(|c| c.dl1.fills).sum();
+    let writebacks: u64 = first.cores.iter().map(|c| c.dl1.writebacks).sum();
+    if first.shared_l2.reads != fills {
+        failures.push(format!(
+            "{label}: shared L2 saw {} reads but the private DL1s filled {} lines",
+            first.shared_l2.reads, fills
+        ));
+    }
+    if first.shared_l2.writes != writebacks {
+        failures.push(format!(
+            "{label}: shared L2 saw {} writes but the private DL1s wrote back {} lines",
+            first.shared_l2.writes, writebacks
+        ));
+    }
+    failures
+}
+
+/// Generates one derived multi-core case and runs [`check_multicore`]
+/// on it — the `--kind multicore` leg of `sttcache-check`.
+///
+/// # Errors
+///
+/// Returns the structured [`CheckFailure`] when the co-scheduled run
+/// fails determinism, the per-core isolated differential, the residency
+/// audit, conservation, or an armed invariant.
+pub fn run_multicore_case(kind: Adversary, seed: u64, events: usize) -> Result<(), CheckFailure> {
+    let case = multicore_case(kind, seed, events);
+    let failures = check_multicore(&format!("mc-{}#{seed:#x}", kind.name()), &case);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CheckFailure {
+            kind,
+            seed,
+            events,
+            failures,
+        })
+    }
+}
+
+/// [`shrink_failure`]'s counterpart for `--kind multicore` failures:
+/// first greedily drops whole cores, then ddmin-shrinks each surviving
+/// core's event list, keeping every reduction under which
+/// [`check_multicore`] still fails. Returns the minimal failing mix.
+pub fn shrink_multicore_failure(failure: &CheckFailure) -> MulticoreCase {
+    let mut case = multicore_case(failure.kind, failure.seed, failure.events);
+    let fails = |c: &MulticoreCase| !check_multicore("shrink-probe", c).is_empty();
+    let mut i = 0;
+    while case.traces.len() > 1 && i < case.traces.len() {
+        let mut candidate = case.clone();
+        candidate.orgs.remove(i);
+        candidate.offsets.remove(i);
+        candidate.traces.remove(i);
+        if fails(&candidate) {
+            case = candidate; // core removed: re-probe the same index
+        } else {
+            i += 1;
+        }
+    }
+    for i in 0..case.traces.len() {
+        let minimal = shrink_events(case.traces[i].events(), |evs| {
+            let mut candidate = case.clone();
+            candidate.traces[i] = trace_from_events(evs);
+            fails(&candidate)
+        });
+        case.traces[i] = trace_from_events(&minimal);
+    }
+    case
 }
 
 #[cfg(test)]

@@ -209,6 +209,19 @@ pub fn print_catalog(size: ProblemSize) {
     );
 }
 
+/// Prints the multi-core contention sweep: every private organization ×
+/// workload mix × shared-L2 bank count, each cell the aggregate co-run
+/// slowdown vs the same kernels isolated. Like [`print_catalog`],
+/// deliberately *not* in [`artifacts`] — the committed `figures all`
+/// output predates multi-core and stays byte-identical; `figures
+/// multicore` is the opt-in view.
+pub fn print_multicore(size: ProblemSize) {
+    print_series_table(
+        "Multi-core: contention slowdown % (mix / shared-L2 banks)",
+        &crate::multicore::multicore_table(size),
+    );
+}
+
 /// Prints one figure as CSV (for the table-shaped artifacts; the
 /// decomposition figures encode their columns explicitly).
 pub fn print_csv(which: &str, size: ProblemSize) -> bool {

@@ -19,6 +19,7 @@ pub mod experiments;
 pub mod explain;
 pub mod extensions;
 pub mod figures;
+pub mod multicore;
 pub mod parallel;
 pub mod profile;
 pub mod spans;

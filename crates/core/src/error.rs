@@ -18,6 +18,12 @@ pub enum SttError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A platform-level configuration was invalid (e.g. a multi-core
+    /// platform with no cores or more than the supported maximum).
+    InvalidPlatform {
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SttError {
@@ -28,6 +34,9 @@ impl fmt::Display for SttError {
             SttError::InvalidBuffer { structure, reason } => {
                 write!(f, "{structure} configuration: {reason}")
             }
+            SttError::InvalidPlatform { reason } => {
+                write!(f, "platform configuration: {reason}")
+            }
         }
     }
 }
@@ -37,7 +46,7 @@ impl Error for SttError {
         match self {
             SttError::Mem(e) => Some(e),
             SttError::Tech(e) => Some(e),
-            SttError::InvalidBuffer { .. } => None,
+            SttError::InvalidBuffer { .. } | SttError::InvalidPlatform { .. } => None,
         }
     }
 }
@@ -76,6 +85,11 @@ mod tests {
             reason: "zero entries".into(),
         };
         assert_eq!(e.to_string(), "vwb configuration: zero entries");
+        assert!(e.source().is_none());
+        let e = SttError::InvalidPlatform {
+            reason: "no cores".into(),
+        };
+        assert_eq!(e.to_string(), "platform configuration: no cores");
         assert!(e.source().is_none());
     }
 }

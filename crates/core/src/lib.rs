@@ -62,6 +62,7 @@ mod dl1;
 mod error;
 mod front_end;
 mod lane;
+mod multi;
 mod penalty;
 mod platform;
 mod report;
@@ -75,6 +76,10 @@ pub use dl1::{
 pub use error::SttError;
 pub use front_end::FrontEnd;
 pub use lane::{LaneMode, LanePort, PlainLane, ReplayLane};
+pub use multi::{
+    core_addr, CoreSpec, McFrontEnd, McHierarchy, MultiAudit, MultiPlatform, MultiPlatformConfig,
+    MultiRunResult, SharedL2, CORE_ADDRESS_STRIDE, MAX_CORES,
+};
 pub use penalty::{average_penalty, penalty_pct, PenaltyRow};
 pub use platform::{
     DCacheOrganization, EnergyReport, IcacheConfig, Platform, PlatformConfig, RunResult,

@@ -182,7 +182,7 @@ impl Platform {
         &self.config
     }
 
-    fn dl1_config(&self) -> Result<CacheConfig, SttError> {
+    pub(crate) fn dl1_config(&self) -> Result<CacheConfig, SttError> {
         if let Some(cfg) = self.config.dl1_override {
             return Ok(cfg);
         }
@@ -468,7 +468,7 @@ impl Platform {
     /// `sttcache-tech` array models plus leakage integrated over the run.
     /// Takes the extracted statistics rather than a port so every lane
     /// type (and the generic front-end) feeds the same model.
-    fn energy_report(
+    pub(crate) fn energy_report(
         &self,
         report: &CoreReport,
         dl1: &CacheStats,

@@ -14,7 +14,7 @@ use crate::addr::{Addr, Cycle};
 use crate::cache::AccessOutcome;
 use crate::stats::CacheStats;
 use crate::MemoryLevel;
-use std::cell::{Ref, RefCell};
+use std::cell::{Ref, RefCell, RefMut};
 use std::rc::Rc;
 
 /// A cloneable handle to a shared hierarchy level.
@@ -91,6 +91,20 @@ impl<M: MemoryLevel> Shared<M> {
     /// across calls).
     pub fn borrow(&self) -> Ref<'_, M> {
         self.inner.borrow()
+    }
+
+    /// Borrows the underlying level mutably — the owner-side escape hatch
+    /// for operations that are not part of [`MemoryLevel`], such as
+    /// draining a shared level once at end of run (`Cache::flush_dirty`)
+    /// while every port still holds its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level is currently borrowed (cannot happen through
+    /// the [`MemoryLevel`] interface, which never holds borrows across
+    /// calls).
+    pub fn borrow_mut(&self) -> RefMut<'_, M> {
+        self.inner.borrow_mut()
     }
 
     /// A live snapshot of the shared level's statistics.
@@ -221,6 +235,17 @@ mod tests {
         drop(a);
         drop(b);
         assert_eq!(l2.handle_count(), 1);
+    }
+
+    #[test]
+    fn owner_can_drain_through_borrow_mut() {
+        let l2 = shared_l2();
+        let mut a = l2.clone();
+        let t = a.write(Addr(0), 0).complete_at;
+        assert!(l2.borrow().dirty_lines() > 0);
+        let (n, _) = l2.borrow_mut().flush_dirty(t);
+        assert_eq!(n, 1);
+        assert_eq!(l2.borrow().dirty_lines(), 0);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 #     part the compiled structure-of-arrays fast path and the
 #     monomorphic replay lanes are responsible for, or
 #   * replay_phase_ns_per_event — the same phase normalized per replayed
-#     event, so a regression shows even if the event mix shrinks,
+#     event, so a regression shows even if the event mix shrinks, or
+#   * two_core_mix_ms — the wall-clock of the default two-core mix over
+#     the shared L2 (`sim --cores 2`), re-measured here min-of-three,
 #
 # and when the committed snapshot's recorded telemetry-gate overhead
 # (disarmed_overhead_pct, written by scripts/bench_snapshot.sh) exceeds
@@ -39,7 +41,7 @@ if [ ! -f "$committed" ]; then
     exit 2
 fi
 
-cargo build --release --offline -p sttcache-bench --bin figures > /dev/null
+cargo build --release --offline -p sttcache-bench --bin figures --bin sim > /dev/null
 fresh="$(mktemp)"
 trap 'rm -f "$fresh"' EXIT
 ./target/release/figures all --serial --profile-json "$fresh" > /dev/null
@@ -89,6 +91,22 @@ check_metric "replay phase (replay + compiled replay)" "$fresh_replay" "$base_re
 fresh_nspe="$(num_or_zero "$fresh" replay_phase_ns_per_event)"
 base_nspe="$(num_or_zero "$committed" replay_phase_ns_per_event)"
 check_metric "replay phase ns/event" "$fresh_nspe" "$base_nspe" "ns/event"
+
+# Two-core mix wall-clock (min of three runs, like the snapshot's own
+# measurement) against the committed recording. A snapshot from before
+# the multi-core platform lands degrades to a warning via num_or_zero,
+# and check_metric never fires on a zero baseline.
+fresh_mc=0
+for _ in 1 2 3; do
+    t_start=$(date +%s%N)
+    ./target/release/sim --cores 2 > /dev/null
+    t=$((($(date +%s%N) - t_start) / 1000000))
+    if [ "$fresh_mc" -eq 0 ] || [ "$t" -lt "$fresh_mc" ]; then
+        fresh_mc=$t
+    fi
+done
+base_mc="$(num_or_zero "$committed" two_core_mix_ms)"
+check_metric "two-core mix (sim --cores 2)" "$fresh_mc" "$base_mc" "ms"
 
 # The committed snapshot must uphold the telemetry zero-cost-when-off
 # claim: the recorded disarmed-gate overhead stays under 2 %.

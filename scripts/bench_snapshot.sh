@@ -15,7 +15,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_sweep.json}"
-cargo build --release --offline -p sttcache-bench --bin figures
+cargo build --release --offline -p sttcache-bench --bin figures --bin sim
 ./target/release/figures all --profile-json "$out" > /dev/null
 
 # Wall-clock of one sweep variant in ms, taken as the minimum of three
@@ -65,7 +65,15 @@ done
 echo "bench_snapshot: parallel scaling ${t_scale[1]} ms @1," \
     "${t_scale[2]} ms @2, ${t_scale[4]} ms @4 workers"
 
-# Splice the telemetry and scaling numbers into the snapshot (the
+# Multi-core: wall-clock of the default two-core mix over the shared
+# L2 (cold trace caches dominate the first run; the min-of-three keeps
+# the number comparable anyway). scripts/bench_gate.sh compares a fresh
+# measurement against this recording.
+t_mc=$(time_ms ./target/release/sim --cores 2)
+echo "bench_snapshot: sim --cores 2 ${t_mc} ms (two-core mix, shared L2)"
+
+# Splice the telemetry, scaling and multi-core numbers into the
+# snapshot (the
 # profile JSON ends with '  ]\n}'; re-open the object, keep one key per
 # line for the grep-based readers in scripts/bench_gate.sh).
 sed -i '$ d' "$out"
@@ -82,6 +90,9 @@ cat >> "$out" <<EOF
     "workers_1_ms": ${t_scale[1]},
     "workers_2_ms": ${t_scale[2]},
     "workers_4_ms": ${t_scale[4]}
+  },
+  "multicore": {
+    "two_core_mix_ms": $t_mc
   }
 }
 EOF

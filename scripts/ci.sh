@@ -20,6 +20,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 ./target/release/sttcache-check --quick
 ./target/release/sttcache-check --quick --kind compiled
 ./target/release/sttcache-check --quick --kind lane
+# Same battery as randomized 2-4 core mixes over the shared L2:
+# co-scheduled runs cross-checked against per-core isolated runs, the
+# per-core shadow oracles and the residency/conservation audit.
+./target/release/sttcache-check --quick --kind multicore
 
 smoke="$(mktemp)"
 trap 'rm -f "$smoke"' EXIT
@@ -64,10 +68,25 @@ diff -u figures_output.txt "$smoke"
 grep -q '"traceEvents"' "$ttrace"
 grep -q '"ph": "X"' "$ttrace"
 
+# Multi-core: the shared-hierarchy interleave is deterministic, so the
+# opt-in contention figure must be byte-identical serially, at any
+# worker count and with the invariant checkers armed — and a two-core
+# sim run must reproduce itself exactly.
+mc="$(mktemp)"
+trap 'rm -f "$smoke" "$ttrace" "$mc"' EXIT
+./target/release/figures multicore --serial > "$smoke"
+./target/release/figures multicore --jobs 4 > "$mc"
+diff -u "$smoke" "$mc"
+STTCACHE_INVARIANTS=1 ./target/release/figures multicore > "$mc"
+diff -u "$smoke" "$mc"
+./target/release/sim --cores 2 > "$smoke"
+./target/release/sim --cores 2 > "$mc"
+diff -u "$smoke" "$mc"
+
 # The profiled snapshot path stays runnable and records the
 # telemetry-gate overhead.
 snapshot="$(mktemp)"
-trap 'rm -f "$smoke" "$ttrace" "$snapshot"' EXIT
+trap 'rm -f "$smoke" "$ttrace" "$mc" "$snapshot"' EXIT
 scripts/bench_snapshot.sh "$snapshot" > /dev/null
 grep -q '"trace_cache_enabled": true' "$snapshot"
 grep -q '"disarmed_overhead_pct"' "$snapshot"
@@ -77,4 +96,4 @@ grep -q '"disarmed_overhead_pct"' "$snapshot"
 # too noisy to enforce a 25 % bound.
 STTCACHE_BENCH_GATE="${STTCACHE_BENCH_GATE:-fail}" scripts/bench_gate.sh
 
-echo "ci: fmt, build, tests (plain + invariants armed), clippy, differential + compiled fuzzers, figures smoke (telemetry on and off), trace-cache checks and bench gate all green"
+echo "ci: fmt, build, tests (plain + invariants armed), clippy, differential + compiled + multicore fuzzers, figures smoke (telemetry on and off), multi-core determinism, trace-cache checks and bench gate all green"

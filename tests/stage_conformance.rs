@@ -206,6 +206,103 @@ fn telemetry_armed_runs_leave_every_organization_unchanged() {
     }
 }
 
+/// The same stage contract with the organization mounted as a
+/// *core-private* front-end above the shared L2: for every catalog
+/// entry, a two-core platform (the entry on core 0, the SRAM baseline
+/// on core 1) must drain clean under audit, keep every surviving line
+/// inside its owner's address stripe and accessed set (no phantom
+/// lines leaking across cores), stay silent under the armed invariant
+/// gate, and leave no state behind that perturbs a following run.
+#[test]
+fn every_organization_honors_the_contract_above_the_shared_level() {
+    // The same deterministic mixed pattern `drive` uses, as a trace.
+    let mut rec = sttcache_cpu::TraceRecorder::with_capacity(400);
+    let mut reference = ShadowOracle::default();
+    for i in 0..400u64 {
+        let addr = Addr((i * 7919) % 4096 * 8);
+        if i % 17 == 0 {
+            sttcache_cpu::Engine::prefetch(&mut rec, addr);
+            reference.touch(addr.0);
+        } else if i % 3 == 0 {
+            sttcache_cpu::Engine::store(&mut rec, addr, 8);
+            reference.store(addr.0, 8);
+        } else {
+            sttcache_cpu::Engine::load(&mut rec, addr, 8);
+            reference.load(addr.0, 8);
+        }
+    }
+    let trace = rec.into_trace();
+
+    for entry in catalog() {
+        let name = entry.name;
+        let platform = sttcache::MultiPlatform::new(sttcache::MultiPlatformConfig::new(vec![
+            sttcache::CoreSpec::new(entry.organization),
+            sttcache::CoreSpec::staggered(sttcache::DCacheOrganization::SramBaseline, 97),
+        ]))
+        .expect("catalog organizations validate");
+
+        let gate_was_on = invariants::enabled();
+        invariants::set_enabled(true);
+        let _ = invariants::take_violations();
+        let before = platform.run_traces(&[&trace, &trace]);
+        let (audited, audit) = platform.run_traces_audited(&[&trace, &trace]);
+        let (violations, total) = invariants::take_violations();
+        invariants::set_enabled(gate_was_on);
+
+        // 1. The audited drain writes back everything, cleanly.
+        assert!(
+            audit.flushed_lines > 0,
+            "{name}: the pattern stores, a drain must write back"
+        );
+        assert_eq!(
+            audit.dirty_after_drain, 0,
+            "{name}: dirty state survived the audited drain"
+        );
+        assert_eq!(total, 0, "{name}: {violations:#?}");
+
+        // 2. Private residency: each core's surviving lines sit in its
+        //    own address stripe and cover bytes its program touched.
+        for (idx, resident) in audit.core_resident.iter().enumerate() {
+            let stripe = idx as u64 * sttcache::CORE_ADDRESS_STRIDE;
+            for &(base, len) in resident {
+                assert!(
+                    base.0 >= stripe && base.0 - stripe < sttcache::CORE_ADDRESS_STRIDE,
+                    "{name}: core {idx} holds line {base} from another core's stripe"
+                );
+                assert!(
+                    reference.intersects_accessed(base.0 - stripe, len),
+                    "{name}: phantom line {base} ({len} B) in core {idx}'s front-end"
+                );
+            }
+        }
+
+        // 3. Shared residency: every line left in the L2 belongs to the
+        //    stripe of a core that touched it.
+        for &(base, len) in &audit.shared_resident {
+            let idx = (base.0 / sttcache::CORE_ADDRESS_STRIDE) as usize;
+            assert!(idx < 2, "{name}: shared line {base} outside every stripe");
+            let stripe = idx as u64 * sttcache::CORE_ADDRESS_STRIDE;
+            assert!(
+                reference.intersects_accessed(base.0 - stripe, len),
+                "{name}: phantom line {base} ({len} B) in the shared L2"
+            );
+        }
+
+        // 4. The audited run schedules identically and leaves nothing
+        //    behind: a following run reproduces the first bit-for-bit.
+        assert!(
+            audited
+                .cores
+                .iter()
+                .zip(&before.cores)
+                .all(|(a, b)| a.cycles() == b.cycles()),
+            "{name}: the audit changed the schedule"
+        );
+        let after = platform.run_traces(&[&trace, &trace]);
+        assert_eq!(before, after, "{name}: state leaked across runs");
+    }
+}
+
 /// The same catalog under a real kernel: the full differential check
 /// (oracle mirror, drain audit, invariant gate) passes per organization.
 #[test]
