@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sttcache-check [--quick] [--seed N] [--cases N] [--events N]
-//!                [--kind NAME|compiled|lane|multicore] [--shrink] [--list-kinds]
+//!                [--kind NAME|compiled|lane|multicore|irregular] [--shrink] [--list-kinds]
 //! ```
 //!
 //! Every generated trace runs on every catalog L1 D-cache organization with
@@ -31,7 +31,11 @@
 //! the co-scheduled run against per-core isolated runs, the per-core
 //! shadow oracles and the shared-level residency/conservation audit;
 //! `--shrink` drops whole cores before ddmin-shrinking the survivors'
-//! events.
+//! events. `--kind irregular` swaps the adversarial generators for the
+//! workload catalog's irregular pointer-chasing family: each case
+//! derives a kernel/transform pick from the seed, records the kernel's
+//! deterministic trace and runs it through the oracle differential, the
+//! compiled cross-check and the lane cross-check combined.
 
 use sttcache_bench::check::{self, Adversary};
 
@@ -46,6 +50,8 @@ enum Mode {
     Lane,
     /// Co-scheduled multi-core mixes vs per-core isolated runs.
     Multicore,
+    /// Irregular-family kernel traces through every cross-check at once.
+    Irregular,
 }
 
 impl Mode {
@@ -55,6 +61,7 @@ impl Mode {
             Mode::Compiled => " compiled",
             Mode::Lane => " lane",
             Mode::Multicore => " multicore",
+            Mode::Irregular => " irregular",
         }
     }
 }
@@ -62,7 +69,7 @@ impl Mode {
 fn usage() -> ! {
     eprintln!(
         "usage: sttcache-check [--quick] [--seed N] [--cases N] [--events N] \
-         [--kind NAME|compiled|lane|multicore] [--shrink] [--list-kinds]"
+         [--kind NAME|compiled|lane|multicore|irregular] [--shrink] [--list-kinds]"
     );
     std::process::exit(2);
 }
@@ -117,6 +124,7 @@ fn main() {
                     Some("compiled") => mode = Mode::Compiled,
                     Some("lane") => mode = Mode::Lane,
                     Some("multicore") => mode = Mode::Multicore,
+                    Some("irregular") => mode = Mode::Irregular,
                     Some(name) => match Adversary::from_name(name) {
                         Some(kind) => kinds = vec![kind],
                         None => {
@@ -138,6 +146,7 @@ fn main() {
                 println!("compiled");
                 println!("lane");
                 println!("multicore");
+                println!("irregular");
                 return;
             }
             "-h" | "--help" => usage(),
@@ -176,6 +185,7 @@ fn main() {
         Mode::Compiled => check::run_compiled_case,
         Mode::Lane => check::run_lane_case,
         Mode::Multicore => check::run_multicore_case,
+        Mode::Irregular => check::run_irregular_case,
     };
     let tag = mode.tag();
     let mut failures = Vec::new();
@@ -214,6 +224,10 @@ fn main() {
                 "{total} multi-core mixes: determinism, isolated differentials, residency \
                  and conservation all passed"
             ),
+            Mode::Irregular => println!(
+                "{total} irregular traces x {orgs} organizations: oracle, compiled and lane \
+                 checks all passed"
+            ),
         }
         return;
     }
@@ -225,6 +239,7 @@ fn main() {
             Mode::Compiled => "compiled",
             Mode::Lane => "lane",
             Mode::Multicore => "multicore",
+            Mode::Irregular => "irregular",
         };
         eprintln!(
             "FAILURE: kind {}{tag} seed {:#018x} events {} (replay: sttcache-check --kind {} --seed {} --events {} --cases 1)",
@@ -269,6 +284,7 @@ fn main() {
                 Mode::Oracle => check::shrink_failure(first),
                 Mode::Compiled => check::shrink_compiled_failure(first),
                 Mode::Lane => check::shrink_lane_failure(first),
+                Mode::Irregular => check::shrink_irregular_failure(first),
                 Mode::Multicore => unreachable!("handled above"),
             };
             eprintln!("minimal reproducer: {} event(s)", minimal.len());

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures as text.
 //!
 //! ```text
-//! figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|catalog|multicore|all]
+//! figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|catalog|multicore|irregular|all]
 //!         [--small] [--csv] [--jobs N | --serial]
 //!         [--no-trace-cache] [--no-compiled-replay]
 //!         [--profile] [--profile-json PATH] [--telemetry-json PATH]
@@ -36,7 +36,7 @@ use sttcache_workloads::ProblemSize;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|catalog|multicore|all] \
+        "usage: figures [table1|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext|catalog|multicore|irregular|all] \
          [--small] [--csv] [--jobs N | --serial] [--no-trace-cache] \
          [--no-compiled-replay] [--profile] [--profile-json PATH] \
          [--telemetry-json PATH]"
@@ -131,6 +131,13 @@ fn main() {
             let t0 = std::time::Instant::now();
             figures::print_multicore(size);
             vec![("multicore", t0.elapsed().as_secs_f64())]
+        }
+        // Opt-in for the same reason as `catalog`: the irregular family
+        // grows independently of the committed `all` output.
+        "irregular" => {
+            let t0 = std::time::Instant::now();
+            figures::print_irregular(size);
+            vec![("irregular", t0.elapsed().as_secs_f64())]
         }
         single => {
             let printer = figures::artifacts()

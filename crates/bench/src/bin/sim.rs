@@ -4,6 +4,7 @@
 //! ```text
 //! sim --bench gemm --org vwb --opts v+p+o [--size small] [--vwb-bits 4096]
 //!     [--icache nvm] [--baseline] [--explain <org>] [--jobs N | --serial]
+//! sim --trace-file recorded.trace --org vwb --baseline
 //! ```
 //!
 //! * `--org`: any catalog CLI key (`sram` | `nvm` | `vwb` | `l0` |
@@ -22,20 +23,26 @@
 //!   banked L2 (the default staggered kernel mix unless `--mix` names
 //!   one). `--explain` then attributes per-core contention penalties and
 //!   shared-bank conflict shares instead of the single-core report.
-//! * `--mix <spec>`: the mix grammar is `bench[@offset][:org]` entries
-//!   joined by `+`, e.g. `gemm:vwb+mvt@500:sram`; entries without `:org`
-//!   use `--org`. Implies `--cores <entry count>`.
+//! * `--mix <spec>`: the mix grammar is `workload[@offset][:org]` entries
+//!   joined by `+`, e.g. `gemm:vwb+mvt@500:sram` or
+//!   `gemm+file:recorded.trace@64:sram`; entries without `:org` use
+//!   `--org`. Implies `--cores <entry count>`.
 //! * `--l2-banks N`: bank the shared L2 `N` ways (multi-core only).
+//! * `--trace-file <path>`: replay a recorded trace file (written by
+//!   `Trace::write_to`, e.g. the `trace_sweep` example) instead of a
+//!   catalog kernel. The file is content-hashed into a workload identity
+//!   and routed through the full replay stack — trace cache, compiled
+//!   replay, result memo — exactly like a kernel-backed workload.
 
 use sttcache::{
     DCacheOrganization, DlOneTechnology, IcacheConfig, Platform, PlatformConfig, RunResult,
     VwbConfig,
 };
-use sttcache_bench::{explain, multicore, parallel, profile, trace_cache, SweepRunner};
-use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+use sttcache_bench::{explain, multicore, parallel, profile, trace_cache, workload, SweepRunner};
+use sttcache_workloads::{catalog, ProblemSize, Transformations, Workload};
 
 struct Options {
-    bench: Option<PolyBench>,
+    bench: Option<Workload>,
     org: DCacheOrganization,
     size: ProblemSize,
     opts: Transformations,
@@ -50,24 +57,31 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sim --bench <name> [--org {}] [--size mini|small]\n\
+        "usage: sim --bench <name> | --trace-file <path> [--org {}] [--size mini|small]\n\
          \x20          [--opts none|all|v+p+o subset] [--vwb-bits N] [--icache sram|nvm]\n\
          \x20          [--baseline] [--explain [org]] [--jobs N | --serial]\n\
          \x20          [--no-trace-cache] [--no-compiled-replay] [--profile]\n\
-         \x20          [--cores N] [--mix bench[@offset][:org]+...] [--l2-banks N]\n\
-         benchmarks: {}",
+         \x20          [--cores N] [--mix workload[@offset][:org]+...] [--l2-banks N]\n\
+         workloads: {} or file:<path>",
         sttcache::catalog::catalog()
             .iter()
             .map(|e| e.cli)
             .collect::<Vec<_>>()
             .join("|"),
-        PolyBench::ALL.map(|b| b.name()).join(", ")
+        catalog::catalog()
+            .iter()
+            .map(|w| w.cli)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     std::process::exit(2);
 }
 
-fn parse_bench(name: &str) -> Option<PolyBench> {
-    PolyBench::ALL.into_iter().find(|b| b.name() == name)
+fn resolve_workload(token: &str) -> Workload {
+    workload::resolve(token).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn parse_opts(spec: &str) -> Option<Transformations> {
@@ -111,7 +125,10 @@ fn parse_args() -> Options {
     };
     while i < args.len() {
         match args[i].as_str() {
-            "--bench" => bench = parse_bench(&next(&mut i)),
+            "--bench" => bench = Some(resolve_workload(&next(&mut i))),
+            "--trace-file" => {
+                bench = Some(resolve_workload(&format!("file:{}", next(&mut i))));
+            }
             "--org" => org = next(&mut i),
             "--size" => {
                 size = match next(&mut i).as_str() {
@@ -304,7 +321,7 @@ fn main() {
     let result = &results[0];
     println!(
         "# sim: {} on {} ({:?}, opts {})",
-        bench.name(),
+        workload::label_of(bench),
         o.org.name(),
         o.size,
         o.opts

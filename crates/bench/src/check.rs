@@ -708,6 +708,77 @@ pub fn shrink_lane_failure(failure: &CheckFailure) -> Trace {
     trace_from_events(&minimal)
 }
 
+/// Derives one irregular-workload trace from `(kind, seed, events)`:
+/// the adversary family salts the seed (so every slot of a fuzz plan
+/// lands on a different corner), the salted seed picks an irregular
+/// catalog entry and a transformation combination, and the kernel's
+/// deterministic recording is truncated to about `events` architectural
+/// events. Same inputs — same trace, byte for byte.
+pub fn irregular_trace(kind: Adversary, seed: u64, events: usize) -> (String, Trace) {
+    let mut rng = Rng::new(seed ^ (kind as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+    let specs = sttcache_workloads::catalog::family(sttcache_workloads::WorkloadFamily::Irregular);
+    let spec = specs[rng.usize_in(0, specs.len() - 1)];
+    let combos = sttcache_workloads::conformance::all_transform_combos();
+    let transforms = combos[rng.usize_in(0, combos.len() - 1)];
+    let trace = crate::trace_cache::record_trace(
+        spec.workload,
+        sttcache_workloads::ProblemSize::Mini,
+        transforms,
+    );
+    let trace = if trace.len() > events {
+        trace_from_events(&trace.events()[..events])
+    } else {
+        trace
+    };
+    (format!("{}#{seed:#x}", spec.cli), trace)
+}
+
+/// Cross-checks one irregular-workload trace through every layer at
+/// once: the shadow-oracle differential ([`check_trace`]), the compiled
+/// structure-of-arrays replay ([`check_compiled`]) and the monomorphic
+/// lanes ([`check_lane`]). Pointer-chasing streams have none of the
+/// affine kernels' regularity, so this is the leg that aims the whole
+/// verification stack at data-dependent access patterns.
+pub fn check_irregular(label: &str, trace: &Trace) -> Vec<String> {
+    let mut failures = check_trace(label, trace).failures;
+    failures.extend(check_compiled(label, trace));
+    failures.extend(check_lane(label, trace));
+    failures
+}
+
+/// Derives one irregular-workload trace and runs [`check_irregular`] on
+/// it — the `--kind irregular` leg of `sttcache-check`.
+///
+/// # Errors
+///
+/// Returns the structured [`CheckFailure`] when any organization fails
+/// the oracle differential, the compiled cross-check or the lane
+/// cross-check on the derived trace.
+pub fn run_irregular_case(kind: Adversary, seed: u64, events: usize) -> Result<(), CheckFailure> {
+    let (label, trace) = irregular_trace(kind, seed, events);
+    let failures = check_irregular(&label, &trace);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CheckFailure {
+            kind,
+            seed,
+            events,
+            failures,
+        })
+    }
+}
+
+/// [`shrink_failure`]'s counterpart for `--kind irregular` failures:
+/// the probe is the combined [`check_irregular`] battery.
+pub fn shrink_irregular_failure(failure: &CheckFailure) -> Trace {
+    let (_, trace) = irregular_trace(failure.kind, failure.seed, failure.events);
+    let minimal = shrink_events(trace.events(), |evs| {
+        !check_irregular("shrink-probe", &trace_from_events(evs)).is_empty()
+    });
+    trace_from_events(&minimal)
+}
+
 /// One multi-core fuzz case: 2–4 cores, each with its own adversarial
 /// trace, catalog organization and phase offset, co-scheduled over one
 /// shared L2.
@@ -1033,6 +1104,24 @@ mod tests {
     #[test]
     fn lane_case_runner_reports_clean_on_a_quick_seed() {
         assert!(run_lane_case(Adversary::MshrSaturation, DEFAULT_SEED, 300).is_ok());
+    }
+
+    #[test]
+    fn irregular_traces_are_deterministic_and_capped() {
+        let (label, t1) = irregular_trace(Adversary::RandomMix, 7, 500);
+        let (label2, t2) = irregular_trace(Adversary::RandomMix, 7, 500);
+        assert_eq!(label, label2);
+        assert_eq!(t1, t2, "irregular derivation not deterministic");
+        assert!(!t1.is_empty());
+        assert!(t1.len() <= 500);
+        // A different adversary salt lands on a different corner.
+        let (_, t3) = irregular_trace(Adversary::BankPingPong, 7, 500);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn irregular_case_runner_reports_clean_on_a_quick_seed() {
+        assert!(run_irregular_case(Adversary::LineStraddle, DEFAULT_SEED, 300).is_ok());
     }
 
     #[test]

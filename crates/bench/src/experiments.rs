@@ -14,7 +14,15 @@ use sttcache::{
 };
 use sttcache_mem::CacheConfig;
 use sttcache_tech::{table_one, TableOneRow};
-use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+use sttcache_workloads::{
+    catalog, ProblemSize, Transformations, Workload, WorkloadFamily, WorkloadSpec,
+};
+
+/// The affine (PolyBench) rows every paper figure sweeps, in the
+/// catalog's canonical order (which fixes figure row order).
+fn affine() -> Vec<WorkloadSpec> {
+    catalog::family(WorkloadFamily::Affine)
+}
 
 /// One benchmark's run on one configuration.
 #[derive(Debug, Clone)]
@@ -39,26 +47,27 @@ pub struct BenchResult {
 /// configurations used by the figures never are).
 pub fn run_benchmark(
     org: DCacheOrganization,
-    bench: PolyBench,
+    workload: impl Into<Workload>,
     size: ProblemSize,
     t: Transformations,
 ) -> RunResult {
-    trace_cache::run_config(&PlatformConfig::new(org), bench, size, t)
+    trace_cache::run_config(&PlatformConfig::new(org), workload, size, t)
 }
 
 /// Builds the grid for a list of (organization, transformation) combos:
-/// combo-major, `PolyBench::ALL`-minor — each combo occupies one
+/// combo-major, affine-catalog-minor — each combo occupies one
 /// contiguous, benchmark-ordered chunk of the result vector.
 fn combo_grid(
     combos: &[(DCacheOrganization, Transformations)],
     size: ProblemSize,
 ) -> Vec<GridPoint> {
-    let mut points = Vec::with_capacity(combos.len() * PolyBench::ALL.len());
+    let rows = affine();
+    let mut points = Vec::with_capacity(combos.len() * rows.len());
     for &(org, transforms) in combos {
-        for &bench in &PolyBench::ALL {
+        for spec in &rows {
             points.push(GridPoint {
                 org,
-                bench,
+                workload: spec.workload,
                 size,
                 transforms,
             });
@@ -75,10 +84,7 @@ fn sweep_combos(
 ) -> Vec<Vec<u64>> {
     let points = combo_grid(combos, size);
     let cycles = SweepRunner::current().grid_cycles(&points);
-    cycles
-        .chunks(PolyBench::ALL.len())
-        .map(|c| c.to_vec())
-        .collect()
+    cycles.chunks(affine().len()).map(|c| c.to_vec()).collect()
 }
 
 /// A labelled multi-series penalty table (one series per configuration,
@@ -150,10 +156,10 @@ pub fn fig1(size: ProblemSize) -> Vec<PenaltyRow> {
         ],
         size,
     );
-    let mut rows: Vec<PenaltyRow> = PolyBench::ALL
+    let mut rows: Vec<PenaltyRow> = affine()
         .iter()
         .enumerate()
-        .map(|(i, b)| PenaltyRow::new(b.name(), penalty_pct(chunks[0][i], chunks[1][i])))
+        .map(|(i, spec)| PenaltyRow::new(spec.name, penalty_pct(chunks[0][i], chunks[1][i])))
         .collect();
     let avg = average_penalty(&rows);
     rows.push(PenaltyRow::new("AVERAGE", avg));
@@ -173,12 +179,12 @@ pub fn fig3(size: ProblemSize) -> SeriesTable {
         ],
         size,
     );
-    let rows = PolyBench::ALL
+    let rows = affine()
         .iter()
         .enumerate()
-        .map(|(i, b)| {
+        .map(|(i, spec)| {
             (
-                b.name().to_string(),
+                spec.name.to_string(),
                 vec![
                     penalty_pct(chunks[0][i], chunks[1][i]),
                     penalty_pct(chunks[0][i], chunks[2][i]),
@@ -230,7 +236,9 @@ pub fn fig4(size: ProblemSize) -> Vec<Fig4Row> {
 
     // One sweep item per benchmark: the three runs a decomposition needs
     // (SRAM reference, read-only-slow, write-only-slow).
-    let shares = SweepRunner::current().map_ok(&PolyBench::ALL, |_, &b| {
+    let rows_in = affine();
+    let shares = SweepRunner::current().map_ok(&rows_in, |_, spec| {
+        let b = spec.workload;
         let read_only = with_latencies(4, 1);
         let write_only = with_latencies(1, 2);
         let sram = run_benchmark(
@@ -269,16 +277,16 @@ pub fn fig4(size: ProblemSize) -> Vec<Fig4Row> {
     let mut rows = Vec::new();
     let mut sum_read = 0.0;
     let mut sum_write = 0.0;
-    for (b, (read_pct, write_pct)) in PolyBench::ALL.iter().zip(shares) {
+    for (spec, (read_pct, write_pct)) in rows_in.iter().zip(shares) {
         sum_read += read_pct;
         sum_write += write_pct;
         rows.push(Fig4Row {
-            name: b.name().to_string(),
+            name: spec.name.to_string(),
             read_pct,
             write_pct,
         });
     }
-    let n = PolyBench::ALL.len() as f64;
+    let n = rows_in.len() as f64;
     rows.push(Fig4Row {
         name: "AVERAGE".into(),
         read_pct: sum_read / n,
@@ -306,12 +314,12 @@ pub fn fig5(size: ProblemSize) -> SeriesTable {
         ],
         size,
     );
-    let rows = PolyBench::ALL
+    let rows = affine()
         .iter()
         .enumerate()
-        .map(|(i, b)| {
+        .map(|(i, spec)| {
             (
-                b.name().to_string(),
+                spec.name.to_string(),
                 vec![
                     penalty_pct(chunks[0][i], chunks[2][i]),
                     penalty_pct(chunks[0][i], chunks[3][i]),
@@ -354,7 +362,9 @@ pub fn fig6(size: ProblemSize) -> Vec<Fig6Row> {
     // One sweep item per benchmark; each item runs its leave-one-out
     // decomposition (up to a dozen simulations) so the grid shards at
     // benchmark granularity.
-    let shares = SweepRunner::current().map_ok(&PolyBench::ALL, |_, &b| {
+    let rows_in = affine();
+    let shares = SweepRunner::current().map_ok(&rows_in, |_, spec| {
+        let b = spec.workload;
         // Leave-one-out: a family's contribution is how much the penalty
         // worsens when it alone is removed from the full set (this credits
         // interactions, e.g. alignment x vectorization, to "others").
@@ -392,18 +402,18 @@ pub fn fig6(size: ProblemSize) -> Vec<Fig6Row> {
 
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 3];
-    for (b, (v, p, o)) in PolyBench::ALL.iter().zip(shares) {
+    for (spec, (v, p, o)) in rows_in.iter().zip(shares) {
         sums[0] += v;
         sums[1] += p;
         sums[2] += o;
         rows.push(Fig6Row {
-            name: b.name().to_string(),
+            name: spec.name.to_string(),
             vectorization_pct: v,
             prefetching_pct: p,
             others_pct: o,
         });
     }
-    let n = PolyBench::ALL.len() as f64;
+    let n = rows_in.len() as f64;
     rows.push(Fig6Row {
         name: "AVERAGE".into(),
         vectorization_pct: sums[0] / n,
@@ -428,14 +438,14 @@ pub fn fig7(size: ProblemSize) -> SeriesTable {
         )
     }));
     let chunks = sweep_combos(&combos, size);
-    let rows = PolyBench::ALL
+    let rows = affine()
         .iter()
         .enumerate()
-        .map(|(i, b)| {
+        .map(|(i, spec)| {
             let cols = (1..combos.len())
                 .map(|c| penalty_pct(chunks[0][i], chunks[c][i]))
                 .collect();
-            (b.name().to_string(), cols)
+            (spec.name.to_string(), cols)
         })
         .collect();
     SeriesTable {
@@ -464,14 +474,14 @@ pub fn fig8(size: ProblemSize) -> SeriesTable {
         (DCacheOrganization::nvm_l0_default(), Transformations::all()),
     ];
     let chunks = sweep_combos(&combos, size);
-    let rows = PolyBench::ALL
+    let rows = affine()
         .iter()
         .enumerate()
-        .map(|(i, b)| {
+        .map(|(i, spec)| {
             let cols = (1..combos.len())
                 .map(|c| penalty_pct(chunks[0][i], chunks[c][i]))
                 .collect();
-            (b.name().to_string(), cols)
+            (spec.name.to_string(), cols)
         })
         .collect();
     SeriesTable {
@@ -514,9 +524,9 @@ pub fn fig9(size: ProblemSize) -> Vec<Fig9Row> {
     let gain = |plain: u64, opt: u64| (plain as f64 - opt as f64) / plain as f64 * 100.0;
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 2];
-    for (i, b) in PolyBench::ALL.iter().enumerate() {
+    for (i, spec) in affine().iter().enumerate() {
         let row = Fig9Row {
-            name: b.name().to_string(),
+            name: spec.name.to_string(),
             baseline_gain_pct: gain(chunks[0][i], chunks[1][i]),
             proposal_gain_pct: gain(chunks[2][i], chunks[3][i]),
         };
@@ -524,7 +534,7 @@ pub fn fig9(size: ProblemSize) -> Vec<Fig9Row> {
         sums[1] += row.proposal_gain_pct;
         rows.push(row);
     }
-    let n = PolyBench::ALL.len() as f64;
+    let n = affine().len() as f64;
     rows.push(Fig9Row {
         name: "AVERAGE".into(),
         baseline_gain_pct: sums[0] / n,
@@ -547,7 +557,7 @@ mod tests {
     #[test]
     fn fig1_has_all_benchmarks_plus_average() {
         let rows = fig1(ProblemSize::Mini);
-        assert_eq!(rows.len(), PolyBench::ALL.len() + 1);
+        assert_eq!(rows.len(), affine().len() + 1);
         assert_eq!(rows.last().unwrap().name, "AVERAGE");
         // Every drop-in penalty is positive.
         for r in &rows {

@@ -13,7 +13,7 @@ use crate::trace_cache;
 use sttcache::{DCacheOrganization, PlatformConfig, RunResult};
 use sttcache_mem::telemetry::{self, Histogram, TelemetrySnapshot};
 use sttcache_tech::{wear_uniformity, CellKind, CellModel, EnduranceModel};
-use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+use sttcache_workloads::{ProblemSize, Transformations, Workload};
 
 /// The modelled core clock, for converting cycles to wall-clock when
 /// projecting lifetime from the wear map.
@@ -43,26 +43,32 @@ pub struct Explanation {
 /// so rather than crashing).
 pub fn explain(
     cfg: &PlatformConfig,
-    bench: PolyBench,
+    workload: impl Into<Workload>,
     size: ProblemSize,
     transforms: Transformations,
 ) -> Explanation {
+    let workload = workload.into();
     let was_enabled = telemetry::enabled();
     telemetry::set_enabled(true);
     let _ = telemetry::take(); // start from a clean registry
-    let result = trace_cache::run_config(cfg, bench, size, transforms);
+    let result = trace_cache::run_config(cfg, workload, size, transforms);
     telemetry::set_enabled(was_enabled);
     let snapshot = telemetry::take();
 
     let mut base_cfg = PlatformConfig::new(DCacheOrganization::SramBaseline);
     base_cfg.icache = cfg.icache;
-    let baseline = trace_cache::run_config(&base_cfg, bench, size, transforms);
+    let baseline = trace_cache::run_config(&base_cfg, workload, size, transforms);
 
     Explanation {
         result,
         baseline,
         snapshot,
-        workload: format!("{} ({:?}, opts {})", bench.name(), size, transforms),
+        workload: format!(
+            "{} ({:?}, opts {})",
+            crate::workload::label_of(workload),
+            size,
+            transforms
+        ),
     }
 }
 
@@ -249,12 +255,8 @@ mod tests {
             capacity_bits: 1536,
             ..sttcache::VwbConfig::default()
         }));
-        let e = explain(
-            &cfg,
-            PolyBench::ALL[0],
-            ProblemSize::Mini,
-            Transformations::none(),
-        );
+        let workload = crate::workload::resolve("2mm").expect("catalog kernel");
+        let e = explain(&cfg, workload, ProblemSize::Mini, Transformations::none());
         // The gate is restored to its pre-explain state.
         assert!(!telemetry::enabled() || std::env::var("STTCACHE_TELEMETRY").is_ok());
         // The measured run was cold, so the registry captured it.
@@ -281,12 +283,8 @@ mod tests {
         // Explaining does not perturb the simulation: a fresh disarmed
         // run of the same grid point is bit-identical.
         telemetry::set_enabled(false);
-        let again = trace_cache::run_config(
-            &cfg,
-            PolyBench::ALL[0],
-            ProblemSize::Mini,
-            Transformations::none(),
-        );
+        let again =
+            trace_cache::run_config(&cfg, workload, ProblemSize::Mini, Transformations::none());
         assert_eq!(again, e.result);
     }
 }

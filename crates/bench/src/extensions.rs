@@ -16,26 +16,29 @@ use sttcache::{
 };
 use sttcache_cpu::{Core, CoreConfig, FetchUnit, MemPort};
 use sttcache_mem::{AsymmetricWrite, Cache, CacheConfig, MainMemory, NextLinePrefetcher, Shared};
-use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+use sttcache_workloads::{catalog, ProblemSize, Transformations, Workload, WorkloadFamily};
 
 /// The benchmark subset the extension studies sweep (one matrix product,
-/// one column-heavy kernel, one streaming stencil, one solver).
-pub const EXT_MIX: [PolyBench; 4] = [
-    PolyBench::Gemm,
-    PolyBench::Mvt,
-    PolyBench::Jacobi2d,
-    PolyBench::Trisolv,
-];
+/// one column-heavy kernel, one streaming stencil, one solver), resolved
+/// from the workload catalog so the tokens stay in one place.
+pub fn ext_mix() -> [Workload; 4] {
+    let w = |cli: &str| {
+        catalog::by_cli(cli)
+            .unwrap_or_else(|| panic!("extension mix kernel '{cli}' missing from the catalog"))
+            .workload
+    };
+    [w("gemm"), w("mvt"), w("jacobi-2d"), w("trisolv")]
+}
 
-fn run_with_config(cfg: &PlatformConfig, bench: PolyBench, size: ProblemSize) -> u64 {
-    trace_cache::run_config(cfg, bench, size, Transformations::none()).cycles()
+fn run_with_config(cfg: &PlatformConfig, workload: Workload, size: ProblemSize) -> u64 {
+    trace_cache::run_config(cfg, workload, size, Transformations::none()).cycles()
 }
 
 /// Runs a kernel on a hand-built platform whose IL1 and DL1 miss into a
 /// single *unified* (shared) L2 — the paper's real topology, expressible
 /// with [`Shared`].
 fn run_unified(
-    bench: PolyBench,
+    workload: Workload,
     size: ProblemSize,
     dl1_tech: DlOneTechnology,
     il1_tech: DlOneTechnology,
@@ -63,13 +66,13 @@ fn run_unified(
             let fe = VwbFrontEnd::new(cfg, dl1).expect("canonical vwb over shared l2");
             let mut core = Core::new(CoreConfig::default(), fe);
             core.attach_fetch_unit(FetchUnit::new(Box::new(il1), 16 * 1024));
-            trace_cache::drive(&mut core, bench, size, Transformations::none());
+            trace_cache::drive(&mut core, workload, size, Transformations::none());
             core.report().cycles
         }
         None => {
             let mut core = Core::new(CoreConfig::default(), MemPort::new(dl1));
             core.attach_fetch_unit(FetchUnit::new(Box::new(il1), 16 * 1024));
-            trace_cache::drive(&mut core, bench, size, Transformations::none());
+            trace_cache::drive(&mut core, workload, size, Transformations::none());
             core.report().cycles
         }
     }
@@ -83,10 +86,10 @@ fn run_unified(
 /// fetch model and shared L2.
 pub fn ext_icache(size: ProblemSize) -> SeriesTable {
     use DlOneTechnology::{Sram, SttMram};
-    let rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
+    let rows = SweepRunner::current().map_ok(&ext_mix(), |_, &b| {
         let base = run_unified(b, size, Sram, Sram, None);
         (
-            b.name().to_string(),
+            b.label(),
             vec![
                 penalty_pct(base, run_unified(b, size, SttMram, Sram, None)),
                 penalty_pct(base, run_unified(b, size, Sram, SttMram, None)),
@@ -111,7 +114,7 @@ pub fn ext_icache(size: ProblemSize) -> SeriesTable {
 /// implicit claim: a hardware prefetcher inside the NVM DL1 cannot touch
 /// the NVM *read-hit* latency, which is where the penalty lives.
 pub fn ext_hw_prefetch(size: ProblemSize) -> SeriesTable {
-    let rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
+    let rows = SweepRunner::current().map_ok(&ext_mix(), |_, &b| {
         let base = run_benchmark(
             DCacheOrganization::SramBaseline,
             b,
@@ -143,7 +146,7 @@ pub fn ext_hw_prefetch(size: ProblemSize) -> SeriesTable {
         )
         .cycles();
         (
-            b.name().to_string(),
+            b.label(),
             vec![
                 penalty_pct(base, drop_in),
                 penalty_pct(base, hw),
@@ -183,7 +186,7 @@ pub fn ext_aware(size: ProblemSize) -> SeriesTable {
         }
         b.build().expect("aware dl1 config is valid")
     };
-    let rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
+    let rows = SweepRunner::current().map_ok(&ext_mix(), |_, &b| {
         let base = run_benchmark(
             DCacheOrganization::SramBaseline,
             b,
@@ -206,7 +209,7 @@ pub fn ext_aware(size: ProblemSize) -> SeriesTable {
         ));
         let nominal = run_dl1(dl1_with(2, None));
         (
-            b.name().to_string(),
+            b.label(),
             vec![
                 penalty_pct(base, all_slow),
                 penalty_pct(base, aware),
@@ -242,7 +245,7 @@ pub fn ext_nvm_l2(size: ProblemSize) -> SeriesTable {
         .write_buffer_entries(8)
         .build()
         .expect("nvm l2 config is valid");
-    let rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
+    let rows = SweepRunner::current().map_ok(&ext_mix(), |_, &b| {
         let base = run_benchmark(
             DCacheOrganization::SramBaseline,
             b,
@@ -263,7 +266,7 @@ pub fn ext_nvm_l2(size: ProblemSize) -> SeriesTable {
             )
             .cycles(),
         );
-        (b.name().to_string(), vec![nvm_l2_pen, nvm_l1_pen])
+        (b.label(), vec![nvm_l2_pen, nvm_l1_pen])
     });
     SeriesTable {
         series: vec!["NVM L2 (SRAM L1)".into(), "NVM L1 (SRAM L2)".into()],
@@ -296,7 +299,7 @@ pub struct SleepRow {
 /// NVM write speed). The rows report the sleep-entry cost at the end of
 /// each kernel.
 pub fn ext_normally_off(size: ProblemSize) -> Vec<SleepRow> {
-    SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
+    SweepRunner::current().map_ok(&ext_mix(), |_, &b| {
         // SRAM platform: hand-built so we keep the hierarchy after the run.
         let (sram_dirty, sram_cycles) = {
             let tail = Cache::new(l2_config().expect("canonical l2"), MainMemory::new(100));
@@ -324,7 +327,7 @@ pub fn ext_normally_off(size: ProblemSize) -> Vec<SleepRow> {
             (flushed, done - end)
         };
         SleepRow {
-            name: b.name().to_string(),
+            name: b.label(),
             sram_dirty_lines: sram_dirty,
             sram_flush_cycles: sram_cycles,
             nvm_dirty_lines: nvm_dirty,
@@ -364,7 +367,7 @@ fn dl1_energy_uj(r: &sttcache::RunResult, clock_ghz: f64) -> f64 {
 /// saving — exactly why the paper argues for attacking the runtime penalty
 /// first.
 pub fn ext_energy(size: ProblemSize) -> Vec<EnergyRow> {
-    let mut rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
+    let mut rows = SweepRunner::current().map_ok(&ext_mix(), |_, &b| {
         let sram = run_benchmark(
             DCacheOrganization::SramBaseline,
             b,
@@ -378,7 +381,7 @@ pub fn ext_energy(size: ProblemSize) -> Vec<EnergyRow> {
             Transformations::none(),
         );
         EnergyRow {
-            name: b.name().to_string(),
+            name: b.label(),
             sram_uj: sram.energy.total_uj(),
             nvm_uj: nvm.energy.total_uj(),
             sram_dl1_uj: dl1_energy_uj(&sram, 1.0),
@@ -414,15 +417,57 @@ pub fn ext_catalog(size: ProblemSize) -> SeriesTable {
     let (reference, rest) = entries
         .split_first()
         .expect("the catalog always has the SRAM reference");
-    let rows = SweepRunner::current().map_ok(&EXT_MIX, |_, &b| {
+    let rows = SweepRunner::current().map_ok(&ext_mix(), |_, &b| {
         let base = run_with_config(&PlatformConfig::new(reference.organization), b, size);
         (
-            b.name().to_string(),
+            b.label(),
             rest.iter()
                 .map(|e| {
                     penalty_pct(
                         base,
                         run_with_config(&PlatformConfig::new(e.organization), b, size),
+                    )
+                })
+                .collect(),
+        )
+    });
+    SeriesTable {
+        series: rest.iter().map(|e| e.name.to_string()).collect(),
+        rows,
+    }
+    .append_average()
+}
+
+/// Irregular sweep — the pointer-chasing workload family on the full
+/// organization catalog.
+///
+/// One row per irregular catalog workload (linked-list chase, hash-table
+/// probing, CSR BFS, GC-style marking), one column per non-reference
+/// organization, penalty vs the catalog's SRAM reference. The paper only
+/// evaluates affine PolyBench loop nests; this sweep shows how the same
+/// organizations fare when the access stream is data-dependent and the
+/// VWB's software prefetching has far less to hide behind. Enumerates
+/// both catalogs — new organizations *and* new irregular workloads appear
+/// here automatically.
+pub fn ext_irregular(size: ProblemSize) -> SeriesTable {
+    let entries = sttcache::catalog::catalog();
+    let (reference, rest) = entries
+        .split_first()
+        .expect("the catalog always has the SRAM reference");
+    let workloads = catalog::family(WorkloadFamily::Irregular);
+    let rows = SweepRunner::current().map_ok(&workloads, |_, spec| {
+        let base = run_with_config(
+            &PlatformConfig::new(reference.organization),
+            spec.workload,
+            size,
+        );
+        (
+            spec.name.to_string(),
+            rest.iter()
+                .map(|e| {
+                    penalty_pct(
+                        base,
+                        run_with_config(&PlatformConfig::new(e.organization), spec.workload, size),
                     )
                 })
                 .collect(),
@@ -455,6 +500,20 @@ mod tests {
         // The VWB recovers most of the drop-in penalty here too.
         let vwb = t.series.iter().position(|s| s == "NVM + VWB").unwrap();
         assert!(t.average(vwb) < t.average(0));
+    }
+
+    #[test]
+    fn irregular_sweep_covers_the_family_on_every_organization() {
+        let t = ext_irregular(SIZE);
+        assert_eq!(t.series.len(), sttcache::catalog::catalog().len() - 1);
+        let family = catalog::family(WorkloadFamily::Irregular);
+        assert!(family.len() >= 4, "irregular family has >= 4 kernels");
+        assert_eq!(t.rows.len(), family.len() + 1); // + AVERAGE
+        for (row, spec) in t.rows.iter().zip(&family) {
+            assert_eq!(row.0, spec.name);
+        }
+        // Drop-in NVM costs real cycles on pointer chasing too.
+        assert!(t.average(0) > 0.0, "drop-in penalty {}", t.average(0));
     }
 
     #[test]

@@ -222,6 +222,18 @@ pub fn print_multicore(size: ProblemSize) {
     );
 }
 
+/// Prints the irregular-family sweep: every irregular pointer-chasing
+/// workload on every non-reference catalog organization, penalty vs the
+/// catalog's SRAM reference. Like [`print_catalog`], deliberately *not*
+/// in [`artifacts`] — the committed `figures all` output stays
+/// byte-identical; `figures irregular` is the opt-in view.
+pub fn print_irregular(size: ProblemSize) {
+    print_series_table(
+        "Irregular: pointer-chasing penalty vs the SRAM reference",
+        &extensions::ext_irregular(size),
+    );
+}
+
 /// Prints one figure as CSV (for the table-shaped artifacts; the
 /// decomposition figures encode their columns explicitly).
 pub fn print_csv(which: &str, size: ProblemSize) -> bool {

@@ -25,6 +25,7 @@ pub mod profile;
 pub mod spans;
 pub mod testkit;
 pub mod trace_cache;
+pub mod workload;
 
 pub use experiments::{
     fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, run_benchmark, table1, BenchResult,
@@ -33,3 +34,4 @@ pub use experiments::{
 pub use parallel::{GridPoint, SweepError, SweepRunner};
 pub use profile::{ProfileReport, ProfileSnapshot};
 pub use trace_cache::{TraceCache, TraceCacheStats, TraceKey};
+pub use workload::WorkloadError;

@@ -6,8 +6,9 @@
 //!
 //! ```text
 //! mix    := entry ('+' entry)*
-//! entry  := bench ('@' offset)? (':' org)?
-//! bench  := any PolyBench kernel name        (e.g. gemm, mvt, jacobi-2d)
+//! entry  := workload ('@' offset)? (':' org)?
+//! workload := any workload-catalog CLI token (e.g. gemm, mvt, list-chase)
+//!           | 'file:' path                   (a recorded trace file)
 //! offset := decimal cycle count              (phase offset, default 0)
 //! org    := any catalog CLI key              (sram|nvm|vwb|l0|emshr|hybrid)
 //! ```
@@ -15,7 +16,10 @@
 //! `gemm:vwb+mvt@500:sram` runs gemm on a VWB core starting at cycle 0
 //! and mvt on an SRAM core starting at cycle 500, both over one shared
 //! banked L2. An entry without `:org` uses the run's default
-//! organization (`sim --org`).
+//! organization (`sim --org`). Because `file:` paths may themselves
+//! contain `:` and `@`, the suffixes bind from the *right*: the final
+//! `:part` is an organization only if it names a catalog entry, and the
+//! final `@part` is an offset only if it is a decimal number.
 
 use crate::trace_cache;
 use std::collections::HashMap;
@@ -25,14 +29,14 @@ use sttcache::{
 };
 use sttcache_mem::telemetry::{self, TelemetrySnapshot};
 use sttcache_mem::{CacheConfig, Cycle};
-use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+use sttcache_workloads::{ProblemSize, Transformations, Workload};
 
-/// One core of a mix: which kernel it runs, when it starts, and which
+/// One core of a mix: which workload it runs, when it starts, and which
 /// private organization it uses (`None` = the run's default).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MixEntry {
-    /// The kernel replayed on this core.
-    pub bench: PolyBench,
+    /// The workload replayed on this core.
+    pub workload: Workload,
     /// Phase offset in cycles.
     pub offset: Cycle,
     /// Private front-end organization override for this core.
@@ -46,14 +50,12 @@ pub struct MixSpec {
     pub entries: Vec<MixEntry>,
 }
 
-/// The default mix kernels, cycled when more cores than kernels are
-/// requested — the same four-kernel set the extension sweeps use.
-pub const DEFAULT_MIX_KERNELS: [PolyBench; 4] = [
-    PolyBench::Gemm,
-    PolyBench::Mvt,
-    PolyBench::Jacobi2d,
-    PolyBench::Trisolv,
-];
+/// The default mix workloads, cycled when more cores than kernels are
+/// requested — the same four-kernel set the extension sweeps use
+/// ([`crate::extensions::ext_mix`]).
+pub fn default_mix_workloads() -> [Workload; 4] {
+    crate::extensions::ext_mix()
+}
 
 /// Stagger between consecutive cores in the default mix, in cycles.
 pub const DEFAULT_STAGGER: Cycle = 64;
@@ -71,41 +73,45 @@ impl MixSpec {
             if part.is_empty() {
                 return Err(format!("empty mix entry in '{spec}'"));
             }
-            let (head, org) = match part.split_once(':') {
-                Some((h, key)) => {
-                    let org = sttcache::by_cli(key)
-                        .map(|e| e.organization)
-                        .ok_or_else(|| format!("unknown organization '{key}' in '{part}'"))?;
-                    (h, Some(org))
-                }
-                None => (part, None),
+            // Suffixes bind from the right so `file:` paths containing
+            // ':' or '@' survive: the last ':key' is an organization only
+            // if the catalog knows `key`, the last '@n' an offset only if
+            // `n` is decimal. Anything else stays part of the token and
+            // fails in the workload resolver with a full token list.
+            let (head, org) = match part.rsplit_once(':') {
+                Some((h, key)) if !h.is_empty() => match sttcache::by_cli(key) {
+                    Some(e) => (h, Some(e.organization)),
+                    None => (part, None),
+                },
+                _ => (part, None),
             };
-            let (name, offset) = match head.split_once('@') {
-                Some((n, off)) => {
-                    let offset: Cycle = off
-                        .parse()
-                        .map_err(|_| format!("bad phase offset '{off}' in '{part}'"))?;
-                    (n, offset)
-                }
-                None => (head, 0),
+            let (token, offset) = match head.rsplit_once('@') {
+                Some((t, off)) if !t.is_empty() => match off.parse::<Cycle>() {
+                    Ok(offset) => (t, offset),
+                    Err(_) => (head, 0),
+                },
+                _ => (head, 0),
             };
-            let bench = PolyBench::ALL
-                .into_iter()
-                .find(|b| b.name() == name)
-                .ok_or_else(|| format!("unknown kernel '{name}' in '{part}'"))?;
-            entries.push(MixEntry { bench, offset, org });
+            let workload = crate::workload::resolve(token)
+                .map_err(|e| format!("in mix entry '{part}': {e}"))?;
+            entries.push(MixEntry {
+                workload,
+                offset,
+                org,
+            });
         }
         Ok(MixSpec { entries })
     }
 
     /// The default staggered mix for `cores` cores: the
-    /// [`DEFAULT_MIX_KERNELS`] cycled, core `i` starting at
+    /// [`default_mix_workloads`] cycled, core `i` starting at
     /// `i * DEFAULT_STAGGER` cycles, default organization everywhere.
     pub fn default_mix(cores: usize) -> MixSpec {
+        let kernels = default_mix_workloads();
         MixSpec {
             entries: (0..cores)
                 .map(|i| MixEntry {
-                    bench: DEFAULT_MIX_KERNELS[i % DEFAULT_MIX_KERNELS.len()],
+                    workload: kernels[i % kernels.len()],
                     offset: i as Cycle * DEFAULT_STAGGER,
                     org: None,
                 })
@@ -123,7 +129,7 @@ impl MixSpec {
         self.entries
             .iter()
             .map(|e| {
-                let mut s = e.bench.name().to_string();
+                let mut s = crate::workload::token_of(e.workload);
                 if e.offset != 0 {
                     s.push_str(&format!("@{}", e.offset));
                 }
@@ -215,7 +221,7 @@ pub fn run_mix(
     let traces: Vec<_> = mix
         .entries
         .iter()
-        .map(|e| trace_cache::cached_trace(e.bench, size, transforms))
+        .map(|e| trace_cache::cached_trace(e.workload, size, transforms))
         .collect();
     let refs: Vec<&sttcache_cpu::Trace> = traces.iter().map(|t| &**t).collect();
     let result = platform.run_traces(&refs);
@@ -238,7 +244,7 @@ pub fn isolated_run(
         mix_platform(mix, default_org, l2_banks).expect("caller validated the mix platform");
     trace_cache::run_config(
         &platform.isolated_config(idx),
-        mix.entries[idx].bench,
+        mix.entries[idx].workload,
         size,
         transforms,
     )
@@ -352,7 +358,7 @@ pub fn explain_mix(
     let traces: Vec<_> = mix
         .entries
         .iter()
-        .map(|e| trace_cache::cached_trace(e.bench, size, transforms))
+        .map(|e| trace_cache::cached_trace(e.workload, size, transforms))
         .collect();
     let refs: Vec<&sttcache_cpu::Trace> = traces.iter().map(|t| &**t).collect();
     let was_enabled = telemetry::enabled();
@@ -406,7 +412,7 @@ impl MixExplanation {
         for (idx, r) in self.result.cores.iter().enumerate() {
             out.push_str(&format!(
                 "  core {idx}: {:<10} on {:<14} {:>10} cycles ({:+.1}% vs isolated {})\n",
-                self.mix.entries[idx].bench.name(),
+                crate::workload::token_of(self.mix.entries[idx].workload),
                 r.organization.name(),
                 r.cycles(),
                 self.core_slowdown_pct(idx),
@@ -463,7 +469,7 @@ pub fn mix_stats_text(result: &MultiRunResult, mix: &MixSpec) -> String {
     for (idx, r) in result.cores.iter().enumerate() {
         out.push_str(&format!(
             "== core {idx}: {} on {} (offset {}) ==\n",
-            mix.entries[idx].bench.name(),
+            crate::workload::token_of(mix.entries[idx].workload),
             r.organization.name(),
             mix.entries[idx].offset,
         ));
@@ -499,7 +505,10 @@ mod tests {
     fn mix_grammar_round_trips() {
         let mix = MixSpec::parse("gemm:vwb+mvt@500:sram+trisolv@64").unwrap();
         assert_eq!(mix.cores(), 3);
-        assert_eq!(mix.entries[0].bench, PolyBench::Gemm);
+        assert_eq!(
+            mix.entries[0].workload,
+            crate::workload::resolve("gemm").unwrap()
+        );
         assert_eq!(mix.entries[0].offset, 0);
         assert_eq!(
             mix.entries[0].org,

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
 use sttcache::{DCacheOrganization, RunResult};
-use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+use sttcache_workloads::{catalog, ProblemSize, Transformations, Workload, WorkloadFamily};
 
 /// Process-wide worker-count override (0 = unset). Written by the
 /// binaries' `--jobs` / `--serial` flags, read by [`SweepRunner::current`].
@@ -59,13 +59,13 @@ impl std::fmt::Display for SweepError {
 
 impl std::error::Error for SweepError {}
 
-/// One point of the kernel × organization × transformation grid.
+/// One point of the workload × organization × transformation grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GridPoint {
     /// The L1 D-cache organization under test.
     pub org: DCacheOrganization,
-    /// The kernel.
-    pub bench: PolyBench,
+    /// The workload.
+    pub workload: Workload,
     /// The problem size.
     pub size: ProblemSize,
     /// The code-transformation set the kernel runs with.
@@ -78,26 +78,29 @@ impl GridPoint {
         format!(
             "{}/{}/{:?}/{}",
             self.org.name(),
-            self.bench.name(),
+            self.workload.label(),
             self.size,
             self.transforms.label()
         )
     }
 }
 
-/// Builds the org-major, bench-minor grid the figure sweeps use: for each
-/// organization in order, every PolyBench kernel in `PolyBench::ALL` order.
+/// Builds the org-major, workload-minor grid the figure sweeps use: for
+/// each organization in order, every *affine* catalog workload in catalog
+/// order (the paper's PolyBench suite — the row order every figure's
+/// reference output depends on).
 pub fn grid(
     orgs: &[DCacheOrganization],
     size: ProblemSize,
     transforms: Transformations,
 ) -> Vec<GridPoint> {
-    let mut points = Vec::with_capacity(orgs.len() * PolyBench::ALL.len());
+    let affine = catalog::family(WorkloadFamily::Affine);
+    let mut points = Vec::with_capacity(orgs.len() * affine.len());
     for &org in orgs {
-        for &bench in &PolyBench::ALL {
+        for spec in &affine {
             points.push(GridPoint {
                 org,
-                bench,
+                workload: spec.workload,
                 size,
                 transforms,
             });
@@ -226,7 +229,7 @@ impl SweepRunner {
     /// Simulates every [`GridPoint`], sharded across the workers.
     pub fn run_grid(&self, points: &[GridPoint]) -> Vec<Result<RunResult, SweepError>> {
         self.map(points, |_, p| {
-            crate::experiments::run_benchmark(p.org, p.bench, p.size, p.transforms)
+            crate::experiments::run_benchmark(p.org, p.workload, p.size, p.transforms)
         })
     }
 
@@ -450,18 +453,16 @@ mod tests {
     }
 
     #[test]
-    fn grid_is_org_major_bench_minor() {
+    fn grid_is_org_major_workload_minor() {
         let orgs = [
             DCacheOrganization::SramBaseline,
             DCacheOrganization::NvmDropIn,
         ];
+        let affine = catalog::family(WorkloadFamily::Affine);
         let points = grid(&orgs, ProblemSize::Mini, Transformations::none());
-        assert_eq!(points.len(), 2 * PolyBench::ALL.len());
+        assert_eq!(points.len(), 2 * affine.len());
         assert_eq!(points[0].org, DCacheOrganization::SramBaseline);
-        assert_eq!(points[0].bench, PolyBench::ALL[0]);
-        assert_eq!(
-            points[PolyBench::ALL.len()].org,
-            DCacheOrganization::NvmDropIn
-        );
+        assert_eq!(points[0].workload, affine[0].workload);
+        assert_eq!(points[affine.len()].org, DCacheOrganization::NvmDropIn);
     }
 }

@@ -50,25 +50,34 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use sttcache::{DCacheOrganization, Platform, PlatformConfig, RunResult};
 use sttcache_cpu::{CompiledTrace, Engine, Trace, TraceGeometry, TraceRecorder};
-use sttcache_workloads::{PolyBench, ProblemSize, Transformations};
+use sttcache_workloads::{ProblemSize, Transformations, Workload};
 
 /// Identifies one recorded event stream: the organization-independent
-/// half of a sweep grid point.
+/// half of a sweep grid point. The workload side comes from the catalog
+/// (`sttcache_workloads::catalog`) — affine kernels, irregular kernels
+/// and externally ingested traces (whose [`Workload::External`] identity
+/// is already a content hash) all key the cache the same way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceKey {
-    /// The kernel.
-    pub bench: PolyBench,
-    /// The problem size the kernel ran at.
+    /// The workload identity.
+    pub workload: Workload,
+    /// The problem size the kernel ran at (ignored by external traces,
+    /// which carry no kernel).
     pub size: ProblemSize,
-    /// The code transformations applied to the kernel.
+    /// The code transformations applied to the kernel (likewise ignored
+    /// by external traces).
     pub transforms: Transformations,
 }
 
 impl TraceKey {
-    /// The key for one (kernel, size, transformation-set) stream.
-    pub fn new(bench: PolyBench, size: ProblemSize, transforms: Transformations) -> Self {
+    /// The key for one (workload, size, transformation-set) stream.
+    pub fn new(
+        workload: impl Into<Workload>,
+        size: ProblemSize,
+        transforms: Transformations,
+    ) -> Self {
         TraceKey {
-            bench,
+            workload: workload.into(),
             size,
             transforms,
         }
@@ -78,7 +87,7 @@ impl TraceKey {
     pub fn label(&self) -> String {
         format!(
             "{}/{:?}/{}",
-            self.bench.name(),
+            self.workload.label(),
             self.size,
             self.transforms.label()
         )
@@ -435,29 +444,41 @@ pub fn global_footprint() -> (usize, usize) {
     (g.resident_bytes(), g.len())
 }
 
-/// Stream lengths seen per (kernel, size): different transformation sets
-/// of one kernel emit streams within a small factor of each other, so the
-/// last observed length sizes the next recording's buffer up front and
-/// skips most of the growth-reallocation cascade of multi-megabyte event
-/// vectors (at worst one reallocation remains).
-fn capacity_hint() -> &'static Mutex<HashMap<(PolyBench, ProblemSize), usize>> {
-    static HINTS: OnceLock<Mutex<HashMap<(PolyBench, ProblemSize), usize>>> = OnceLock::new();
+/// Stream lengths seen per (workload, size): different transformation
+/// sets of one kernel emit streams within a small factor of each other,
+/// so the last observed length sizes the next recording's buffer up front
+/// and skips most of the growth-reallocation cascade of multi-megabyte
+/// event vectors (at worst one reallocation remains).
+fn capacity_hint() -> &'static Mutex<HashMap<(Workload, ProblemSize), usize>> {
+    static HINTS: OnceLock<Mutex<HashMap<(Workload, ProblemSize), usize>>> = OnceLock::new();
     HINTS.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Records one kernel's event stream by running it against a
+/// Records one workload's event stream by running its kernel against a
 /// [`TraceRecorder`] (the only place the sweeps pay for the kernel's real
-/// arithmetic when the cache is on).
-pub fn record_trace(bench: PolyBench, size: ProblemSize, transforms: Transformations) -> Trace {
+/// arithmetic when the cache is on). External workloads are already
+/// recorded — their registered stream is returned as-is.
+pub fn record_trace(
+    workload: impl Into<Workload>,
+    size: ProblemSize,
+    transforms: Transformations,
+) -> Trace {
+    let workload = workload.into();
+    if let Workload::External(id) = workload {
+        return (*crate::workload::external_trace(id)
+            .expect("external workload used before registration"))
+        .clone();
+    }
     let start = Instant::now();
     let hint = capacity_hint()
         .lock()
         .expect("capacity hint lock")
-        .get(&(bench, size))
+        .get(&(workload, size))
         .copied()
         .unwrap_or(0);
     let mut rec = TraceRecorder::with_capacity(hint);
-    bench.kernel(size).run(&mut rec, transforms);
+    let kernel = workload.kernel(size).expect("kernel-backed workload");
+    kernel.run(&mut rec, transforms);
     let mut trace = rec.into_trace();
     // Drop the hint/growth slack before the cache charges the trace
     // against its byte cap — resident memory then equals accounted bytes.
@@ -465,21 +486,29 @@ pub fn record_trace(bench: PolyBench, size: ProblemSize, transforms: Transformat
     capacity_hint()
         .lock()
         .expect("capacity hint lock")
-        .insert((bench, size), trace.len());
+        .insert((workload, size), trace.len());
     let took = start.elapsed();
     profile::add_record(took, trace.len() as u64);
     spans::record("record", "phase", start, took);
     trace
 }
 
-/// The shared trace for one grid key, recording it on first use.
+/// The shared trace for one grid key, recording it on first use. External
+/// workloads return their registered stream directly — the registry
+/// already keeps it resident, so charging the LRU cap a second time would
+/// only evict kernel recordings.
 pub fn cached_trace(
-    bench: PolyBench,
+    workload: impl Into<Workload>,
     size: ProblemSize,
     transforms: Transformations,
 ) -> Arc<Trace> {
-    global().get_or_record(TraceKey::new(bench, size, transforms), || {
-        record_trace(bench, size, transforms)
+    let workload = workload.into();
+    if let Workload::External(id) = workload {
+        return crate::workload::external_trace(id)
+            .expect("external workload used before registration");
+    }
+    global().get_or_record(TraceKey::new(workload, size, transforms), || {
+        record_trace(workload, size, transforms)
     })
 }
 
@@ -488,13 +517,14 @@ pub fn cached_trace(
 /// through [`cached_trace`], so one recording feeds every geometry's
 /// compilation.
 pub fn cached_compiled(
-    bench: PolyBench,
+    workload: impl Into<Workload>,
     size: ProblemSize,
     transforms: Transformations,
     geometry: TraceGeometry,
 ) -> Arc<CompiledTrace> {
-    global().get_or_compile(TraceKey::new(bench, size, transforms), geometry, || {
-        let trace = cached_trace(bench, size, transforms);
+    let workload = workload.into();
+    global().get_or_compile(TraceKey::new(workload, size, transforms), geometry, || {
+        let trace = cached_trace(workload, size, transforms);
         let start = Instant::now();
         let compiled = CompiledTrace::compile(&trace, geometry);
         let took = start.elapsed();
@@ -551,22 +581,30 @@ pub fn result_memo_entries() -> usize {
 /// configurations).
 pub fn run_config(
     cfg: &PlatformConfig,
-    bench: PolyBench,
+    workload: impl Into<Workload>,
     size: ProblemSize,
     transforms: Transformations,
 ) -> RunResult {
+    let workload = workload.into();
     if !enabled() {
         let platform = Platform::with_config(cfg.clone()).expect("sweep configuration is valid");
         let start = Instant::now();
-        let kernel = bench.kernel(size);
-        let result = platform.run(|e: &mut dyn Engine| kernel.run(e, transforms));
+        let result = match workload.kernel(size) {
+            Some(kernel) => platform.run(|e: &mut dyn Engine| kernel.run(e, transforms)),
+            // External workloads have no kernel to execute; their
+            // recorded stream *is* the direct path.
+            None => platform.run_trace(&record_trace(workload, size, transforms)),
+        };
         let took = start.elapsed();
         let ops = result.core.loads + result.core.stores + result.core.prefetches;
         profile::add_direct(took, ops);
         spans::record("direct", "phase", start, took);
         return result;
     }
-    let memo_key = (format!("{cfg:?}"), TraceKey::new(bench, size, transforms));
+    let memo_key = (
+        format!("{cfg:?}"),
+        TraceKey::new(workload, size, transforms),
+    );
     if let Some(hit) = result_memo()
         .lock()
         .expect("result memo lock")
@@ -576,9 +614,9 @@ pub fn run_config(
         return hit.clone();
     }
     let platform = Platform::with_config(cfg.clone()).expect("sweep configuration is valid");
-    let trace = cached_trace(bench, size, transforms);
+    let trace = cached_trace(workload, size, transforms);
     let result = if compiled_enabled() && trace.len() <= compiled_max_events() {
-        let compiled = cached_compiled(bench, size, transforms, platform.dl1_geometry());
+        let compiled = cached_compiled(workload, size, transforms, platform.dl1_geometry());
         let start = Instant::now();
         let result = platform.run_compiled(&compiled);
         let took = start.elapsed();
@@ -589,7 +627,7 @@ pub fn run_config(
                 platform.run_trace(&trace),
                 result,
                 "compiled replay diverged from interpreted replay on {} ({})",
-                TraceKey::new(bench, size, transforms).label(),
+                TraceKey::new(workload, size, transforms).label(),
                 cfg.organization.name(),
             );
         }
@@ -603,14 +641,17 @@ pub fn run_config(
         result
     };
     if trace_check_requested() && cfg.organization == DCacheOrganization::SramBaseline {
-        let kernel = bench.kernel(size);
-        let direct = platform.run(|e: &mut dyn Engine| kernel.run(e, transforms));
-        assert_eq!(
-            direct,
-            result,
-            "trace replay diverged from direct execution on {}",
-            TraceKey::new(bench, size, transforms).label()
-        );
+        // External workloads have no kernel to cross-execute; the replay
+        // paths above already cover them.
+        if let Some(kernel) = workload.kernel(size) {
+            let direct = platform.run(|e: &mut dyn Engine| kernel.run(e, transforms));
+            assert_eq!(
+                direct,
+                result,
+                "trace replay diverged from direct execution on {}",
+                TraceKey::new(workload, size, transforms).label()
+            );
+        }
     }
     result_memo()
         .lock()
@@ -622,11 +663,11 @@ pub fn run_config(
 /// [`run_config`] for an already-built [`Platform`].
 pub fn run_on_platform(
     platform: &Platform,
-    bench: PolyBench,
+    workload: impl Into<Workload>,
     size: ProblemSize,
     transforms: Transformations,
 ) -> RunResult {
-    run_config(platform.config(), bench, size, transforms)
+    run_config(platform.config(), workload, size, transforms)
 }
 
 /// Feeds one grid key's event stream into an arbitrary engine — the
@@ -635,23 +676,33 @@ pub fn run_on_platform(
 /// runs the kernel directly; both paths drive `e` identically.
 pub fn drive<E: Engine>(
     e: &mut E,
-    bench: PolyBench,
+    workload: impl Into<Workload>,
     size: ProblemSize,
     transforms: Transformations,
 ) {
+    let workload = workload.into();
     if enabled() {
-        let trace = cached_trace(bench, size, transforms);
+        let trace = cached_trace(workload, size, transforms);
         let start = Instant::now();
         trace.replay_into(e);
         let took = start.elapsed();
         profile::add_replay(took, trace.len() as u64);
         spans::record("replay", "phase", start, took);
-    } else {
+    } else if let Some(kernel) = workload.kernel(size) {
         let start = Instant::now();
-        bench.kernel(size).run(e, transforms);
+        kernel.run(e, transforms);
         let took = start.elapsed();
         // The borrowed engine exposes no event counter; credit the time
         // with zero events (the rate renders as 0 rather than a guess).
+        profile::add_direct(took, 0);
+        spans::record("direct", "phase", start, took);
+    } else {
+        // External workloads replay their recorded stream even with the
+        // cache off — there is no kernel to run directly.
+        let trace = record_trace(workload, size, transforms);
+        let start = Instant::now();
+        trace.replay_into(e);
+        let took = start.elapsed();
         profile::add_direct(took, 0);
         spans::record("direct", "phase", start, took);
     }
@@ -680,8 +731,14 @@ mod tests {
             .collect()
     }
 
-    fn key(b: PolyBench) -> TraceKey {
-        TraceKey::new(b, ProblemSize::Mini, Transformations::none())
+    // Synthetic keys: the raw cache is identity-agnostic, so tests key on
+    // `Workload::External` hashes without touching the kernel catalog.
+    fn key(n: u64) -> TraceKey {
+        TraceKey::new(
+            Workload::External(n),
+            ProblemSize::Mini,
+            Transformations::none(),
+        )
     }
 
     #[test]
@@ -689,7 +746,7 @@ mod tests {
         let cache = TraceCache::with_cap_bytes(1 << 20);
         let recordings = AtomicUsize::new(0);
         for _ in 0..3 {
-            let t = cache.get_or_record(key(PolyBench::Gemm), || {
+            let t = cache.get_or_record(key(1), || {
                 recordings.fetch_add(1, Ordering::SeqCst);
                 trace_of(8)
             });
@@ -714,7 +771,7 @@ mod tests {
                 let cache = cache.clone();
                 let recordings = recordings.clone();
                 std::thread::spawn(move || {
-                    let t = cache.get_or_record(key(PolyBench::Atax), || {
+                    let t = cache.get_or_record(key(2), || {
                         recordings.fetch_add(1, Ordering::SeqCst);
                         // Widen the race window so losers really block.
                         std::thread::sleep(std::time::Duration::from_millis(10));
@@ -737,25 +794,25 @@ mod tests {
     fn lru_eviction_respects_the_cap() {
         let per_trace = 10 * std::mem::size_of::<TraceEvent>();
         let cache = TraceCache::with_cap_bytes(2 * per_trace);
-        cache.get_or_record(key(PolyBench::Gemm), || trace_of(10));
-        cache.get_or_record(key(PolyBench::Atax), || trace_of(10));
+        cache.get_or_record(key(1), || trace_of(10));
+        cache.get_or_record(key(2), || trace_of(10));
         // Touch Gemm so Atax becomes the LRU victim.
-        cache.get_or_record(key(PolyBench::Gemm), || unreachable!("resident"));
-        cache.get_or_record(key(PolyBench::Mvt), || trace_of(10));
+        cache.get_or_record(key(1), || unreachable!("resident"));
+        cache.get_or_record(key(3), || trace_of(10));
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.len(), 2);
         assert!(cache.resident_bytes() <= cache.cap_bytes());
         // Gemm survived; Atax re-records.
-        cache.get_or_record(key(PolyBench::Gemm), || unreachable!("mru survives"));
+        cache.get_or_record(key(1), || unreachable!("mru survives"));
         let misses_before = cache.stats().misses;
-        cache.get_or_record(key(PolyBench::Atax), || trace_of(10));
+        cache.get_or_record(key(2), || trace_of(10));
         assert_eq!(cache.stats().misses, misses_before + 1);
     }
 
     #[test]
     fn zero_cap_keeps_nothing_resident_but_still_returns_traces() {
         let cache = TraceCache::with_cap_bytes(0);
-        let t = cache.get_or_record(key(PolyBench::Gemm), || trace_of(5));
+        let t = cache.get_or_record(key(1), || trace_of(5));
         assert_eq!(t.len(), 5); // caller's Arc outlives the eviction
         assert_eq!(cache.resident_bytes(), 0);
         assert!(cache.is_empty());
@@ -779,7 +836,7 @@ mod tests {
         // for twenty events; its real footprint is double the cap, so it
         // must be charged — and evicted — at capacity.
         let cache = TraceCache::with_cap_bytes(20 * std::mem::size_of::<TraceEvent>());
-        let t = cache.get_or_record(key(PolyBench::Gemm), || {
+        let t = cache.get_or_record(key(1), || {
             let mut rec = TraceRecorder::with_capacity(40);
             rec.compute(1);
             rec.into_trace()
@@ -806,7 +863,7 @@ mod tests {
         let geom = TraceGeometry::new(64, 512, 4);
         let compilations = AtomicUsize::new(0);
         for _ in 0..3 {
-            let c = cache.get_or_compile(key(PolyBench::Gemm), geom, || {
+            let c = cache.get_or_compile(key(1), geom, || {
                 compilations.fetch_add(1, Ordering::SeqCst);
                 CompiledTrace::compile(&trace_of(8), geom)
             });
@@ -815,7 +872,7 @@ mod tests {
         assert_eq!(compilations.load(Ordering::SeqCst), 1);
         // A different geometry is a different entry.
         let other = TraceGeometry::new(32, 1024, 4);
-        cache.get_or_compile(key(PolyBench::Gemm), other, || {
+        cache.get_or_compile(key(1), other, || {
             compilations.fetch_add(1, Ordering::SeqCst);
             CompiledTrace::compile(&trace_of(8), other)
         });
@@ -832,17 +889,15 @@ mod tests {
         // compiling must evict the colder recorded entry.
         let compiled_bytes = CompiledTrace::compile(&trace_of(10), geom).bytes();
         let cache = TraceCache::with_cap_bytes(compiled_bytes + 8);
-        cache.get_or_record(key(PolyBench::Gemm), || trace_of(10));
+        cache.get_or_record(key(1), || trace_of(10));
         assert_eq!(cache.stats().evictions, 0);
-        cache.get_or_compile(key(PolyBench::Gemm), geom, || {
-            CompiledTrace::compile(&trace_of(10), geom)
-        });
+        cache.get_or_compile(key(1), geom, || CompiledTrace::compile(&trace_of(10), geom));
         assert_eq!(cache.stats().evictions, 1);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.compiled_len(), 1);
         // A second, colder compiled entry evicts the first.
         let other = TraceGeometry::new(32, 1024, 4);
-        cache.get_or_compile(key(PolyBench::Atax), other, || {
+        cache.get_or_compile(key(2), other, || {
             CompiledTrace::compile(&trace_of(10), other)
         });
         assert_eq!(cache.stats().evictions, 2);
@@ -861,13 +916,21 @@ mod tests {
     #[test]
     fn distinct_keys_do_not_collide() {
         let cache = TraceCache::with_cap_bytes(1 << 20);
-        let a = cache.get_or_record(key(PolyBench::Gemm), || trace_of(1));
+        let a = cache.get_or_record(key(1), || trace_of(1));
         let b = cache.get_or_record(
-            TraceKey::new(PolyBench::Gemm, ProblemSize::Mini, Transformations::all()),
+            TraceKey::new(
+                Workload::External(1),
+                ProblemSize::Mini,
+                Transformations::all(),
+            ),
             || trace_of(2),
         );
         let c = cache.get_or_record(
-            TraceKey::new(PolyBench::Gemm, ProblemSize::Small, Transformations::none()),
+            TraceKey::new(
+                Workload::External(1),
+                ProblemSize::Small,
+                Transformations::none(),
+            ),
             || trace_of(3),
         );
         assert_eq!((a.len(), b.len(), c.len()), (1, 2, 3));

@@ -1,0 +1,260 @@
+//! The workload catalog.
+//!
+//! One authoritative enumeration of every runnable workload — name, CLI
+//! token, family and kernel factory — mirroring the organization catalog
+//! in `sttcache::catalog`: the trace cache, mix grammar, `sim`/`figures`
+//! binaries, explain mode and the differential fuzzer all walk this list
+//! instead of matching on `PolyBench` privately. Adding a workload here
+//! (an affine kernel, an irregular kernel, or nothing at all for
+//! externally recorded traces) makes it show up everywhere at once.
+
+use crate::irregular::Irregular;
+use crate::suite::{Kernel, PolyBench, ProblemSize};
+
+/// The workload families the catalog groups by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadFamily {
+    /// The paper's PolyBench subset: affine loop nests, streaming reuse.
+    Affine,
+    /// Pointer-chasing kernels: data-dependent, low-reuse access streams.
+    Irregular,
+    /// Externally recorded traces ingested from disk (no kernel).
+    External,
+}
+
+impl WorkloadFamily {
+    /// Lowercase family tag (used in tables and labels).
+    pub fn tag(self) -> &'static str {
+        match self {
+            WorkloadFamily::Affine => "affine",
+            WorkloadFamily::Irregular => "irregular",
+            WorkloadFamily::External => "external",
+        }
+    }
+}
+
+/// A workload identity: what a trace-cache key, a mix entry or a sweep
+/// grid point names. Kernel-backed workloads come from the catalog;
+/// external traces are identified by the content hash of their recorded
+/// event stream, so the same file ingested twice (or from two paths) is
+/// one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// A PolyBench kernel (the "affine" family).
+    Affine(PolyBench),
+    /// An irregular pointer-chasing kernel.
+    Irregular(Irregular),
+    /// An externally recorded trace, named by its content hash.
+    External(u64),
+}
+
+impl Workload {
+    /// The family the workload belongs to.
+    pub fn family(self) -> WorkloadFamily {
+        match self {
+            Workload::Affine(_) => WorkloadFamily::Affine,
+            Workload::Irregular(_) => WorkloadFamily::Irregular,
+            Workload::External(_) => WorkloadFamily::External,
+        }
+    }
+
+    /// Instantiates the kernel, or `None` for an external trace (which
+    /// has no kernel — its event stream was recorded elsewhere).
+    pub fn kernel(self, size: ProblemSize) -> Option<Box<dyn Kernel>> {
+        match self {
+            Workload::Affine(b) => Some(b.kernel(size)),
+            Workload::Irregular(k) => Some(k.kernel(size)),
+            Workload::External(_) => None,
+        }
+    }
+
+    /// Human-readable label: the catalog name for kernel-backed
+    /// workloads, `trace:<hash>` for external ones.
+    pub fn label(self) -> String {
+        match self {
+            Workload::Affine(b) => b.name().to_string(),
+            Workload::Irregular(k) => k.name().to_string(),
+            Workload::External(hash) => format!("trace:{hash:016x}"),
+        }
+    }
+}
+
+impl From<PolyBench> for Workload {
+    fn from(b: PolyBench) -> Self {
+        Workload::Affine(b)
+    }
+}
+
+impl From<Irregular> for Workload {
+    fn from(k: Irregular) -> Self {
+        Workload::Irregular(k)
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One catalog row: a kernel-backed workload plus everything the
+/// harnesses need to present it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadSpec {
+    /// Human-readable name (identical to the kernel's
+    /// [`Kernel::name`]).
+    pub name: &'static str,
+    /// Stable lowercase token for CLI flags and the mix grammar.
+    pub cli: &'static str,
+    /// The family the workload belongs to.
+    pub family: WorkloadFamily,
+    /// The trace-key identity.
+    pub workload: Workload,
+    /// What the access pattern exercises (one line, for the README).
+    pub pattern: &'static str,
+}
+
+impl WorkloadSpec {
+    /// Instantiates the entry's kernel at the given problem size.
+    ///
+    /// # Panics
+    ///
+    /// Never for catalog entries: every row is kernel-backed (external
+    /// traces are not catalog rows — they are ingested at run time).
+    pub fn kernel(&self, size: ProblemSize) -> Box<dyn Kernel> {
+        self.workload
+            .kernel(size)
+            .expect("catalog entries are kernel-backed")
+    }
+}
+
+fn affine_pattern(b: PolyBench) -> &'static str {
+    match b {
+        PolyBench::Jacobi1d | PolyBench::Jacobi2d | PolyBench::Seidel2d => "stencil sweep",
+        PolyBench::Fdtd2d | PolyBench::Heat3d | PolyBench::Adi => "stencil sweep",
+        _ => "affine loop nest",
+    }
+}
+
+fn irregular_pattern(k: Irregular) -> &'static str {
+    match k {
+        Irregular::ListChase => "dependent linked-list hops",
+        Irregular::HashProbe => "open-addressing probe runs",
+        Irregular::CsrBfs => "frontier sweeps + scattered visits",
+        Irregular::GcMark => "object-graph mark worklist",
+    }
+}
+
+/// Every kernel-backed workload: the 28 affine kernels in figure order,
+/// then the irregular family in catalog order.
+pub fn catalog() -> Vec<WorkloadSpec> {
+    let affine = PolyBench::ALL.iter().map(|&b| WorkloadSpec {
+        name: b.name(),
+        cli: b.name(),
+        family: WorkloadFamily::Affine,
+        workload: Workload::Affine(b),
+        pattern: affine_pattern(b),
+    });
+    let irregular = Irregular::ALL.iter().map(|&k| WorkloadSpec {
+        name: k.name(),
+        cli: k.name(),
+        family: WorkloadFamily::Irregular,
+        workload: Workload::Irregular(k),
+        pattern: irregular_pattern(k),
+    });
+    affine.chain(irregular).collect()
+}
+
+/// Looks a workload up by its CLI token.
+pub fn by_cli(token: &str) -> Option<WorkloadSpec> {
+    catalog().into_iter().find(|w| w.cli == token)
+}
+
+/// Looks the catalog row up for a workload identity (`None` for
+/// external traces, which have no row).
+pub fn by_workload(w: Workload) -> Option<WorkloadSpec> {
+    catalog().into_iter().find(|s| s.workload == w)
+}
+
+/// The catalog entries of one family, in catalog order.
+pub fn family(f: WorkloadFamily) -> Vec<WorkloadSpec> {
+    catalog().into_iter().filter(|w| w.family == f).collect()
+}
+
+/// The irregular rows as a Markdown table (the README's workload table
+/// is generated from this; a test keeps them in sync). The affine rows
+/// are deliberately summarized in prose there — 28 near-identical lines
+/// would bury the table.
+pub fn readme_table() -> String {
+    let mut s = String::from(
+        "| Workload | CLI token | Family | Access pattern |\n\
+         |---|---|---|---|\n",
+    );
+    for w in family(WorkloadFamily::Irregular) {
+        s.push_str(&format!(
+            "| {} | `{}` | {} | {} |\n",
+            w.name,
+            w.cli,
+            w.family.tag(),
+            w.pattern
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_consistent() {
+        let entries = catalog();
+        assert_eq!(entries.len(), PolyBench::ALL.len() + Irregular::ALL.len());
+        // Affine entries first, in PolyBench::ALL order, names intact —
+        // the figure output's row order depends on this.
+        for (i, &b) in PolyBench::ALL.iter().enumerate() {
+            assert_eq!(entries[i].workload, Workload::Affine(b));
+            assert_eq!(entries[i].name, b.name());
+        }
+        for e in &entries {
+            assert_eq!(e.name, e.kernel(ProblemSize::Mini).name(), "{}", e.cli);
+            assert_eq!(e.family, e.workload.family(), "{}", e.cli);
+        }
+        let mut tokens: Vec<&str> = entries.iter().map(|e| e.cli).collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), entries.len(), "duplicate CLI tokens");
+    }
+
+    #[test]
+    fn cli_lookup_round_trips() {
+        for e in catalog() {
+            assert_eq!(by_cli(e.cli).unwrap().workload, e.workload);
+            assert_eq!(by_workload(e.workload).unwrap().cli, e.cli);
+        }
+        assert!(by_cli("no-such-kernel").is_none());
+        assert!(by_workload(Workload::External(42)).is_none());
+    }
+
+    #[test]
+    fn families_partition_the_catalog() {
+        let affine = family(WorkloadFamily::Affine);
+        let irregular = family(WorkloadFamily::Irregular);
+        assert_eq!(affine.len(), PolyBench::ALL.len());
+        assert_eq!(irregular.len(), Irregular::ALL.len());
+        assert!(family(WorkloadFamily::External).is_empty());
+        assert_eq!(affine.len() + irregular.len(), catalog().len());
+    }
+
+    #[test]
+    fn labels_and_conversions_agree() {
+        assert_eq!(Workload::from(PolyBench::Gemm).label(), "gemm");
+        assert_eq!(Workload::from(Irregular::CsrBfs).label(), "csr-bfs");
+        assert_eq!(
+            Workload::External(0xAB).to_string(),
+            "trace:00000000000000ab"
+        );
+        assert_eq!(Workload::External(1).family(), WorkloadFamily::External);
+        assert!(Workload::External(1).kernel(ProblemSize::Mini).is_none());
+    }
+}

@@ -1,0 +1,110 @@
+//! Kernel conformance checks, available to external test batteries.
+//!
+//! Every kernel — in this crate's suites or registered in the
+//! [`crate::catalog`] — must satisfy one contract: it emits real memory
+//! traffic, its checksum is finite, and every [`Transformations`]
+//! combination computes the same result as the scalar reference. The
+//! per-kernel unit tests and the cross-crate workload-catalog battery
+//! both call [`assert_kernel_conformance`], so a kernel cannot join the
+//! catalog without passing the same bar the PolyBench ports pass.
+
+use crate::suite::Kernel;
+use crate::transform::Transformations;
+use sttcache_cpu::Engine;
+use sttcache_mem::Addr;
+
+/// Minimal counting engine: enough observation to enforce the contract
+/// without depending on any test-only machinery.
+#[derive(Debug, Default)]
+struct Probe {
+    loads: usize,
+    stores: usize,
+}
+
+impl Engine for Probe {
+    fn load(&mut self, _addr: Addr, _bytes: usize) {
+        self.loads += 1;
+    }
+
+    fn store(&mut self, _addr: Addr, _bytes: usize) {
+        self.stores += 1;
+    }
+
+    fn prefetch(&mut self, _addr: Addr) {}
+
+    fn compute(&mut self, _ops: u64) {}
+
+    fn branch(&mut self, _taken: bool) {}
+}
+
+/// All eight transformation combinations.
+pub fn all_transform_combos() -> Vec<Transformations> {
+    let mut v = Vec::new();
+    for &vectorize in &[false, true] {
+        for &prefetch in &[false, true] {
+            for &others in &[false, true] {
+                v.push(Transformations {
+                    vectorize,
+                    prefetch,
+                    others,
+                });
+            }
+        }
+    }
+    v
+}
+
+/// Every variant must produce the same output checksum as the scalar
+/// reference (the transformations are semantics-preserving), and every
+/// variant must emit memory traffic.
+///
+/// # Panics
+///
+/// Panics with a named diagnostic when the kernel violates the contract.
+pub fn assert_kernel_conformance(k: &dyn Kernel) {
+    let mut reference = Probe::default();
+    let base = k.execute(&mut reference, Transformations::none());
+    assert!(
+        reference.loads > 0,
+        "{}: scalar variant emitted no loads",
+        k.name()
+    );
+    assert!(
+        reference.stores > 0,
+        "{}: scalar variant emitted no stores",
+        k.name()
+    );
+    assert!(base.is_finite(), "{}: checksum is not finite", k.name());
+    for t in all_transform_combos() {
+        let mut probe = Probe::default();
+        let out = k.execute(&mut probe, t);
+        let tol = base.abs().max(1.0) * 5e-4;
+        assert!(
+            (out - base).abs() <= tol,
+            "{}: variant {} checksum {} != reference {}",
+            k.name(),
+            t.label(),
+            out,
+            base
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolyBench;
+
+    #[test]
+    fn combos_cover_all_eight() {
+        let combos = all_transform_combos();
+        assert_eq!(combos.len(), 8);
+        let distinct: std::collections::HashSet<_> = combos.into_iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn a_known_good_kernel_passes() {
+        assert_kernel_conformance(&*PolyBench::Gemm.kernel(Default::default()));
+    }
+}

@@ -550,54 +550,9 @@ pub(crate) mod kernel_tests {
     use crate::space::test_support::Recorder;
     use crate::transform::Transformations;
 
-    /// All transformation combinations.
-    pub fn all_transform_combos() -> Vec<Transformations> {
-        let mut v = Vec::new();
-        for &vectorize in &[false, true] {
-            for &prefetch in &[false, true] {
-                for &others in &[false, true] {
-                    v.push(Transformations {
-                        vectorize,
-                        prefetch,
-                        others,
-                    });
-                }
-            }
-        }
-        v
-    }
-
-    /// Every variant must produce the same output checksum as the scalar
-    /// reference (the transformations are semantics-preserving), and every
-    /// variant must emit memory traffic.
-    pub fn assert_kernel_conformance(k: &dyn Kernel) {
-        let mut reference = Recorder::default();
-        let base = k.execute(&mut reference, Transformations::none());
-        assert!(
-            !reference.loads.is_empty(),
-            "{}: scalar variant emitted no loads",
-            k.name()
-        );
-        assert!(
-            !reference.stores.is_empty(),
-            "{}: scalar variant emitted no stores",
-            k.name()
-        );
-        assert!(base.is_finite(), "{}: checksum is not finite", k.name());
-        for t in all_transform_combos() {
-            let mut rec = Recorder::default();
-            let out = k.execute(&mut rec, t);
-            let tol = base.abs().max(1.0) * 5e-4;
-            assert!(
-                (out - base).abs() <= tol,
-                "{}: variant {} checksum {} != reference {}",
-                k.name(),
-                t.label(),
-                out,
-                base
-            );
-        }
-    }
+    // The core contract lives in the public conformance module so the
+    // cross-crate workload-catalog battery enforces the identical bar.
+    pub use crate::conformance::assert_kernel_conformance;
 
     /// Vectorization must reduce the number of load events (wide loads
     /// replace groups of narrow ones).

@@ -44,12 +44,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
+pub mod conformance;
+mod irregular;
 pub mod kernels;
 mod micro;
 mod space;
 mod suite;
 mod transform;
 
+pub use catalog::{Workload, WorkloadFamily, WorkloadSpec};
+pub use irregular::{CsrBfs, GcMark, HashProbe, Irregular, ListChase};
 pub use micro::{PointerChase, RandomWalk, StreamWalk, StrideWalk};
 pub use space::{Array1, Array2, Array3, DataSpace};
 pub use suite::{Kernel, PolyBench, ProblemSize};

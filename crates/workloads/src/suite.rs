@@ -22,7 +22,7 @@ pub enum ProblemSize {
 }
 
 impl ProblemSize {
-    fn scale(self) -> usize {
+    pub(crate) fn scale(self) -> usize {
         match self {
             ProblemSize::Mini => 1,
             ProblemSize::Small => 2,

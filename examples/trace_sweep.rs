@@ -29,7 +29,9 @@ fn main() -> Result<(), SttError> {
         trace.len()
     );
 
-    // 2. Round-trip through the binary format (what a trace file holds).
+    // 2. Round-trip through the binary format (what a trace file holds),
+    //    and leave the recording on disk: `sim --trace-file <path>` (or a
+    //    `file:<path>` mix entry) replays it as a first-class workload.
     let mut bytes = Vec::new();
     trace
         .write_to(&mut bytes)
@@ -39,6 +41,16 @@ fn main() -> Result<(), SttError> {
         "binary trace size: {} bytes ({:.2} B/event)",
         bytes.len(),
         bytes.len() as f64 / trace.len() as f64
+    );
+    let path = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("sttcache_recorded.trace"));
+    std::fs::write(&path, &bytes).expect("trace file writable");
+    println!(
+        "wrote {} — replay with: sim --trace-file {}",
+        path.display(),
+        path.display()
     );
 
     // 3. Replay through every organization, one sweep worker per replay.

@@ -11,6 +11,9 @@
 #     event, so a regression shows even if the event mix shrinks, or
 #   * two_core_mix_ms — the wall-clock of the default two-core mix over
 #     the shared L2 (`sim --cores 2`), re-measured here min-of-three,
+#   * irregular_sweep_ms — the wall-clock of the opt-in irregular
+#     pointer-chasing sweep (`figures irregular`), re-measured the same
+#     way,
 #
 # and when the committed snapshot's recorded telemetry-gate overhead
 # (disarmed_overhead_pct, written by scripts/bench_snapshot.sh) exceeds
@@ -107,6 +110,21 @@ for _ in 1 2 3; do
 done
 base_mc="$(num_or_zero "$committed" two_core_mix_ms)"
 check_metric "two-core mix (sim --cores 2)" "$fresh_mc" "$base_mc" "ms"
+
+# Irregular pointer-chasing sweep wall-clock, measured and gated the
+# same way; a pre-catalog snapshot degrades to a warning via
+# num_or_zero.
+fresh_irr=0
+for _ in 1 2 3; do
+    t_start=$(date +%s%N)
+    ./target/release/figures irregular > /dev/null
+    t=$((($(date +%s%N) - t_start) / 1000000))
+    if [ "$fresh_irr" -eq 0 ] || [ "$t" -lt "$fresh_irr" ]; then
+        fresh_irr=$t
+    fi
+done
+base_irr="$(num_or_zero "$committed" irregular_sweep_ms)"
+check_metric "irregular sweep (figures irregular)" "$fresh_irr" "$base_irr" "ms"
 
 # The committed snapshot must uphold the telemetry zero-cost-when-off
 # claim: the recorded disarmed-gate overhead stays under 2 %.

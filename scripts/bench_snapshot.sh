@@ -72,6 +72,11 @@ echo "bench_snapshot: parallel scaling ${t_scale[1]} ms @1," \
 t_mc=$(time_ms ./target/release/sim --cores 2)
 echo "bench_snapshot: sim --cores 2 ${t_mc} ms (two-core mix, shared L2)"
 
+# Irregular family: wall-clock of the opt-in pointer-chasing sweep
+# (every irregular workload x every non-reference organization).
+t_irr=$(time_ms ./target/release/figures irregular)
+echo "bench_snapshot: figures irregular ${t_irr} ms (pointer-chasing sweep)"
+
 # Splice the telemetry, scaling and multi-core numbers into the
 # snapshot (the
 # profile JSON ends with '  ]\n}'; re-open the object, keep one key per
@@ -93,6 +98,9 @@ cat >> "$out" <<EOF
   },
   "multicore": {
     "two_core_mix_ms": $t_mc
+  },
+  "irregular": {
+    "irregular_sweep_ms": $t_irr
   }
 }
 EOF

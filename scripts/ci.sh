@@ -7,6 +7,7 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo build --release --offline
+cargo build --release --offline --examples
 cargo test -q --offline
 # Second test leg with the runtime invariant checkers armed: every
 # component self-checks on every access and any violation fails the run.
@@ -24,6 +25,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # co-scheduled runs cross-checked against per-core isolated runs, the
 # per-core shadow oracles and the residency/conservation audit.
 ./target/release/sttcache-check --quick --kind multicore
+# The irregular pointer-chasing family through the oracle, compiled and
+# lane cross-checks at once — data-dependent streams, no affine safety
+# net.
+./target/release/sttcache-check --quick --kind irregular --events 2000
 
 smoke="$(mktemp)"
 trap 'rm -f "$smoke"' EXIT
@@ -83,6 +88,24 @@ diff -u "$smoke" "$mc"
 ./target/release/sim --cores 2 > "$mc"
 diff -u "$smoke" "$mc"
 
+# The opt-in irregular sweep is deterministic at any worker count.
+./target/release/figures irregular --serial > "$smoke"
+./target/release/figures irregular --jobs 4 > "$mc"
+diff -u "$smoke" "$mc"
+
+# External trace ingestion: a recorded trace must replay byte-identically
+# through --trace-file (same cycles the recording example reports) and
+# parse as a file: mix entry.
+exttrace="$(mktemp -u).trace"
+trap 'rm -f "$smoke" "$ttrace" "$mc" "$exttrace"' EXIT
+./target/release/examples/trace_sweep "$exttrace" > /dev/null
+./target/release/sim --trace-file "$exttrace" --org vwb > "$smoke"
+./target/release/sim --trace-file "$exttrace" --org vwb > "$mc"
+diff -u "$smoke" "$mc"
+grep -q '^# sim: trace:' "$smoke"
+./target/release/sim --cores 2 --mix "file:$exttrace@64:vwb+gemm:sram" > "$mc"
+grep -q 'file:' "$mc"
+
 # The profiled snapshot path stays runnable and records the
 # telemetry-gate overhead.
 snapshot="$(mktemp)"
@@ -96,4 +119,4 @@ grep -q '"disarmed_overhead_pct"' "$snapshot"
 # too noisy to enforce a 25 % bound.
 STTCACHE_BENCH_GATE="${STTCACHE_BENCH_GATE:-fail}" scripts/bench_gate.sh
 
-echo "ci: fmt, build, tests (plain + invariants armed), clippy, differential + compiled + multicore fuzzers, figures smoke (telemetry on and off), multi-core determinism, trace-cache checks and bench gate all green"
+echo "ci: fmt, build, tests (plain + invariants armed), clippy, differential + compiled + multicore + irregular fuzzers, figures smoke (telemetry on and off), multi-core + irregular determinism, external-trace replay, trace-cache checks and bench gate all green"

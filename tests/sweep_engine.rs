@@ -50,7 +50,7 @@ fn panicking_kernel_shard_becomes_an_error_row() {
         .iter()
         .map(|&bench| GridPoint {
             org: sttcache::DCacheOrganization::NvmDropIn,
-            bench,
+            workload: bench.into(),
             size: ProblemSize::Mini,
             transforms: Transformations::none(),
         })
@@ -58,9 +58,9 @@ fn panicking_kernel_shard_becomes_an_error_row() {
     let poisoned = 2usize;
     let results = SweepRunner::with_workers(4).map(&points, |idx, p| {
         if idx == poisoned {
-            panic!("injected divergence on {}", p.bench.name());
+            panic!("injected divergence on {}", p.workload.label());
         }
-        experiments::run_benchmark(p.org, p.bench, p.size, p.transforms).cycles()
+        experiments::run_benchmark(p.org, p.workload, p.size, p.transforms).cycles()
     });
     assert_eq!(results.len(), points.len());
     for (idx, r) in results.iter().enumerate() {
